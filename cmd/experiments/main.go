@@ -1,0 +1,165 @@
+// Command experiments regenerates the paper's evaluation (Figs. 5-8):
+// for each figure it sweeps the corresponding parameter over batches of
+// random networks, prints the mean entanglement rate per algorithm as a
+// table, and optionally writes CSVs.
+//
+// Usage:
+//
+//	experiments [flags]
+//
+//	-figure   all | fig5 | fig6a | fig6b | fig7a | fig7b | fig8a | fig8b
+//	-networks random networks per sweep point (default 20, as in the paper)
+//	-seed     base RNG seed (default 1)
+//	-out      directory for CSV output (default: none)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"github.com/muerp/quantumnet/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		figure    = fs.String("figure", "all", "which figure to regenerate")
+		networks  = fs.Int("networks", 20, "random networks per sweep point")
+		seed      = fs.Int64("seed", 1, "base RNG seed")
+		outDir    = fs.String("out", "", "directory for CSV output")
+		ablations = fs.Bool("ablations", false, "also run the ablation studies")
+		gaps      = fs.Bool("gaps", false, "also run the exact-optimality gap study")
+		parallel  = fs.Int("parallel", runtime.GOMAXPROCS(0), "networks solved concurrently per sweep point")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := sim.DefaultConfig()
+	cfg.Networks = *networks
+	cfg.Seed = *seed
+	cfg.Parallelism = *parallel
+
+	drivers := map[string]func() (sim.Series, error){
+		"fig5":  func() (sim.Series, error) { return sim.Fig5(cfg) },
+		"fig6a": func() (sim.Series, error) { return sim.Fig6aUsers(cfg, nil) },
+		"fig6b": func() (sim.Series, error) { return sim.Fig6bSwitches(cfg, nil) },
+		"fig7a": func() (sim.Series, error) { return sim.Fig7aDegree(cfg, nil) },
+		"fig7b": func() (sim.Series, error) { return sim.Fig7bRemoval(cfg, 30) },
+		"fig8a": func() (sim.Series, error) { return sim.Fig8aQubits(cfg, nil) },
+		"fig8b": func() (sim.Series, error) { return sim.Fig8bSwapRate(cfg, nil) },
+	}
+	order := []string{"fig5", "fig6a", "fig6b", "fig7a", "fig7b", "fig8a", "fig8b"}
+
+	var selected []string
+	if *figure == "all" {
+		selected = order
+	} else if _, ok := drivers[*figure]; ok {
+		selected = []string{*figure}
+	} else {
+		return fmt.Errorf("unknown figure %q (want all or one of %v)", *figure, order)
+	}
+
+	var all []sim.Series
+	for _, name := range selected {
+		series, err := drivers[name]()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		all = append(all, series)
+		fmt.Fprintln(out, series.Table())
+		if *outDir != "" {
+			if err := writeCSV(*outDir, series); err != nil {
+				return err
+			}
+		}
+	}
+
+	printHeadline(out, all)
+
+	if *ablations {
+		series, err := sim.AllAblations(cfg)
+		if err != nil {
+			return fmt.Errorf("ablations: %w", err)
+		}
+		for _, s := range series {
+			fmt.Fprintln(out, s.Table())
+			if *outDir != "" {
+				if err := writeCSV(*outDir, s); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	if *gaps {
+		gapCfg := sim.DefaultGapConfig()
+		gapCfg.Seed = *seed
+		s, err := sim.OptimalityGaps(gapCfg)
+		if err != nil {
+			return fmt.Errorf("gap study: %w", err)
+		}
+		fmt.Fprintln(out, s.Table())
+		if *outDir != "" {
+			if err := writeCSV(*outDir, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeCSV writes one series to <dir>/<figure>.csv.
+func writeCSV(dir string, s sim.Series) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("create %s: %w", dir, err)
+	}
+	path := filepath.Join(dir, s.Figure+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	defer func() { _ = f.Close() }()
+	if err := s.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// printHeadline reports the paper's §V-B style maximum improvement ratios
+// of the proposed algorithms over the two baselines across all regenerated
+// figures.
+func printHeadline(out io.Writer, all []sim.Series) {
+	if len(all) == 0 {
+		return
+	}
+	fmt.Fprintln(out, "headline improvements (max mean-rate ratio across sweep points, finite baselines only):")
+	for _, alg := range []string{sim.AlgOptimal, sim.AlgConflictFree, sim.AlgPrim} {
+		for _, base := range []string{sim.AlgNFusion, sim.AlgEQCast} {
+			best := 0.0
+			where := ""
+			for _, s := range all {
+				for i, r := range s.ImprovementOver(alg, base) {
+					if r > best {
+						best = r
+						where = fmt.Sprintf("%s/%s", s.Figure, s.Points[i].Label)
+					}
+				}
+			}
+			if best > 0 {
+				fmt.Fprintf(out, "  %s vs %-8s %8.0f%%  (at %s)\n", alg, base+":", (best-1)*100, where)
+			}
+		}
+	}
+}

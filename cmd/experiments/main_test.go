@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var buf strings.Builder
+	err := run(args, &buf)
+	return buf.String(), err
+}
+
+func TestRunSingleFigure(t *testing.T) {
+	out, err := capture(t, "-figure", "fig8b", "-networks", "2")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"fig8b", "alg2", "nfusion", "headline improvements"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := capture(t, "-figure", "fig5", "-networks", "2", "-out", dir); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig5.csv"))
+	if err != nil {
+		t.Fatalf("csv not written: %v", err)
+	}
+	if !strings.HasPrefix(string(data), "figure,label,x,alg2_mean") {
+		t.Errorf("unexpected csv header: %q", string(data[:60]))
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 4 { // header + 3 topologies
+		t.Errorf("fig5.csv has %d lines, want 4", len(lines))
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if _, err := capture(t, "-figure", "fig99"); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestHeadlineImprovementsPositive(t *testing.T) {
+	out, err := capture(t, "-figure", "fig5", "-networks", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every proposed algorithm should show a positive improvement over both
+	// baselines somewhere in fig5.
+	for _, alg := range []string{"alg2", "alg3", "alg4"} {
+		if !strings.Contains(out, alg+" vs") {
+			t.Errorf("headline missing %s:\n%s", alg, out)
+		}
+	}
+}

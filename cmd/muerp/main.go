@@ -1,0 +1,145 @@
+// Command muerp routes multi-user entanglement on a quantum network and
+// reports the achieved entanglement rate.
+//
+// It either generates a random network (paper §V-A style) or loads one from
+// JSON, runs one of the five routing schemes, validates the tree, and
+// prints the channels. Optionally it cross-checks the analytic rate with a
+// Monte Carlo simulation.
+//
+// Usage:
+//
+//	muerp [flags]
+//
+//	-model    waxman | watts-strogatz | volchenkov   (default waxman)
+//	-users    number of quantum users                 (default 10)
+//	-switches number of quantum switches              (default 50)
+//	-degree   average node degree                     (default 6)
+//	-qubits   qubits per switch                       (default 4)
+//	-q        BSM swap success probability            (default 0.9)
+//	-alpha    fiber attenuation per km                (default 1e-4)
+//	-seed     RNG seed                                (default 1)
+//	-alg      alg2 | alg3 | alg4 | eqcast | nfusion   (default alg3)
+//	-in       load topology JSON instead of generating
+//	-trials   Monte Carlo rounds (0 = skip)
+//	-v        print every channel
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"github.com/muerp/quantumnet/internal/core"
+	"github.com/muerp/quantumnet/internal/graph"
+	"github.com/muerp/quantumnet/internal/montecarlo"
+	"github.com/muerp/quantumnet/internal/quantum"
+	"github.com/muerp/quantumnet/internal/sim"
+	"github.com/muerp/quantumnet/internal/topology"
+	"github.com/muerp/quantumnet/internal/viz"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "muerp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("muerp", flag.ContinueOnError)
+	var (
+		model    = fs.String("model", "waxman", "topology model: waxman, watts-strogatz, volchenkov")
+		users    = fs.Int("users", 10, "number of quantum users")
+		switches = fs.Int("switches", 50, "number of quantum switches")
+		degree   = fs.Float64("degree", 6, "average node degree")
+		qubits   = fs.Int("qubits", 4, "qubits per switch")
+		swapProb = fs.Float64("q", 0.9, "BSM swap success probability")
+		alpha    = fs.Float64("alpha", 1e-4, "fiber attenuation per km")
+		seed     = fs.Int64("seed", 1, "RNG seed")
+		alg      = fs.String("alg", "alg3", "algorithm: alg2, alg3, alg4, eqcast, nfusion")
+		inFile   = fs.String("in", "", "load topology JSON instead of generating")
+		trials   = fs.Int("trials", 0, "Monte Carlo validation rounds (0 = skip)")
+		verbose  = fs.Bool("v", false, "print every channel")
+		dotFile  = fs.String("dot", "", "write the network + routed tree as Graphviz DOT to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g, err := loadOrGenerate(*inFile, *model, *users, *switches, *degree, *qubits, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, g)
+
+	params := quantum.Params{Alpha: *alpha, SwapProb: *swapProb}
+	cfg := sim.DefaultConfig()
+	cfg.Params = params
+	rng := rand.New(rand.NewSource(*seed))
+	sol, prob, err := sim.SolveOn(g, *alg, cfg, rng)
+	if err != nil {
+		if errors.Is(err, core.ErrInfeasible) {
+			fmt.Fprintf(out, "%s: no feasible entanglement tree (%v)\n", *alg, err)
+			return nil
+		}
+		return err
+	}
+	if err := prob.Validate(sol); err != nil {
+		return fmt.Errorf("internal error: invalid solution: %w", err)
+	}
+
+	fmt.Fprintf(out, "algorithm:          %s\n", sol.Algorithm)
+	fmt.Fprintf(out, "channels:           %d\n", len(sol.Tree.Channels))
+	fmt.Fprintf(out, "entanglement rate:  %.6e\n", sol.Rate())
+	if sol.MeasurementFactor != 0 && sol.MeasurementFactor != 1 {
+		fmt.Fprintf(out, "fusion factor:      %.6e\n", sol.MeasurementFactor)
+	}
+	if *verbose {
+		for i, ch := range sol.Tree.Channels {
+			fmt.Fprintf(out, "  [%2d] %s\n", i, ch)
+		}
+	}
+
+	if *trials > 0 {
+		res, err := montecarlo.SimulateSolution(prob.Graph, sol, params, *trials,
+			rand.New(rand.NewSource(*seed+1)))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "monte carlo:        %.6e (analytic %.6e, %d/%d rounds, ci95 ±%.2e)\n",
+			res.Rate, res.Analytic, res.Successes, res.Trials, res.CI95)
+	}
+
+	if *dotFile != "" {
+		if err := os.WriteFile(*dotFile, []byte(viz.DOT(g, sol)), 0o644); err != nil {
+			return fmt.Errorf("write dot: %w", err)
+		}
+		fmt.Fprintf(out, "dot written to:     %s\n", *dotFile)
+	}
+	return nil
+}
+
+func loadOrGenerate(inFile, model string, users, switches int, degree float64, qubits int, seed int64) (*graph.Graph, error) {
+	if inFile != "" {
+		f, err := os.Open(inFile)
+		if err != nil {
+			return nil, err
+		}
+		defer func() { _ = f.Close() }()
+		return graph.ReadJSON(f)
+	}
+	m, err := topology.ParseModel(model)
+	if err != nil {
+		return nil, err
+	}
+	cfg := topology.Default()
+	cfg.Model = m
+	cfg.Users = users
+	cfg.Switches = switches
+	cfg.AvgDegree = degree
+	cfg.SwitchQubits = qubits
+	return topology.Generate(cfg, rand.New(rand.NewSource(seed)))
+}

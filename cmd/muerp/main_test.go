@@ -1,0 +1,132 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs the CLI with args and returns its stdout.
+func capture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var buf strings.Builder
+	err := run(args, &buf)
+	return buf.String(), err
+}
+
+func TestRunDefaultsSmall(t *testing.T) {
+	out, err := capture(t, "-users", "5", "-switches", "15", "-seed", "3")
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+	for _, want := range []string{"graph(20 nodes", "algorithm:", "alg3", "entanglement rate:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAllAlgorithms(t *testing.T) {
+	for _, alg := range []string{"alg2", "alg3", "alg4", "eqcast", "nfusion"} {
+		t.Run(alg, func(t *testing.T) {
+			out, err := capture(t, "-alg", alg, "-users", "4", "-switches", "12", "-seed", "5")
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if !strings.Contains(out, alg) {
+				t.Errorf("output does not name %s:\n%s", alg, out)
+			}
+		})
+	}
+}
+
+func TestRunVerboseAndMonteCarlo(t *testing.T) {
+	out, err := capture(t, "-users", "4", "-switches", "10", "-v", "-trials", "2000")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "channel") {
+		t.Errorf("verbose output missing channels:\n%s", out)
+	}
+	if !strings.Contains(out, "monte carlo:") {
+		t.Errorf("missing monte carlo line:\n%s", out)
+	}
+}
+
+func TestRunInfeasibleReportsGracefully(t *testing.T) {
+	// Q=0 switches: only direct user-user fibers could serve; with the
+	// default sparse wiring, routing typically fails — and must be reported
+	// as a message, not an error exit.
+	out, err := capture(t, "-users", "6", "-switches", "20", "-qubits", "0", "-alg", "alg3", "-seed", "2")
+	if err != nil {
+		t.Fatalf("infeasible run errored: %v", err)
+	}
+	if !strings.Contains(out, "no feasible") && !strings.Contains(out, "entanglement rate:") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+func TestRunLoadsTopologyJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "net.json")
+	data := `{
+		"nodes": [
+			{"kind":"user","x":0,"y":0},
+			{"kind":"switch","x":500,"y":0,"qubits":4},
+			{"kind":"user","x":1000,"y":0}
+		],
+		"edges": [
+			{"a":0,"b":1,"length":500},
+			{"a":1,"b":2,"length":500}
+		]
+	}`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, "-in", path, "-alg", "alg3")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "graph(3 nodes: 2 users, 1 switches; 2 edges)") {
+		t.Errorf("unexpected graph line:\n%s", out)
+	}
+}
+
+func TestRunRejects(t *testing.T) {
+	tests := [][]string{
+		{"-model", "erdos"},
+		{"-alg", "dijkstra"},
+		{"-users", "0"},
+		{"-q", "2"},
+		{"-in", "/nonexistent/net.json"},
+		{"-badflag"},
+	}
+	for _, args := range tests {
+		if _, err := capture(t, args...); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunWritesDOT(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "net.dot")
+	out, err := capture(t, "-users", "4", "-switches", "10", "-dot", path)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "dot written to:") {
+		t.Errorf("no dot confirmation:\n%s", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("dot file missing: %v", err)
+	}
+	if !strings.HasPrefix(string(data), "graph quantumnet {") {
+		t.Errorf("unexpected dot prefix: %q", string(data[:30]))
+	}
+	if !strings.Contains(string(data), "penwidth") {
+		t.Error("routed channels not highlighted in dot output")
+	}
+}

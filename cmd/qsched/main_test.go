@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var buf strings.Builder
+	err := run(args, &buf)
+	return buf.String(), err
+}
+
+func TestRunDefaultsSmall(t *testing.T) {
+	out, err := capture(t, "-users", "6", "-switches", "12", "-sessions", "40")
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"sessions:          40",
+		"accepted:",
+		"rejected:",
+		"acceptance ratio:",
+		"peak qubits held:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunVerboseOutcomes(t *testing.T) {
+	out, err := capture(t, "-users", "6", "-switches", "12", "-sessions", "10", "-v")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "session") {
+		t.Errorf("verbose output missing per-session lines:\n%s", out)
+	}
+}
+
+func TestRunSaturationRejectsSome(t *testing.T) {
+	// Long holds on a small network must reject part of the stream.
+	out, err := capture(t, "-users", "6", "-switches", "8", "-qubits", "2",
+		"-sessions", "60", "-hold", "1000")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if strings.Contains(out, "rejected:          0\n") {
+		t.Errorf("saturated network rejected nothing:\n%s", out)
+	}
+}
+
+func TestRunRejects(t *testing.T) {
+	tests := [][]string{
+		{"-model", "bogus"},
+		{"-sessions", "0"},
+		{"-group-min", "1"},
+		{"-group-max", "99"},
+		{"-interarrival", "0"},
+	}
+	for _, args := range tests {
+		if _, err := capture(t, args...); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// Command topogen generates random quantum-network topologies as JSON, or
+// inspects an existing topology file.
+//
+// Usage:
+//
+//	topogen [flags]                 generate and print/write JSON
+//	topogen -in net.json -stats    print structural statistics instead
+//
+//	-model    waxman | watts-strogatz | volchenkov
+//	-users    number of users       (default 10)
+//	-switches number of switches    (default 50)
+//	-degree   average node degree   (default 6)
+//	-edges    exact fiber count (overrides -degree when > 0)
+//	-qubits   qubits per switch     (default 4)
+//	-seed     RNG seed              (default 1)
+//	-out      output file (default stdout)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+
+	"github.com/muerp/quantumnet/internal/graph"
+	"github.com/muerp/quantumnet/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("topogen", flag.ContinueOnError)
+	var (
+		model    = fs.String("model", "waxman", "topology model")
+		users    = fs.Int("users", 10, "number of users")
+		switches = fs.Int("switches", 50, "number of switches")
+		degree   = fs.Float64("degree", 6, "average node degree")
+		edges    = fs.Int("edges", 0, "exact fiber count (overrides -degree when > 0)")
+		qubits   = fs.Int("qubits", 4, "qubits per switch")
+		seed     = fs.Int64("seed", 1, "RNG seed")
+		outFile  = fs.String("out", "", "output file (default stdout)")
+		inFile   = fs.String("in", "", "inspect an existing topology JSON")
+		stats    = fs.Bool("stats", false, "print statistics instead of JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var g *graph.Graph
+	if *inFile != "" {
+		f, err := os.Open(*inFile)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = f.Close() }()
+		if g, err = graph.ReadJSON(f); err != nil {
+			return err
+		}
+	} else {
+		m, err := topology.ParseModel(*model)
+		if err != nil {
+			return err
+		}
+		cfg := topology.Default()
+		cfg.Model = m
+		cfg.Users = *users
+		cfg.Switches = *switches
+		cfg.AvgDegree = *degree
+		cfg.ExactEdges = *edges
+		cfg.SwitchQubits = *qubits
+		if g, err = topology.Generate(cfg, rand.New(rand.NewSource(*seed))); err != nil {
+			return err
+		}
+	}
+
+	if *stats {
+		printStats(stdout, g)
+		return nil
+	}
+
+	w := stdout
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = f.Close() }()
+		w = f
+	}
+	return g.WriteJSON(w)
+}
+
+// printStats summarizes a topology: counts, degree distribution, fiber
+// length quartiles and connectivity.
+func printStats(w io.Writer, g *graph.Graph) {
+	fmt.Fprintln(w, g)
+	fmt.Fprintf(w, "connected:       %v\n", g.Connected())
+	fmt.Fprintf(w, "users connected: %v\n", g.UsersConnected())
+	fmt.Fprintf(w, "average degree:  %.2f\n", g.AverageDegree())
+
+	degrees := make([]int, g.NumNodes())
+	for i := range degrees {
+		degrees[i] = g.Degree(graph.NodeID(i))
+	}
+	sort.Ints(degrees)
+	if len(degrees) > 0 {
+		fmt.Fprintf(w, "degree min/med/max: %d / %d / %d\n",
+			degrees[0], degrees[len(degrees)/2], degrees[len(degrees)-1])
+	}
+
+	lengths := make([]float64, 0, g.NumEdges())
+	for _, e := range g.Edges() {
+		lengths = append(lengths, e.Length)
+	}
+	sort.Float64s(lengths)
+	if len(lengths) > 0 {
+		fmt.Fprintf(w, "fiber km min/med/max: %.0f / %.0f / %.0f\n",
+			lengths[0], lengths[len(lengths)/2], lengths[len(lengths)-1])
+	}
+	comps := g.Components()
+	fmt.Fprintf(w, "components:      %d\n", len(comps))
+}

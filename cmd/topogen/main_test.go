@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/muerp/quantumnet/internal/graph"
+)
+
+func capture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var buf strings.Builder
+	err := run(args, &buf)
+	return buf.String(), err
+}
+
+func TestGenerateJSONOutput(t *testing.T) {
+	out, err := capture(t, "-users", "4", "-switches", "8", "-seed", "2")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	g, err := graph.ReadJSON(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("output is not a valid topology: %v", err)
+	}
+	if len(g.Users()) != 4 || len(g.Switches()) != 8 {
+		t.Fatalf("decoded %s, want 4 users / 8 switches", g)
+	}
+}
+
+func TestGenerateToFileAndInspect(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "net.json")
+	if _, err := capture(t, "-users", "3", "-switches", "6", "-out", path); err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("output file missing: %v", err)
+	}
+	out, err := capture(t, "-in", path, "-stats")
+	if err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+	for _, want := range []string{"3 users", "6 switches", "connected:", "average degree:", "components:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGenerateExactEdges(t *testing.T) {
+	out, err := capture(t, "-users", "5", "-switches", "20", "-edges", "90", "-stats")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "edges)") {
+		t.Fatalf("no edge count in stats:\n%s", out)
+	}
+}
+
+func TestRejects(t *testing.T) {
+	tests := [][]string{
+		{"-model", "bogus"},
+		{"-users", "0"},
+		{"-in", "/nonexistent.json"},
+	}
+	for _, args := range tests {
+		if _, err := capture(t, args...); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Fiber-failure study (the paper's Fig. 7b in miniature): take one fixed
+// network and progressively cut random fibers, re-routing after every cut,
+// to watch how the entanglement rate degrades — flat stretches while
+// non-critical fibers die, occasional *improvements* when a cut steers the
+// greedy router off a locally-attractive but globally poor channel, and
+// finally collapse when a critical fiber disappears.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+
+	quantumnet "github.com/muerp/quantumnet"
+)
+
+func main() {
+	topo := quantumnet.DefaultTopology()
+	topo.ExactEdges = 300
+	topo.Users = 8
+	topo.Switches = 40
+	g, err := quantumnet.Generate(topo, 4242)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%v\n\n", g)
+
+	params := quantumnet.DefaultParams()
+
+	// Before cutting anything: which fibers actually matter? The per-fiber
+	// criticality analysis quantifies the paper's Fig. 7b observation that
+	// only a few "critical" fibers carry the outcome.
+	report, err := quantumnet.AnalyzeEdgeCriticality(g, quantumnet.Solvers()[1], params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	critical := report.CriticalEdges()
+	improving := report.ImprovingEdges()
+	fmt.Printf("criticality: %d of %d fibers are critical (their loss kills routing);\n",
+		len(critical), g.NumEdges())
+	fmt.Printf("             %d fibers would IMPROVE the heuristic if cut (greedy traps)\n\n",
+		len(improving))
+
+	fmt.Println("cut fibers | surviving | alg3 rate    | note")
+	fmt.Println("-----------+-----------+--------------+---------------------")
+	rng := rand.New(rand.NewSource(4242))
+	const step = 15
+	prev := -1.0
+	cut := 0
+	for {
+		rate, feasible := routeRate(g, params)
+		note := ""
+		switch {
+		case !feasible:
+			note = "INFEASIBLE — critical fiber lost"
+		case prev >= 0 && rate > prev:
+			note = "improved (greedy trap removed)"
+		case prev >= 0 && rate == prev:
+			note = "unchanged (no critical fiber cut)"
+		}
+		fmt.Printf("%10d | %9d | %12.4e | %s\n", cut, g.NumEdges(), rate, note)
+		if !feasible || g.NumEdges() == 0 {
+			break
+		}
+		prev = rate
+
+		// Cut `step` random fibers.
+		n := g.NumEdges()
+		k := step
+		if k > n {
+			k = n
+		}
+		perm := rng.Perm(n)
+		remove := make([]quantumnet.EdgeID, k)
+		for i := 0; i < k; i++ {
+			remove[i] = quantumnet.EdgeID(perm[i])
+		}
+		g = g.WithoutEdges(remove)
+		cut += k
+	}
+}
+
+// routeRate routes all users with Algorithm 3 and returns the rate.
+func routeRate(g *quantumnet.Graph, params quantumnet.Params) (float64, bool) {
+	prob, err := quantumnet.AllUsersProblem(g, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sol, err := quantumnet.SolveConflictFree(prob)
+	if err != nil {
+		if errors.Is(err, quantumnet.ErrInfeasible) {
+			return 0, false
+		}
+		log.Fatal(err)
+	}
+	return sol.Rate(), true
+}

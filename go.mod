@@ -1,0 +1,3 @@
+module github.com/muerp/quantumnet
+
+go 1.22

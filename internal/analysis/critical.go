@@ -1,0 +1,121 @@
+// Package analysis provides structural diagnostics over routed networks.
+// Its centerpiece quantifies the paper's Fig. 7b observation that "the
+// performance of our algorithm is mainly affected by some critical edges in
+// the network structure": for every fiber it measures how the achieved
+// entanglement rate changes when that fiber alone is cut.
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/muerp/quantumnet/internal/core"
+	"github.com/muerp/quantumnet/internal/graph"
+	"github.com/muerp/quantumnet/internal/quantum"
+)
+
+// EdgeImpact records the effect of cutting one fiber.
+type EdgeImpact struct {
+	Edge graph.Edge
+	// RateWithout is the entanglement rate achieved after removing the
+	// fiber (0 when routing becomes infeasible).
+	RateWithout float64
+	// Impact is 1 - RateWithout/baseline: 0 for an irrelevant fiber, 1 for
+	// one whose loss kills the entanglement entirely, negative when cutting
+	// the fiber *improves* the heuristic's outcome (the paper's third
+	// Fig. 7b observation).
+	Impact float64
+}
+
+// Critical reports whether losing this single fiber makes multi-user
+// entanglement infeasible.
+func (e EdgeImpact) Critical() bool { return e.RateWithout == 0 }
+
+// Report is the full single-fiber-cut study of one network.
+type Report struct {
+	// Baseline is the rate on the intact network.
+	Baseline float64
+	// Impacts lists every fiber, most harmful first.
+	Impacts []EdgeImpact
+}
+
+// CriticalEdges returns the fibers whose individual loss breaks
+// feasibility.
+func (r Report) CriticalEdges() []graph.Edge {
+	var out []graph.Edge
+	for _, im := range r.Impacts {
+		if im.Critical() {
+			out = append(out, im.Edge)
+		}
+	}
+	return out
+}
+
+// ImprovingEdges returns the fibers whose removal *raises* the achieved
+// rate — fibers that bait the greedy router into a poor channel.
+func (r Report) ImprovingEdges() []graph.Edge {
+	var out []graph.Edge
+	for _, im := range r.Impacts {
+		if im.Impact < 0 {
+			out = append(out, im.Edge)
+		}
+	}
+	return out
+}
+
+// EdgeCriticality routes g's users with the solver on the intact network
+// and then once per single-fiber removal, producing the full impact report.
+// The cost is |E|+1 solver runs.
+//
+// The intact network must be routable; ErrInfeasible from the baseline is
+// returned as-is.
+func EdgeCriticality(g *graph.Graph, solver core.Solver, params quantum.Params) (Report, error) {
+	if solver == nil {
+		return Report{}, errors.New("analysis: nil solver")
+	}
+	baseline, err := rateOn(g, solver, params)
+	if err != nil {
+		return Report{}, err
+	}
+	if baseline == 0 {
+		return Report{}, fmt.Errorf("analysis: baseline routing infeasible: %w", core.ErrInfeasible)
+	}
+	report := Report{Baseline: baseline}
+	for _, e := range g.Edges() {
+		cut := g.WithoutEdges([]graph.EdgeID{e.ID})
+		rate, err := rateOn(cut, solver, params)
+		if err != nil {
+			return Report{}, fmt.Errorf("analysis: cutting fiber %d-%d: %w", e.A, e.B, err)
+		}
+		report.Impacts = append(report.Impacts, EdgeImpact{
+			Edge:        e,
+			RateWithout: rate,
+			Impact:      1 - rate/baseline,
+		})
+	}
+	sort.SliceStable(report.Impacts, func(i, j int) bool {
+		return report.Impacts[i].Impact > report.Impacts[j].Impact
+	})
+	return report, nil
+}
+
+// rateOn routes all users of g and returns the achieved rate, mapping
+// infeasibility to 0 (the evaluation convention).
+func rateOn(g *graph.Graph, solver core.Solver, params quantum.Params) (float64, error) {
+	prob, err := core.AllUsersProblem(g, params)
+	if err != nil {
+		return 0, err
+	}
+	sol, err := solver.Solve(prob)
+	if err != nil {
+		if errors.Is(err, core.ErrInfeasible) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	if err := prob.Validate(sol); err != nil {
+		return 0, fmt.Errorf("analysis: solver %s produced an invalid tree: %w", solver.Name(), err)
+	}
+	return sol.Rate(), nil
+}

@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/muerp/quantumnet/internal/core"
+	"github.com/muerp/quantumnet/internal/graph"
+	"github.com/muerp/quantumnet/internal/quantum"
+	"github.com/muerp/quantumnet/internal/topology"
+
+	"math/rand"
+)
+
+// bridgeNet builds a network with one obvious critical fiber: two users
+// joined only through switch s, plus a redundant pair of fibers elsewhere.
+//
+//	u0 ==(two parallel routes via s2, s3)== u1 --(bridge via s4)-- u5
+func bridgeNet(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New(6, 7)
+	g.AddUser(0, 0)            // 0
+	g.AddUser(2000, 0)         // 1
+	g.AddSwitch(1000, 500, 4)  // 2
+	g.AddSwitch(1000, -500, 4) // 3
+	g.AddSwitch(3000, 0, 4)    // 4
+	g.AddUser(4000, 0)         // 5
+	g.MustAddEdge(0, 2, 1100)
+	g.MustAddEdge(2, 1, 1100)
+	g.MustAddEdge(0, 3, 1200)
+	g.MustAddEdge(3, 1, 1200)
+	g.MustAddEdge(1, 4, 1000) // bridge half 1
+	g.MustAddEdge(4, 5, 1000) // bridge half 2
+	return g
+}
+
+func TestEdgeCriticalityFindsBridge(t *testing.T) {
+	g := bridgeNet(t)
+	report, err := EdgeCriticality(g, core.ConflictFree(), quantum.DefaultParams())
+	if err != nil {
+		t.Fatalf("EdgeCriticality: %v", err)
+	}
+	if report.Baseline <= 0 {
+		t.Fatalf("baseline = %g", report.Baseline)
+	}
+	critical := report.CriticalEdges()
+	if len(critical) != 2 {
+		t.Fatalf("critical edges = %v, want the two bridge fibers", critical)
+	}
+	for _, e := range critical {
+		isBridge := (e.A == 1 && e.B == 4) || (e.A == 4 && e.B == 5)
+		if !isBridge {
+			t.Errorf("non-bridge fiber %d-%d flagged critical", e.A, e.B)
+		}
+	}
+	// Impacts are sorted most-harmful first: the two critical fibers lead.
+	if !report.Impacts[0].Critical() || !report.Impacts[1].Critical() {
+		t.Fatalf("critical fibers not sorted first: %+v", report.Impacts[:2])
+	}
+}
+
+func TestEdgeCriticalityRedundantEdgesHarmless(t *testing.T) {
+	g := bridgeNet(t)
+	report, err := EdgeCriticality(g, core.ConflictFree(), quantum.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cutting either of the redundant u0-u1 routes must not break
+	// feasibility; cutting the *unused* one must not change the rate.
+	harmless := 0
+	for _, im := range report.Impacts {
+		viaRedundant := im.Edge.A == 3 || im.Edge.B == 3 || im.Edge.A == 2 || im.Edge.B == 2
+		if viaRedundant && im.Critical() {
+			t.Errorf("redundant fiber %d-%d flagged critical", im.Edge.A, im.Edge.B)
+		}
+		if math.Abs(im.Impact) < 1e-12 {
+			harmless++
+		}
+	}
+	if harmless < 2 {
+		t.Errorf("expected at least the unused backup route to be harmless, got %d harmless fibers", harmless)
+	}
+}
+
+func TestEdgeCriticalityInfeasibleBaseline(t *testing.T) {
+	g := graph.New(2, 0)
+	g.AddUser(0, 0)
+	g.AddUser(1, 1)
+	_, err := EdgeCriticality(g, core.ConflictFree(), quantum.DefaultParams())
+	if !errors.Is(err, core.ErrInfeasible) {
+		t.Fatalf("error = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestEdgeCriticalityNilSolver(t *testing.T) {
+	if _, err := EdgeCriticality(bridgeNet(t), nil, quantum.DefaultParams()); err == nil {
+		t.Fatal("nil solver accepted")
+	}
+}
+
+func TestEdgeCriticalityOnRandomNetwork(t *testing.T) {
+	cfg := topology.Default()
+	cfg.Users = 5
+	cfg.Switches = 15
+	g, err := topology.Generate(cfg, rand.New(rand.NewSource(12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := EdgeCriticality(g, core.ConflictFree(), quantum.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Impacts) != g.NumEdges() {
+		t.Fatalf("%d impacts for %d fibers", len(report.Impacts), g.NumEdges())
+	}
+	// Paper Fig. 7b observation 2: most fibers are not critical.
+	if crit := len(report.CriticalEdges()); crit > g.NumEdges()/2 {
+		t.Errorf("%d of %d fibers critical — expected a small critical set", crit, g.NumEdges())
+	}
+	// Sorted descending by impact.
+	for i := 1; i < len(report.Impacts); i++ {
+		if report.Impacts[i].Impact > report.Impacts[i-1].Impact+1e-12 {
+			t.Fatalf("impacts not sorted at %d", i)
+		}
+	}
+}

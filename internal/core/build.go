@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/muerp/quantumnet/internal/quantum"
+)
+
+// BuildGreedyTree grows an entanglement tree for the problem's users
+// against an externally owned qubit ledger — the Algorithm 4 greedy step
+// applied to *shared* capacity, used by callers that route several requests
+// over one network (the multigroup extension, the admission scheduler).
+//
+// On success the tree's reservations remain charged to the ledger (the
+// caller owns their lifetime and can Release them later). On infeasibility
+// every reservation made during the attempt is rolled back and the ledger
+// is exactly as before the call.
+func BuildGreedyTree(p *Problem, led *quantum.Ledger) (quantum.Tree, error) {
+	if led == nil {
+		return quantum.Tree{}, fmt.Errorf("core: BuildGreedyTree needs a ledger")
+	}
+	inTree := make([]bool, len(p.Users))
+	inTree[0] = true
+	tree := quantum.Tree{}
+
+	rollback := func() {
+		for _, ch := range tree.Channels {
+			led.Release(ch.Nodes)
+		}
+	}
+	for committed := 0; committed < len(p.Users)-1; committed++ {
+		best, ok := p.bestFrontierChannel(led, inTree)
+		if !ok {
+			rollback()
+			return quantum.Tree{}, fmt.Errorf("%w: %d users unreachable under shared capacity",
+				ErrInfeasible, len(p.Users)-1-committed)
+		}
+		if err := led.Reserve(best.ch.Nodes); err != nil {
+			rollback()
+			return quantum.Tree{}, fmt.Errorf("core: BuildGreedyTree reserve: %w", err)
+		}
+		inTree[best.ib] = true
+		tree.Channels = append(tree.Channels, best.ch)
+	}
+	return tree, nil
+}
+
+// ReleaseTree refunds every qubit a previously built tree reserved in the
+// ledger (the inverse of the reservations BuildGreedyTree left charged).
+func ReleaseTree(led *quantum.Ledger, t quantum.Tree) {
+	for _, ch := range t.Channels {
+		led.Release(ch.Nodes)
+	}
+}

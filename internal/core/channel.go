@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/muerp/quantumnet/internal/graph"
+	"github.com/muerp/quantumnet/internal/quantum"
+)
+
+// This file implements the paper's Algorithm 1: finding the quantum channel
+// with maximum entanglement rate between a pair of users.
+//
+// Eq. 1 is a product, not a sum, so the algorithm works in negative log
+// space: each fiber gets weight alpha*L - ln q, making path weight
+// alpha*sum(L) + l*(-ln q), and the channel rate is recovered as
+// exp(ln q - dist) = q^(l-1) * exp(-alpha*sum(L)). Minimizing the
+// transformed weight with Dijkstra therefore maximizes the rate.
+
+// transitFunc returns the interior-vertex admission rule for channel
+// searches. With a ledger it admits switches with >= 2 free qubits (the
+// live-capacity rule of Algorithms 3 and 4); without one it admits switches
+// with >= 2 total qubits (the static Q >= 2 check on line 11 of the paper's
+// Algorithm 1). Users are never admitted as interior vertices
+// (Definition 2: channels run through vertices in R).
+func (p *Problem) transitFunc(led *quantum.Ledger) graph.TransitFunc {
+	if led != nil {
+		return led.CanRelay
+	}
+	return func(n graph.Node) bool {
+		return n.Kind == graph.KindSwitch && n.Qubits >= 2
+	}
+}
+
+// channelSearch runs the single-source variant of Algorithm 1 from src,
+// under the given ledger (nil = static capacity check only). The returned
+// ShortestPaths recovers max-rate channels to every destination through its
+// Prev array, exactly as the paper's complexity discussion prescribes.
+func (p *Problem) channelSearch(src graph.NodeID, led *quantum.Ledger) *graph.ShortestPaths {
+	weight := func(e graph.Edge) (float64, bool) {
+		return p.Params.EdgeWeight(e.Length), true
+	}
+	return p.Graph.Dijkstra(src, weight, p.transitFunc(led))
+}
+
+// channelFromSearch converts the shortest path from sp's source to dst into
+// a quantum.Channel with its Eq. 1 rate. ok is false when dst is
+// unreachable under the search's constraints.
+func (p *Problem) channelFromSearch(sp *graph.ShortestPaths, dst graph.NodeID) (quantum.Channel, bool) {
+	if dst == sp.Source {
+		return quantum.Channel{}, false
+	}
+	path, ok := sp.PathTo(dst)
+	if !ok {
+		return quantum.Channel{}, false
+	}
+	// The rate could equivalently be recovered from the path distance as
+	// exp(ln q - dist); NewChannel recomputes it directly from Eq. 1, which
+	// is also what ValidateTree later checks against.
+	ch, err := quantum.NewChannel(p.Graph, path, p.Params)
+	if err != nil {
+		// Dijkstra with our transit filter can only emit valid channel
+		// paths; a failure here is an internal invariant violation.
+		panic(fmt.Sprintf("core: Algorithm 1 produced an invalid channel: %v", err))
+	}
+	return ch, true
+}
+
+// MaxRateChannel implements Algorithm 1: the maximum-entanglement-rate
+// channel between the users src and dst. When led is non-nil, interior
+// switches must currently have 2 free qubits in it. ok is false when no
+// channel exists under the constraints.
+func (p *Problem) MaxRateChannel(src, dst graph.NodeID, led *quantum.Ledger) (quantum.Channel, bool) {
+	if src == dst {
+		return quantum.Channel{}, false
+	}
+	return p.channelFromSearch(p.channelSearch(src, led), dst)
+}
+
+// MaxRateChannels runs one single-source search from src and returns the
+// max-rate channel to every other user reachable under the constraints,
+// keyed by destination.
+func (p *Problem) MaxRateChannels(src graph.NodeID, led *quantum.Ledger) map[graph.NodeID]quantum.Channel {
+	sp := p.channelSearch(src, led)
+	out := make(map[graph.NodeID]quantum.Channel, len(p.Users)-1)
+	for _, u := range p.Users {
+		if u == src {
+			continue
+		}
+		if ch, ok := p.channelFromSearch(sp, u); ok {
+			out[u] = ch
+		}
+	}
+	return out
+}

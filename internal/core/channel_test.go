@@ -1,0 +1,198 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/muerp/quantumnet/internal/graph"
+	"github.com/muerp/quantumnet/internal/quantum"
+)
+
+// tradeoffNet builds two routes between u0 and u3:
+//
+//	direct fiber u0-u3 of length L_direct, and
+//	u0 - s1 - u3 with two fibers of length L_hop each.
+//
+// The relayed route wins iff q * exp(-2*alpha*L_hop) > exp(-alpha*L_direct).
+func tradeoffNet(t *testing.T, lDirect, lHop float64) *graph.Graph {
+	t.Helper()
+	g := graph.New(3, 3)
+	g.AddUser(0, 0)
+	g.AddSwitch(1, 1, 4)
+	g.AddUser(2, 0)
+	g.MustAddEdge(0, 1, lHop)
+	g.MustAddEdge(1, 2, lHop)
+	g.MustAddEdge(0, 2, lDirect)
+	return g
+}
+
+func TestMaxRateChannelPrefersRelayWhenWorthIt(t *testing.T) {
+	// Direct: exp(-1e-4*20000) = e^-2 ~= 0.135.
+	// Relay: 0.9 * exp(-1e-4*2*1000) = 0.9*e^-0.2 ~= 0.737.
+	g := tradeoffNet(t, 20000, 1000)
+	p := mustProblem(t, g, quantum.DefaultParams())
+	ch, ok := p.MaxRateChannel(0, 2, nil)
+	if !ok {
+		t.Fatal("no channel found")
+	}
+	if got := ch.Links(); got != 2 {
+		t.Fatalf("channel uses %d links, want relayed 2-link path (rate %g)", got, ch.Rate)
+	}
+}
+
+func TestMaxRateChannelPrefersDirectWhenSwapCostly(t *testing.T) {
+	// Direct: exp(-1e-4*1500) ~= 0.861.
+	// Relay: 0.9 * exp(-1e-4*2*700) ~= 0.9*0.869 = 0.782.
+	g := tradeoffNet(t, 1500, 700)
+	p := mustProblem(t, g, quantum.DefaultParams())
+	ch, ok := p.MaxRateChannel(0, 2, nil)
+	if !ok {
+		t.Fatal("no channel found")
+	}
+	if got := ch.Links(); got != 1 {
+		t.Fatalf("channel uses %d links, want direct fiber (rate %g)", got, ch.Rate)
+	}
+}
+
+func TestMaxRateChannelStaticCapacityGate(t *testing.T) {
+	g := tradeoffNet(t, 20000, 1000)
+	g.SetQubits(1, 1) // switch can no longer relay at all
+	p := mustProblem(t, g, quantum.DefaultParams())
+	ch, ok := p.MaxRateChannel(0, 2, nil)
+	if !ok {
+		t.Fatal("no channel found")
+	}
+	if ch.Links() != 1 {
+		t.Fatalf("channel should fall back to the direct fiber, got %v", ch.Nodes)
+	}
+}
+
+func TestMaxRateChannelLedgerGate(t *testing.T) {
+	g := tradeoffNet(t, 20000, 1000)
+	g.SetQubits(1, 2)
+	p := mustProblem(t, g, quantum.DefaultParams())
+	led := quantum.NewLedger(g)
+
+	first, ok := p.MaxRateChannel(0, 2, led)
+	if !ok || first.Links() != 2 {
+		t.Fatalf("first channel should use the relay, got %v ok=%v", first.Nodes, ok)
+	}
+	if err := led.Reserve(first.Nodes); err != nil {
+		t.Fatal(err)
+	}
+	second, ok := p.MaxRateChannel(0, 2, led)
+	if !ok || second.Links() != 1 {
+		t.Fatalf("second channel should fall back to direct, got %v ok=%v", second.Nodes, ok)
+	}
+}
+
+func TestMaxRateChannelNeverTransitsUsers(t *testing.T) {
+	// u0 - u1 - u2 chain plus a switch detour u0 - s3 - u2.
+	g := graph.New(4, 4)
+	g.AddUser(0, 0)
+	g.AddUser(1, 0)
+	g.AddUser(2, 0)
+	g.AddSwitch(1, 5, 4)
+	g.MustAddEdge(0, 1, 100)
+	g.MustAddEdge(1, 2, 100)
+	g.MustAddEdge(0, 3, 8000)
+	g.MustAddEdge(3, 2, 8000)
+	p := mustProblem(t, g, quantum.DefaultParams())
+	ch, ok := p.MaxRateChannel(0, 2, nil)
+	if !ok {
+		t.Fatal("no channel found")
+	}
+	// Even though hopping through user u1 would be far shorter, channels
+	// may only transit switches.
+	for _, id := range ch.Interior() {
+		if g.Node(id).Kind != graph.KindSwitch {
+			t.Fatalf("channel transits non-switch %d: %v", id, ch.Nodes)
+		}
+	}
+	if ch.Links() != 2 || ch.Nodes[1] != 3 {
+		t.Fatalf("expected detour via switch 3, got %v", ch.Nodes)
+	}
+}
+
+func TestMaxRateChannelNoRoute(t *testing.T) {
+	g := graph.New(3, 1)
+	g.AddUser(0, 0)
+	g.AddUser(1, 0)
+	g.AddUser(5, 5) // isolated
+	g.MustAddEdge(0, 1, 100)
+	p := mustProblem(t, g, quantum.DefaultParams())
+	if _, ok := p.MaxRateChannel(0, 2, nil); ok {
+		t.Fatal("found a channel to an isolated user")
+	}
+	if _, ok := p.MaxRateChannel(0, 0, nil); ok {
+		t.Fatal("found a channel from a user to itself")
+	}
+}
+
+func TestMaxRateChannelsMatchesPairwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := randomNet(rng, 4, 6, 4)
+	p := mustProblem(t, g, quantum.DefaultParams())
+	src := p.Users[0]
+	batch := p.MaxRateChannels(src, nil)
+	for _, dst := range p.Users[1:] {
+		single, okSingle := p.MaxRateChannel(src, dst, nil)
+		got, okBatch := batch[dst]
+		if okSingle != okBatch {
+			t.Fatalf("reachability disagrees for %d->%d", src, dst)
+		}
+		if okSingle && !rateClose(single.Rate, got.Rate) {
+			t.Fatalf("rate disagrees for %d->%d: %g vs %g", src, dst, single.Rate, got.Rate)
+		}
+	}
+}
+
+// bruteBestChannel enumerates all channels between a pair and returns the
+// best rate.
+func bruteBestChannel(t *testing.T, p *Problem, src, dst graph.NodeID) (float64, bool) {
+	t.Helper()
+	best, found := 0.0, false
+	for _, ch := range allChannels(t, p) {
+		a, b := ch.Endpoints()
+		if (a == src && b == dst) || (a == dst && b == src) {
+			found = true
+			if ch.Rate > best {
+				best = ch.Rate
+			}
+		}
+	}
+	return best, found
+}
+
+// TestQuickAlgorithmOneIsOptimal cross-checks Algorithm 1 against exhaustive
+// path enumeration on small random networks: the returned channel always
+// has the maximum entanglement rate among all valid channels.
+func TestQuickAlgorithmOneIsOptimal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomNet(rng, 2+rng.Intn(2), 2+rng.Intn(4), 2+2*rng.Intn(3))
+		params := quantum.Params{Alpha: 1e-4, SwapProb: 0.5 + rng.Float64()*0.5}
+		p, err := AllUsersProblem(g, params)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		src, dst := p.Users[0], p.Users[1]
+		got, ok := p.MaxRateChannel(src, dst, nil)
+		want, wantOK := bruteBestChannel(t, p, src, dst)
+		if ok != wantOK {
+			t.Logf("seed %d: reachability %v vs brute %v", seed, ok, wantOK)
+			return false
+		}
+		if ok && math.Abs(got.Rate-want) > 1e-9*want {
+			t.Logf("seed %d: rate %g vs brute %g", seed, got.Rate, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/muerp/quantumnet/internal/graph"
+	"github.com/muerp/quantumnet/internal/quantum"
+	"github.com/muerp/quantumnet/internal/unionfind"
+)
+
+// This file implements the paper's Algorithm 3, the conflict-free heuristic
+// for limited switch capacity.
+//
+// Phase 1 replays Algorithm 2's tree in descending rate order against a live
+// qubit ledger, keeping every channel that still fits and skipping the rest
+// (the greedy "retain the channel with the maximum entanglement rate" rule).
+// Phase 2 reconnects the unions the skipped channels left behind: each round
+// it searches, under residual capacity, the maximum-rate channel joining two
+// different unions and commits it, until one union spans U or no channel
+// exists (infeasible).
+
+// SolveConflictFree implements Algorithm 3. It internally obtains
+// Algorithm 2's solution as its starting point, as in the paper.
+func SolveConflictFree(p *Problem) (*Solution, error) {
+	base, err := SolveOptimal(p)
+	if err != nil {
+		return nil, fmt.Errorf("algorithm 3: %w", err)
+	}
+	return solveConflictFreeFrom(p, base)
+}
+
+func solveConflictFreeFrom(p *Problem, base *Solution) (*Solution, error) {
+	idx := make(map[graph.NodeID]int, len(p.Users))
+	for i, u := range p.Users {
+		idx[u] = i
+	}
+
+	// Phase 1: replay the Algorithm 2 tree under the capacity ledger.
+	cands := make([]candidate, 0, len(base.Tree.Channels))
+	for _, ch := range base.Tree.Channels {
+		a, b := ch.Endpoints()
+		cands = append(cands, candidate{ch: ch, ia: idx[a], ib: idx[b]})
+	}
+	sortByRateDesc(cands)
+
+	led := quantum.NewLedger(p.Graph)
+	uf := unionfind.New(len(p.Users))
+	tree := quantum.Tree{}
+	for _, c := range cands {
+		if uf.Connected(c.ia, c.ib) {
+			continue
+		}
+		if !led.CanCarry(c.ch.Nodes) {
+			continue // conflict: the users stay in different unions for now
+		}
+		if err := led.Reserve(c.ch.Nodes); err != nil {
+			panic(fmt.Sprintf("core: reserve after CanCarry: %v", err))
+		}
+		uf.Union(c.ia, c.ib)
+		tree.Channels = append(tree.Channels, c.ch)
+	}
+
+	// Phase 2: greedily reconnect the remaining unions under residual
+	// capacity.
+	if err := p.connectUnions(led, uf, &tree, "algorithm 3"); err != nil {
+		return nil, err
+	}
+	return &Solution{Tree: tree, Algorithm: "alg3", MeasurementFactor: 1}, nil
+}
+
+// ReconnectUnions exposes Algorithm 3's phase-2 loop to callers that seed
+// the user unions and capacity ledger themselves — notably tree repair
+// after fiber failures, which keeps surviving channels and reconnects the
+// rest. uf must partition indices of p.Users; tree and led must reflect
+// the already-committed channels.
+func (p *Problem) ReconnectUnions(led *quantum.Ledger, uf *unionfind.UnionFind, tree *quantum.Tree) error {
+	return p.connectUnions(led, uf, tree, "reconnect")
+}
+
+// connectUnions repeatedly commits the maximum-rate channel joining two
+// different user unions until one union remains. It mutates led, uf and
+// tree in place and reports ErrInfeasible when users stay separated.
+// Both Algorithm 3 (phase 2) and Algorithm 4 reduce to this loop; they
+// differ only in how the unions were seeded.
+func (p *Problem) connectUnions(led *quantum.Ledger, uf *unionfind.UnionFind, tree *quantum.Tree, who string) error {
+	for uf.Sets() > 1 {
+		best, ok := p.bestCrossUnionChannel(led, uf)
+		if !ok {
+			return fmt.Errorf("%w: %d user groups cannot be joined under switch capacity (%s)",
+				ErrInfeasible, uf.Sets(), who)
+		}
+		if err := led.Reserve(best.ch.Nodes); err != nil {
+			panic(fmt.Sprintf("core: reserve after capacity-gated search: %v", err))
+		}
+		uf.Union(best.ia, best.ib)
+		tree.Channels = append(tree.Channels, best.ch)
+	}
+	return nil
+}
+
+// bestCrossUnionChannel searches, under the ledger's residual capacity, the
+// maximum-rate channel whose endpoints lie in different unions. One
+// single-source Algorithm-1 run per user, as in the paper's complexity
+// analysis. Ties are broken by user-set index for determinism.
+func (p *Problem) bestCrossUnionChannel(led *quantum.Ledger, uf *unionfind.UnionFind) (candidate, bool) {
+	var best candidate
+	found := false
+	for i, src := range p.Users {
+		sp := p.channelSearch(src, led)
+		for j := i + 1; j < len(p.Users); j++ {
+			if uf.Connected(i, j) {
+				continue
+			}
+			ch, ok := p.channelFromSearch(sp, p.Users[j])
+			if !ok {
+				continue
+			}
+			if !found || ch.Rate > best.ch.Rate {
+				best = candidate{ch: ch, ia: i, ib: j}
+				found = true
+			}
+		}
+	}
+	return best, found
+}

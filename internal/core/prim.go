@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/muerp/quantumnet/internal/quantum"
+)
+
+// This file implements the paper's Algorithm 4, the Prim-based heuristic:
+// grow the entanglement tree from one randomly chosen user, each round
+// committing the maximum-rate feasible channel from the in-tree user set U1
+// to the out-set U2 and charging the switches it crosses.
+
+// SolvePrim implements Algorithm 4. The rng selects the starting user as in
+// the paper ("randomly pick u0"); a nil rng deterministically starts from
+// the first user, which is convenient for tests.
+func SolvePrim(p *Problem, rng *rand.Rand) (*Solution, error) {
+	start := 0
+	if rng != nil {
+		start = rng.Intn(len(p.Users))
+	}
+	return solvePrimFrom(p, start)
+}
+
+// solvePrimFrom runs Algorithm 4 starting from Users[start].
+func solvePrimFrom(p *Problem, start int) (*Solution, error) {
+	if start < 0 || start >= len(p.Users) {
+		return nil, fmt.Errorf("core: algorithm 4: start index %d out of range", start)
+	}
+	led := quantum.NewLedger(p.Graph)
+	inTree := make([]bool, len(p.Users))
+	inTree[start] = true
+	tree := quantum.Tree{}
+
+	for committed := 0; committed < len(p.Users)-1; committed++ {
+		best, ok := p.bestFrontierChannel(led, inTree)
+		if !ok {
+			remaining := len(p.Users) - 1 - committed
+			return nil, fmt.Errorf("%w: %d users unreachable under switch capacity (algorithm 4)",
+				ErrInfeasible, remaining)
+		}
+		if err := led.Reserve(best.ch.Nodes); err != nil {
+			panic(fmt.Sprintf("core: reserve after capacity-gated search: %v", err))
+		}
+		inTree[best.ib] = true
+		tree.Channels = append(tree.Channels, best.ch)
+	}
+	return &Solution{Tree: tree, Algorithm: "alg4", MeasurementFactor: 1}, nil
+}
+
+// bestFrontierChannel searches the maximum-rate channel from any user in U1
+// (inTree) to any user in U2, under residual capacity. The candidate's ia is
+// the in-tree endpoint's index and ib the out-set endpoint's.
+func (p *Problem) bestFrontierChannel(led *quantum.Ledger, inTree []bool) (candidate, bool) {
+	var best candidate
+	found := false
+	for i, src := range p.Users {
+		if !inTree[i] {
+			continue
+		}
+		sp := p.channelSearch(src, led)
+		for j, dst := range p.Users {
+			if inTree[j] {
+				continue
+			}
+			ch, ok := p.channelFromSearch(sp, dst)
+			if !ok {
+				continue
+			}
+			if !found || ch.Rate > best.ch.Rate ||
+				(ch.Rate == best.ch.Rate && (i < best.ia || (i == best.ia && j < best.ib))) {
+				best = candidate{ch: ch, ia: i, ib: j}
+				found = true
+			}
+		}
+	}
+	return best, found
+}

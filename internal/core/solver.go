@@ -1,0 +1,51 @@
+package core
+
+import "math/rand"
+
+// Solver is anything that can route a MUERP instance. The paper's three
+// algorithms and the two comparison baselines all implement it, which lets
+// the simulation harness, the benchmarks and the public facade treat them
+// uniformly.
+type Solver interface {
+	// Name is a short stable identifier ("alg2", "alg3", ...), used as the
+	// column key in experiment output.
+	Name() string
+	// Solve routes the problem. It returns ErrInfeasible (wrapped) when no
+	// entanglement tree exists under the problem's constraints; the
+	// evaluation scores that outcome as rate 0, per the paper's setup.
+	Solve(p *Problem) (*Solution, error)
+}
+
+// SolverFunc adapts a function to the Solver interface.
+type SolverFunc struct {
+	ID string
+	Fn func(*Problem) (*Solution, error)
+}
+
+// Name implements Solver.
+func (s SolverFunc) Name() string { return s.ID }
+
+// Solve implements Solver.
+func (s SolverFunc) Solve(p *Problem) (*Solution, error) { return s.Fn(p) }
+
+// Optimal returns Algorithm 2 as a Solver.
+func Optimal() Solver {
+	return SolverFunc{ID: "alg2", Fn: SolveOptimal}
+}
+
+// ConflictFree returns Algorithm 3 as a Solver.
+func ConflictFree() Solver {
+	return SolverFunc{ID: "alg3", Fn: SolveConflictFree}
+}
+
+// Prim returns Algorithm 4 as a Solver. A non-zero seed picks the random
+// starting user from that seed per Solve call; seed 0 starts deterministically
+// from the first user.
+func Prim(seed int64) Solver {
+	return SolverFunc{ID: "alg4", Fn: func(p *Problem) (*Solution, error) {
+		if seed == 0 {
+			return SolvePrim(p, nil)
+		}
+		return SolvePrim(p, rand.New(rand.NewSource(seed)))
+	}}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/muerp/quantumnet/internal/graph"
+	"github.com/muerp/quantumnet/internal/quantum"
+	"github.com/muerp/quantumnet/internal/unionfind"
+)
+
+// mustProblem builds a problem over all users of g.
+func mustProblem(t *testing.T, g *graph.Graph, p quantum.Params) *Problem {
+	t.Helper()
+	prob, err := AllUsersProblem(g, p)
+	if err != nil {
+		t.Fatalf("AllUsersProblem: %v", err)
+	}
+	return prob
+}
+
+// randomNet builds a small random network with the given user/switch counts
+// and qubit budget, guaranteed connected (a random spanning tree plus random
+// extra fibers).
+func randomNet(rng *rand.Rand, users, switches, qubits int) *graph.Graph {
+	n := users + switches
+	g := graph.New(n, 2*n)
+	kinds := make([]graph.NodeKind, 0, n)
+	for i := 0; i < users; i++ {
+		kinds = append(kinds, graph.KindUser)
+	}
+	for i := 0; i < switches; i++ {
+		kinds = append(kinds, graph.KindSwitch)
+	}
+	rng.Shuffle(n, func(i, j int) { kinds[i], kinds[j] = kinds[j], kinds[i] })
+	for _, k := range kinds {
+		if k == graph.KindUser {
+			g.AddUser(rng.Float64()*5000, rng.Float64()*5000)
+		} else {
+			g.AddSwitch(rng.Float64()*5000, rng.Float64()*5000, qubits)
+		}
+	}
+	length := func(a, b graph.NodeID) float64 {
+		na, nb := g.Node(a), g.Node(b)
+		return math.Max(1, math.Hypot(na.X-nb.X, na.Y-nb.Y))
+	}
+	// Random spanning tree for connectivity.
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		a := graph.NodeID(perm[i])
+		b := graph.NodeID(perm[rng.Intn(i)])
+		g.MustAddEdge(a, b, length(a, b))
+	}
+	// Extra random fibers.
+	extra := rng.Intn(n * 2)
+	for i := 0; i < extra; i++ {
+		a := graph.NodeID(rng.Intn(n))
+		b := graph.NodeID(rng.Intn(n))
+		if a == b || g.HasEdge(a, b) {
+			continue
+		}
+		g.MustAddEdge(a, b, length(a, b))
+	}
+	return g
+}
+
+// allChannels enumerates every simple user-to-user path whose interior
+// vertices are switches with at least 2 qubits, as quantum.Channels.
+func allChannels(t *testing.T, p *Problem) []quantum.Channel {
+	t.Helper()
+	var out []quantum.Channel
+	users := make(map[graph.NodeID]bool, len(p.Users))
+	for _, u := range p.Users {
+		users[u] = true
+	}
+	visited := make(map[graph.NodeID]bool)
+	var path []graph.NodeID
+	var dfs func(v, src graph.NodeID)
+	dfs = func(v, src graph.NodeID) {
+		path = append(path, v)
+		visited[v] = true
+		defer func() {
+			path = path[:len(path)-1]
+			visited[v] = false
+		}()
+		if v != src && users[v] {
+			if src < v { // one direction per pair
+				ch, err := quantum.NewChannel(p.Graph, path, p.Params)
+				if err != nil {
+					t.Fatalf("enumerated invalid channel %v: %v", path, err)
+				}
+				out = append(out, ch)
+			}
+			return // channels terminate at the first user reached
+		}
+		if v != src {
+			n := p.Graph.Node(v)
+			if n.Kind != graph.KindSwitch || n.Qubits < 2 {
+				return
+			}
+		}
+		for _, nb := range p.Graph.NeighborIDs(v) {
+			if !visited[nb] {
+				dfs(nb, src)
+			}
+		}
+	}
+	for _, u := range p.Users {
+		dfs(u, u)
+	}
+	return out
+}
+
+// bruteForceOptimal exhaustively searches the best capacity-feasible
+// entanglement tree: every (|U|-1)-subset of enumerated channels that spans
+// the users without loops and within switch capacity. Returns the best rate
+// and whether any feasible tree exists. Exponential; only for tiny nets.
+func bruteForceOptimal(t *testing.T, p *Problem) (float64, bool) {
+	t.Helper()
+	chans := allChannels(t, p)
+	idx := make(map[graph.NodeID]int, len(p.Users))
+	for i, u := range p.Users {
+		idx[u] = i
+	}
+	need := len(p.Users) - 1
+	best, found := 0.0, false
+
+	var rec func(start int, chosen []quantum.Channel)
+	rec = func(start int, chosen []quantum.Channel) {
+		if len(chosen) == need {
+			uf := unionfind.New(len(p.Users))
+			led := quantum.NewLedger(p.Graph)
+			rate := 1.0
+			for _, c := range chosen {
+				a, b := c.Endpoints()
+				if !uf.Union(idx[a], idx[b]) {
+					return
+				}
+				if err := led.Reserve(c.Nodes); err != nil {
+					return
+				}
+				rate *= c.Rate
+			}
+			if uf.Sets() == 1 {
+				found = true
+				if rate > best {
+					best = rate
+				}
+			}
+			return
+		}
+		for i := start; i < len(chans); i++ {
+			rec(i+1, append(chosen, chans[i]))
+		}
+	}
+	rec(0, nil)
+	return best, found
+}
+
+// rateClose compares rates with relative tolerance.
+func rateClose(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}

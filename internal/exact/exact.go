@@ -1,0 +1,212 @@
+// Package exact solves small MUERP instances optimally by exhaustive
+// search. MUERP is NP-hard (paper Theorem 2), so this does not scale past
+// toy networks — its purpose is ground truth: validating the heuristics'
+// solution quality, quantifying their optimality gap, and powering tests.
+//
+// The search enumerates every simple user-to-user channel (interior
+// vertices restricted to switches with >= 2 qubits), then every
+// (|U|-1)-subset of channels forming a capacity-feasible spanning tree,
+// with branch-and-bound pruning on the rate product.
+package exact
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/muerp/quantumnet/internal/core"
+	"github.com/muerp/quantumnet/internal/graph"
+	"github.com/muerp/quantumnet/internal/quantum"
+	"github.com/muerp/quantumnet/internal/unionfind"
+)
+
+// Limits guard against accidentally launching an exponential search on a
+// full-size network.
+type Limits struct {
+	// MaxNodes caps the network size (default 16).
+	MaxNodes int
+	// MaxChannels caps the enumerated channel count (default 4096).
+	MaxChannels int
+}
+
+// DefaultLimits returns the default safety caps.
+func DefaultLimits() Limits { return Limits{MaxNodes: 16, MaxChannels: 4096} }
+
+// Search-size errors.
+var (
+	ErrTooLarge      = errors.New("exact: instance exceeds search limits")
+	ErrChannelBlowup = errors.New("exact: channel enumeration exceeds limits")
+)
+
+// Solve returns the optimal MUERP solution of p, or core.ErrInfeasible when
+// no capacity-feasible spanning tree exists.
+func Solve(p *core.Problem, lim Limits) (*core.Solution, error) {
+	if lim.MaxNodes <= 0 {
+		lim.MaxNodes = DefaultLimits().MaxNodes
+	}
+	if lim.MaxChannels <= 0 {
+		lim.MaxChannels = DefaultLimits().MaxChannels
+	}
+	if n := p.Graph.NumNodes(); n > lim.MaxNodes {
+		return nil, fmt.Errorf("%w: %d nodes > %d", ErrTooLarge, n, lim.MaxNodes)
+	}
+	chans, err := enumerateChannels(p, lim.MaxChannels)
+	if err != nil {
+		return nil, err
+	}
+	// Descending rate order makes the bound prune early.
+	sort.SliceStable(chans, func(i, j int) bool { return chans[i].Rate > chans[j].Rate })
+
+	idx := make(map[graph.NodeID]int, len(p.Users))
+	for i, u := range p.Users {
+		idx[u] = i
+	}
+	need := len(p.Users) - 1
+	best := -1.0
+	var bestTree []quantum.Channel
+
+	led := quantum.NewLedger(p.Graph)
+	var chosen []quantum.Channel
+
+	// rec extends the current partial tree with channels from `start` on.
+	// uf tracks user connectivity; rate is the partial product.
+	var rec func(start int, uf *unionfind.UnionFind, rate float64)
+	rec = func(start int, uf *unionfind.UnionFind, rate float64) {
+		if len(chosen) == need {
+			if uf.Sets() == 1 && rate > best {
+				best = rate
+				bestTree = append(bestTree[:0], chosen...)
+			}
+			return
+		}
+		remaining := need - len(chosen)
+		for i := start; i <= len(chans)-remaining; i++ {
+			ch := chans[i]
+			// Bound: even taking the best remaining channels cannot beat
+			// the incumbent (channels are rate-sorted, all rates <= ch's).
+			if bound := rate * pow(ch.Rate, remaining); bound <= best {
+				return
+			}
+			a, b := ch.Endpoints()
+			ia, ib := idx[a], idx[b]
+			if uf.Connected(ia, ib) || !led.CanCarry(ch.Nodes) {
+				continue
+			}
+			// Apply.
+			snapshot := cloneUF(uf)
+			uf.Union(ia, ib)
+			if err := led.Reserve(ch.Nodes); err != nil {
+				panic(fmt.Sprintf("exact: reserve after CanCarry: %v", err))
+			}
+			chosen = append(chosen, ch)
+			rec(i+1, uf, rate*ch.Rate)
+			// Undo.
+			chosen = chosen[:len(chosen)-1]
+			led.Release(ch.Nodes)
+			*uf = *snapshot
+		}
+	}
+	rec(0, unionfind.New(len(p.Users)), 1)
+
+	if best < 0 {
+		return nil, fmt.Errorf("%w (exact search)", core.ErrInfeasible)
+	}
+	tree := quantum.Tree{Channels: append([]quantum.Channel(nil), bestTree...)}
+	return &core.Solution{Tree: tree, Algorithm: "exact", MeasurementFactor: 1}, nil
+}
+
+// OptimalityGap runs the exact solver and a heuristic side by side and
+// returns heuristicRate/optimalRate in [0, 1] (1 = the heuristic was
+// optimal; 0 = the heuristic failed on a feasible instance).
+func OptimalityGap(p *core.Problem, solver core.Solver, lim Limits) (float64, error) {
+	opt, err := Solve(p, lim)
+	if err != nil {
+		return 0, err
+	}
+	sol, err := solver.Solve(p)
+	if err != nil {
+		if errors.Is(err, core.ErrInfeasible) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	if err := p.Validate(sol); err != nil {
+		return 0, fmt.Errorf("exact: heuristic %s produced an invalid tree: %w", solver.Name(), err)
+	}
+	return sol.Rate() / opt.Rate(), nil
+}
+
+// enumerateChannels lists every simple channel between user pairs.
+func enumerateChannels(p *core.Problem, maxChannels int) ([]quantum.Channel, error) {
+	users := make(map[graph.NodeID]bool, len(p.Users))
+	for _, u := range p.Users {
+		users[u] = true
+	}
+	var out []quantum.Channel
+	visited := make(map[graph.NodeID]bool)
+	var path []graph.NodeID
+	var overflow error
+	var dfs func(v, src graph.NodeID)
+	dfs = func(v, src graph.NodeID) {
+		if overflow != nil {
+			return
+		}
+		path = append(path, v)
+		visited[v] = true
+		defer func() {
+			path = path[:len(path)-1]
+			visited[v] = false
+		}()
+		if v != src && users[v] {
+			if src < v {
+				ch, err := quantum.NewChannel(p.Graph, path, p.Params)
+				if err != nil {
+					overflow = fmt.Errorf("exact: enumerated invalid channel: %w", err)
+					return
+				}
+				out = append(out, ch)
+				if len(out) > maxChannels {
+					overflow = fmt.Errorf("%w: more than %d channels", ErrChannelBlowup, maxChannels)
+				}
+			}
+			return
+		}
+		if v != src {
+			n := p.Graph.Node(v)
+			if n.Kind != graph.KindSwitch || n.Qubits < 2 {
+				return
+			}
+		}
+		for _, nb := range p.Graph.NeighborIDs(v) {
+			if !visited[nb] {
+				dfs(nb, src)
+			}
+		}
+	}
+	for _, u := range p.Users {
+		dfs(u, u)
+		if overflow != nil {
+			return nil, overflow
+		}
+	}
+	return out, nil
+}
+
+// pow is x^n for small non-negative n.
+func pow(x float64, n int) float64 {
+	out := 1.0
+	for i := 0; i < n; i++ {
+		out *= x
+	}
+	return out
+}
+
+// cloneUF snapshots a union-find for backtracking: unioning every element
+// with its representative reproduces the partition.
+func cloneUF(u *unionfind.UnionFind) *unionfind.UnionFind {
+	c := unionfind.New(u.Len())
+	for i := 0; i < u.Len(); i++ {
+		c.Union(i, u.Find(i))
+	}
+	return c
+}

@@ -1,0 +1,107 @@
+// Package fidelity extends the MUERP model with entanglement quality, the
+// first extension the paper names ("accounting for fidelity decay", §I and
+// §VII). It adds a Werner-state fidelity model on top of the rate model and
+// fidelity-constrained variants of the routing algorithms.
+//
+// Model. Every quantum link delivers a Werner state. A Werner state with
+// fidelity F has Werner parameter w = (4F-1)/3, and a BSM swap of two
+// Werner pairs multiplies their parameters: w_out = w1 * w2. A channel of
+// links with parameters w_i therefore ends with w = prod(w_i) and fidelity
+// F = (1 + 3*prod(w_i))/4. Link fidelity decays with fiber length as
+// w(L) = W0 * exp(-Beta*L).
+//
+// The fidelity-constrained MUERP requires every channel of the tree to end
+// with fidelity >= MinFidelity. Because -ln w is additive along a channel,
+// the constraint is an additive budget, and channel search becomes a
+// bicriteria (rate, fidelity-budget) shortest-path problem, solved here
+// with a Pareto label-setting search.
+package fidelity
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Model holds the fidelity-decay constants.
+type Model struct {
+	// W0 is the Werner parameter of a zero-length link (a perfect Bell
+	// pair has W0 = 1, i.e. fidelity 1).
+	W0 float64
+	// Beta is the Werner-parameter decay per kilometre.
+	Beta float64
+}
+
+// DefaultModel returns a model where fresh pairs have fidelity ~0.985
+// (w = 0.98) and fidelity decays gently with distance.
+func DefaultModel() Model {
+	return Model{W0: 0.98, Beta: 2e-5}
+}
+
+// ErrBadModel reports physically meaningless fidelity constants.
+var ErrBadModel = errors.New("fidelity: invalid model")
+
+// Validate checks 0 < W0 <= 1 and Beta >= 0.
+func (m Model) Validate() error {
+	if !(m.W0 > 0 && m.W0 <= 1) {
+		return fmt.Errorf("%w: W0 %g must be in (0,1]", ErrBadModel, m.W0)
+	}
+	if m.Beta < 0 || math.IsNaN(m.Beta) || math.IsInf(m.Beta, 1) {
+		return fmt.Errorf("%w: Beta %g must be finite and non-negative", ErrBadModel, m.Beta)
+	}
+	return nil
+}
+
+// LinkWerner returns a link's Werner parameter: W0 * exp(-Beta*L).
+func (m Model) LinkWerner(length float64) float64 {
+	return m.W0 * math.Exp(-m.Beta*length)
+}
+
+// WernerToFidelity converts a Werner parameter to fidelity: (1+3w)/4.
+func WernerToFidelity(w float64) float64 { return (1 + 3*w) / 4 }
+
+// FidelityToWerner converts a fidelity to its Werner parameter: (4F-1)/3.
+func FidelityToWerner(f float64) float64 { return (4*f - 1) / 3 }
+
+// ChannelWerner returns the end-to-end Werner parameter of a channel with
+// the given link lengths: prod_i w(L_i). It returns 0 for an empty channel.
+func (m Model) ChannelWerner(lengths []float64) float64 {
+	if len(lengths) == 0 {
+		return 0
+	}
+	w := 1.0
+	for _, l := range lengths {
+		w *= m.LinkWerner(l)
+	}
+	return w
+}
+
+// ChannelFidelity returns the end-to-end fidelity of a channel with the
+// given link lengths.
+func (m Model) ChannelFidelity(lengths []float64) float64 {
+	if len(lengths) == 0 {
+		return 0
+	}
+	return WernerToFidelity(m.ChannelWerner(lengths))
+}
+
+// LinkBudget returns the additive fidelity cost of one link,
+// -ln(w(L)) = -ln(W0) + Beta*L, for use in budgeted searches.
+func (m Model) LinkBudget(length float64) float64 {
+	return -math.Log(m.W0) + m.Beta*length
+}
+
+// BudgetFor returns the total additive budget available to a channel that
+// must end with at least minFidelity: -ln((4*minF-1)/3). It returns
+// (0, false) when minFidelity is unreachable even in principle (w <= 0,
+// i.e. minFidelity <= 0.25, means unconstrained and returns +Inf, true).
+func BudgetFor(minFidelity float64) (float64, bool) {
+	if minFidelity > 1 {
+		return 0, false
+	}
+	w := FidelityToWerner(minFidelity)
+	if w <= 0 {
+		return math.Inf(1), true // any Werner state satisfies F > 0.25
+	}
+	return -math.Log(w), true
+}

@@ -1,0 +1,163 @@
+package fidelity
+
+import (
+	"container/heap"
+	"fmt"
+
+	"github.com/muerp/quantumnet/internal/graph"
+	"github.com/muerp/quantumnet/internal/quantum"
+)
+
+// This file implements the fidelity-constrained channel search: among all
+// channels from src to dst whose end-to-end fidelity meets the minimum,
+// find the one with the maximum entanglement rate.
+//
+// Rate cost (alpha*L - ln q per link) and fidelity budget (-ln w per link)
+// are both additive, so this is a resource-constrained shortest path.
+// The search keeps, per node, a Pareto frontier of (rate cost, budget
+// spent) labels and settles them in ascending rate-cost order; the first
+// label to reach dst within budget yields the answer. Exact for
+// non-negative costs; worst-case exponential label count, but the budget
+// prune keeps it small on physical networks.
+
+// searchLabel is one Pareto label.
+type searchLabel struct {
+	node  graph.NodeID
+	dist  float64 // accumulated rate cost
+	fcost float64 // accumulated fidelity budget
+	prev  *searchLabel
+}
+
+// labelHeap orders labels by rate cost.
+type labelHeap []*searchLabel
+
+func (h labelHeap) Len() int           { return len(h) }
+func (h labelHeap) Less(i, j int) bool { return h[i].dist < h[j].dist }
+func (h labelHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *labelHeap) Push(x any)        { *h = append(*h, x.(*searchLabel)) }
+func (h *labelHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
+// Router bundles the physical rate model, the fidelity model and the
+// minimum acceptable end-to-end channel fidelity.
+type Router struct {
+	Params      quantum.Params
+	Model       Model
+	MinFidelity float64
+}
+
+// Validate checks the router's components.
+func (r Router) Validate() error {
+	if err := r.Params.Validate(); err != nil {
+		return err
+	}
+	if err := r.Model.Validate(); err != nil {
+		return err
+	}
+	if _, ok := BudgetFor(r.MinFidelity); !ok {
+		return fmt.Errorf("%w: minimum fidelity %g", ErrBadModel, r.MinFidelity)
+	}
+	return nil
+}
+
+// MaxRateChannel finds the maximum-rate channel from src to dst whose
+// fidelity is at least MinFidelity, transiting only switches admitted by
+// the ledger (nil = any switch with >= 2 installed qubits). It returns the
+// channel, its end-to-end fidelity, and whether one exists.
+func (r Router) MaxRateChannel(g *graph.Graph, src, dst graph.NodeID, led *quantum.Ledger) (quantum.Channel, float64, bool) {
+	if src == dst {
+		return quantum.Channel{}, 0, false
+	}
+	budget, ok := BudgetFor(r.MinFidelity)
+	if !ok {
+		return quantum.Channel{}, 0, false
+	}
+	canRelay := func(n graph.Node) bool {
+		if led != nil {
+			return led.CanRelay(n)
+		}
+		return n.Kind == graph.KindSwitch && n.Qubits >= 2
+	}
+
+	// Pareto frontiers per node.
+	frontiers := make([][]*searchLabel, g.NumNodes())
+	dominated := func(node graph.NodeID, dist, fcost float64) bool {
+		for _, l := range frontiers[node] {
+			if l.dist <= dist && l.fcost <= fcost {
+				return true
+			}
+		}
+		return false
+	}
+
+	h := &labelHeap{{node: src}}
+	heap.Init(h)
+	for h.Len() > 0 {
+		cur := heap.Pop(h).(*searchLabel)
+		if dominated(cur.node, cur.dist, cur.fcost) {
+			continue
+		}
+		frontiers[cur.node] = append(frontiers[cur.node], cur)
+		if cur.node == dst {
+			return r.channelFromLabel(g, cur)
+		}
+		if cur.node != src && !canRelay(g.Node(cur.node)) {
+			continue // valid destination label, but may not relay onward
+		}
+		g.Neighbors(cur.node, func(nb graph.Node, via graph.Edge) bool {
+			// No revisits along this label's own path (channels are simple).
+			for l := cur; l != nil; l = l.prev {
+				if l.node == nb.ID {
+					return true
+				}
+			}
+			fcost := cur.fcost + r.Model.LinkBudget(via.Length)
+			if fcost > budget {
+				return true // would end below the fidelity floor
+			}
+			dist := cur.dist + r.Params.EdgeWeight(via.Length)
+			if dominated(nb.ID, dist, fcost) {
+				return true
+			}
+			heap.Push(h, &searchLabel{node: nb.ID, dist: dist, fcost: fcost, prev: cur})
+			return true
+		})
+	}
+	return quantum.Channel{}, 0, false
+}
+
+// channelFromLabel rebuilds the channel walked by a destination label.
+func (r Router) channelFromLabel(g *graph.Graph, l *searchLabel) (quantum.Channel, float64, bool) {
+	var path []graph.NodeID
+	for cur := l; cur != nil; cur = cur.prev {
+		path = append(path, cur.node)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	ch, err := quantum.NewChannel(g, path, r.Params)
+	if err != nil {
+		panic(fmt.Sprintf("fidelity: search produced an invalid channel: %v", err))
+	}
+	return ch, r.ChannelFidelity(g, ch), true
+}
+
+// ChannelFidelity computes a routed channel's end-to-end fidelity from the
+// graph's fiber lengths.
+func (r Router) ChannelFidelity(g *graph.Graph, ch quantum.Channel) float64 {
+	lengths := make([]float64, 0, ch.Links())
+	for i := 0; i+1 < len(ch.Nodes); i++ {
+		e, ok := g.EdgeBetween(ch.Nodes[i], ch.Nodes[i+1])
+		if !ok {
+			panic(fmt.Sprintf("fidelity: channel fiber %d-%d missing", ch.Nodes[i], ch.Nodes[i+1]))
+		}
+		lengths = append(lengths, e.Length)
+	}
+	return r.Model.ChannelFidelity(lengths)
+}

@@ -1,0 +1,71 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON hardens the topology decoder against malformed input: it
+// must never panic, and anything it accepts must re-encode to an equivalent
+// graph (decode/encode/decode fixpoint).
+func FuzzReadJSON(f *testing.F) {
+	seeds := []string{
+		`{"nodes":[],"edges":[]}`,
+		`{"nodes":[{"kind":"user","x":0,"y":0}],"edges":[]}`,
+		`{"nodes":[{"kind":"user","x":0,"y":0},{"kind":"switch","x":1,"y":1,"qubits":4}],
+		  "edges":[{"a":0,"b":1,"length":5}]}`,
+		`{"nodes":[{"kind":"router"}],"edges":[]}`,
+		`{"nodes":[{"kind":"user","x":0,"y":0}],"edges":[{"a":0,"b":0,"length":1}]}`,
+		`{"nodes":[{"kind":"user","x":0,"y":0}],"edges":[{"a":0,"b":7,"length":1}]}`,
+		`{"edges":[{"a":-1,"b":0,"length":-5}]}`,
+		`{"nodes":[{"kind":"user","x":1e308,"y":-1e308}],"edges":[]}`,
+		`not json at all`,
+		`{"nodes": 7}`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := g.WriteJSON(&buf); err != nil {
+			t.Fatalf("accepted graph failed to encode: %v", err)
+		}
+		back, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("round trip of accepted graph failed: %v", err)
+		}
+		if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed shape: %s vs %s", back, g)
+		}
+	})
+}
+
+// FuzzParseAndTraverse feeds decoded graphs into the traversal and
+// shortest-path machinery, which must tolerate any accepted topology.
+func FuzzParseAndTraverse(f *testing.F) {
+	f.Add([]byte(`{"nodes":[{"kind":"user","x":0,"y":0},{"kind":"switch","x":1,"y":1,"qubits":2},
+		{"kind":"user","x":2,"y":0}],
+		"edges":[{"a":0,"b":1,"length":1},{"a":1,"b":2,"length":1}]}`))
+	f.Add([]byte(`{"nodes":[{"kind":"user","x":0,"y":0}],"edges":[]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadJSON(strings.NewReader(string(data)))
+		if err != nil || g.NumNodes() == 0 {
+			return
+		}
+		_ = g.Components()
+		_ = g.Connected()
+		_ = g.UsersConnected()
+		sp := g.Dijkstra(0, LengthWeight, func(n Node) bool { return n.Kind == KindSwitch })
+		for i := 0; i < g.NumNodes(); i++ {
+			if path, ok := sp.PathTo(NodeID(i)); ok && len(path) == 0 {
+				t.Fatal("reachable node with empty path")
+			}
+		}
+	})
+}

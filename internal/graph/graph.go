@@ -1,0 +1,380 @@
+// Package graph provides the network-graph substrate for the MUERP
+// reproduction: an undirected graph whose vertices are quantum users and
+// quantum switches and whose edges are optical fibers with geometric
+// lengths, plus the traversal and shortest-path machinery the routing
+// algorithms are built on.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// NodeKind distinguishes the two vertex classes of the quantum Internet
+// model (paper §II-A): end users that request entanglement and switches
+// that relay it via Bell-state-measurement swapping.
+type NodeKind int
+
+const (
+	// KindUser is a quantum user (a processor or computing node). Users are
+	// assumed to have sufficient quantum memory (paper §II-A).
+	KindUser NodeKind = iota + 1
+	// KindSwitch is a quantum switch with a limited number of qubits.
+	KindSwitch
+)
+
+// String returns a human-readable kind name.
+func (k NodeKind) String() string {
+	switch k {
+	case KindUser:
+		return "user"
+	case KindSwitch:
+		return "switch"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// NodeID identifies a node within one Graph. IDs are dense: the i-th added
+// node gets ID i.
+type NodeID int
+
+// None is the sentinel NodeID used where "no node" must be expressed (for
+// example, predecessor arrays).
+const None NodeID = -1
+
+// Node is a vertex of the quantum network.
+type Node struct {
+	ID   NodeID
+	Kind NodeKind
+	// X, Y place the node in the simulation area. The paper uses a
+	// 10k x 10k grid of 1 km units, so coordinates are kilometres.
+	X, Y float64
+	// Qubits is the quantum-memory size Q_r of a switch. Each quantum
+	// channel transiting a switch consumes 2 qubits, so a switch supports
+	// floor(Qubits/2) channels. The field is ignored for users, which are
+	// modeled with sufficient capacity.
+	Qubits int
+	// Label is an optional human-readable name used by CLIs and examples.
+	Label string
+}
+
+// EdgeID identifies an edge within one Graph. IDs are dense: the i-th added
+// edge gets ID i; removing edges renumbers (see WithoutEdges).
+type EdgeID int
+
+// Edge is an optical fiber joining two distinct nodes. Fibers are modeled
+// with unbounded quantum-link capacity (multi-core fiber, paper §II-A), so
+// an edge carries no capacity field: only switch qubits constrain routing.
+type Edge struct {
+	ID     EdgeID
+	A, B   NodeID
+	Length float64 // kilometres
+}
+
+// Other returns the endpoint of e that is not v. It panics if v is not an
+// endpoint of e, which would indicate corrupted adjacency state.
+func (e Edge) Other(v NodeID) NodeID {
+	switch v {
+	case e.A:
+		return e.B
+	case e.B:
+		return e.A
+	default:
+		panic(fmt.Sprintf("graph: node %d is not an endpoint of edge %d (%d-%d)", v, e.ID, e.A, e.B))
+	}
+}
+
+type halfEdge struct {
+	to   NodeID
+	edge EdgeID
+}
+
+// Graph is an undirected simple graph of users, switches and fibers.
+//
+// The zero value is an empty usable graph.
+type Graph struct {
+	nodes []Node
+	edges []Edge
+	adj   [][]halfEdge
+}
+
+// Errors returned by graph mutation.
+var (
+	ErrSelfLoop      = errors.New("graph: self-loops are not allowed")
+	ErrDuplicateEdge = errors.New("graph: duplicate edge")
+	ErrUnknownNode   = errors.New("graph: unknown node")
+	ErrBadLength     = errors.New("graph: edge length must be positive and finite")
+)
+
+// New returns an empty graph with capacity hints for n nodes and m edges.
+func New(n, m int) *Graph {
+	return &Graph{
+		nodes: make([]Node, 0, n),
+		edges: make([]Edge, 0, m),
+		adj:   make([][]halfEdge, 0, n),
+	}
+}
+
+// AddNode appends a node and returns its ID. The ID field of the argument
+// is ignored and overwritten with the assigned dense ID.
+func (g *Graph) AddNode(n Node) NodeID {
+	id := NodeID(len(g.nodes))
+	n.ID = id
+	g.nodes = append(g.nodes, n)
+	g.adj = append(g.adj, nil)
+	return id
+}
+
+// AddUser appends a user node at (x, y) and returns its ID.
+func (g *Graph) AddUser(x, y float64) NodeID {
+	return g.AddNode(Node{Kind: KindUser, X: x, Y: y})
+}
+
+// AddSwitch appends a switch node at (x, y) with the given qubit count and
+// returns its ID.
+func (g *Graph) AddSwitch(x, y float64, qubits int) NodeID {
+	return g.AddNode(Node{Kind: KindSwitch, X: x, Y: y, Qubits: qubits})
+}
+
+// AddEdge joins a and b with a fiber of the given length and returns the new
+// edge's ID. It rejects self-loops, unknown endpoints, duplicate edges and
+// non-positive or non-finite lengths.
+func (g *Graph) AddEdge(a, b NodeID, length float64) (EdgeID, error) {
+	if !g.HasNode(a) || !g.HasNode(b) {
+		return 0, fmt.Errorf("%w: edge %d-%d", ErrUnknownNode, a, b)
+	}
+	if a == b {
+		return 0, fmt.Errorf("%w: node %d", ErrSelfLoop, a)
+	}
+	if length <= 0 || math.IsInf(length, 0) || math.IsNaN(length) {
+		return 0, fmt.Errorf("%w: got %g", ErrBadLength, length)
+	}
+	if g.HasEdge(a, b) {
+		return 0, fmt.Errorf("%w: %d-%d", ErrDuplicateEdge, a, b)
+	}
+	id := EdgeID(len(g.edges))
+	g.edges = append(g.edges, Edge{ID: id, A: a, B: b, Length: length})
+	g.adj[a] = append(g.adj[a], halfEdge{to: b, edge: id})
+	g.adj[b] = append(g.adj[b], halfEdge{to: a, edge: id})
+	return id, nil
+}
+
+// MustAddEdge is AddEdge for construction code where a failure is a
+// programming error (tests, generators that pre-check duplicates).
+func (g *Graph) MustAddEdge(a, b NodeID, length float64) EdgeID {
+	id, err := g.AddEdge(a, b, length)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// HasNode reports whether id is a valid node ID for this graph.
+func (g *Graph) HasNode(id NodeID) bool { return id >= 0 && int(id) < len(g.nodes) }
+
+// Node returns the node with the given ID. It panics on unknown IDs: node
+// IDs are produced by this graph, so an unknown ID is a programming error.
+func (g *Graph) Node(id NodeID) Node {
+	if !g.HasNode(id) {
+		panic(fmt.Sprintf("graph: unknown node %d (have %d nodes)", id, len(g.nodes)))
+	}
+	return g.nodes[id]
+}
+
+// Edge returns the edge with the given ID; it panics on unknown IDs.
+func (g *Graph) Edge(id EdgeID) Edge {
+	if id < 0 || int(id) >= len(g.edges) {
+		panic(fmt.Sprintf("graph: unknown edge %d (have %d edges)", id, len(g.edges)))
+	}
+	return g.edges[id]
+}
+
+// Nodes returns a copy of the node list.
+func (g *Graph) Nodes() []Node {
+	out := make([]Node, len(g.nodes))
+	copy(out, g.nodes)
+	return out
+}
+
+// Edges returns a copy of the edge list.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// Users returns the IDs of all user nodes, in ID order.
+func (g *Graph) Users() []NodeID { return g.nodesOfKind(KindUser) }
+
+// Switches returns the IDs of all switch nodes, in ID order.
+func (g *Graph) Switches() []NodeID { return g.nodesOfKind(KindSwitch) }
+
+func (g *Graph) nodesOfKind(k NodeKind) []NodeID {
+	var out []NodeID
+	for _, n := range g.nodes {
+		if n.Kind == k {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Degree returns the number of edges incident to id.
+func (g *Graph) Degree(id NodeID) int {
+	if !g.HasNode(id) {
+		panic(fmt.Sprintf("graph: unknown node %d", id))
+	}
+	return len(g.adj[id])
+}
+
+// AverageDegree returns 2*|E|/|V|, or 0 for an empty graph.
+func (g *Graph) AverageDegree() float64 {
+	if len(g.nodes) == 0 {
+		return 0
+	}
+	return 2 * float64(len(g.edges)) / float64(len(g.nodes))
+}
+
+// HasEdge reports whether an edge joins a and b.
+func (g *Graph) HasEdge(a, b NodeID) bool {
+	_, ok := g.EdgeBetween(a, b)
+	return ok
+}
+
+// EdgeBetween returns the edge joining a and b, if any. It iterates the
+// smaller adjacency list of the two endpoints.
+func (g *Graph) EdgeBetween(a, b NodeID) (Edge, bool) {
+	if !g.HasNode(a) || !g.HasNode(b) {
+		return Edge{}, false
+	}
+	from, to := a, b
+	if len(g.adj[b]) < len(g.adj[a]) {
+		from, to = b, a
+	}
+	for _, h := range g.adj[from] {
+		if h.to == to {
+			return g.edges[h.edge], true
+		}
+	}
+	return Edge{}, false
+}
+
+// Neighbors calls fn for every edge incident to id, passing the neighbor and
+// the connecting edge. Iteration stops early when fn returns false.
+func (g *Graph) Neighbors(id NodeID, fn func(neighbor Node, via Edge) bool) {
+	if !g.HasNode(id) {
+		panic(fmt.Sprintf("graph: unknown node %d", id))
+	}
+	for _, h := range g.adj[id] {
+		if !fn(g.nodes[h.to], g.edges[h.edge]) {
+			return
+		}
+	}
+}
+
+// NeighborIDs returns the IDs of all neighbors of id.
+func (g *Graph) NeighborIDs(id NodeID) []NodeID {
+	if !g.HasNode(id) {
+		panic(fmt.Sprintf("graph: unknown node %d", id))
+	}
+	out := make([]NodeID, len(g.adj[id]))
+	for i, h := range g.adj[id] {
+		out[i] = h.to
+	}
+	return out
+}
+
+// SetQubits replaces the qubit count of a switch. It panics when applied to
+// a user: users are modeled with sufficient capacity and carry no budget.
+func (g *Graph) SetQubits(id NodeID, qubits int) {
+	n := g.Node(id)
+	if n.Kind != KindSwitch {
+		panic(fmt.Sprintf("graph: SetQubits on %s node %d", n.Kind, id))
+	}
+	g.nodes[id].Qubits = qubits
+}
+
+// SetPosition moves a node to (x, y). Positions are descriptive metadata
+// for generators and tooling; moving a node does not change existing edge
+// lengths.
+func (g *Graph) SetPosition(id NodeID, x, y float64) {
+	if !g.HasNode(id) {
+		panic(fmt.Sprintf("graph: unknown node %d", id))
+	}
+	g.nodes[id].X, g.nodes[id].Y = x, y
+}
+
+// SetAllSwitchQubits sets every switch's qubit count to q, the uniform
+// configuration used throughout the paper's evaluation.
+func (g *Graph) SetAllSwitchQubits(q int) {
+	for i := range g.nodes {
+		if g.nodes[i].Kind == KindSwitch {
+			g.nodes[i].Qubits = q
+		}
+	}
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		nodes: make([]Node, len(g.nodes)),
+		edges: make([]Edge, len(g.edges)),
+		adj:   make([][]halfEdge, len(g.adj)),
+	}
+	copy(c.nodes, g.nodes)
+	copy(c.edges, g.edges)
+	for i, hs := range g.adj {
+		c.adj[i] = make([]halfEdge, len(hs))
+		copy(c.adj[i], hs)
+	}
+	return c
+}
+
+// WithoutEdges returns a copy of g with the given edges removed. Edge IDs
+// are re-densified in the copy; node IDs are preserved. Unknown edge IDs are
+// ignored. Used by the fiber-removal experiment (paper Fig. 7b).
+func (g *Graph) WithoutEdges(remove []EdgeID) *Graph {
+	drop := make(map[EdgeID]bool, len(remove))
+	for _, id := range remove {
+		drop[id] = true
+	}
+	c := New(len(g.nodes), len(g.edges))
+	for _, n := range g.nodes {
+		c.AddNode(n)
+	}
+	for _, e := range g.edges {
+		if drop[e.ID] {
+			continue
+		}
+		if _, err := c.AddEdge(e.A, e.B, e.Length); err != nil {
+			// The source graph is simple and validated, so re-adding its
+			// surviving edges cannot fail.
+			panic(fmt.Sprintf("graph: WithoutEdges rebuild: %v", err))
+		}
+	}
+	return c
+}
+
+// String returns a short structural summary, e.g. "graph(62 nodes: 10 users,
+// 52 switches; 180 edges)".
+func (g *Graph) String() string {
+	users, switches := 0, 0
+	for _, n := range g.nodes {
+		switch n.Kind {
+		case KindUser:
+			users++
+		case KindSwitch:
+			switches++
+		}
+	}
+	return fmt.Sprintf("graph(%d nodes: %d users, %d switches; %d edges)",
+		len(g.nodes), users, switches, len(g.edges))
+}

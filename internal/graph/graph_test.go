@@ -1,0 +1,291 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// buildTriangle returns a user-switch-user triangle:
+//
+//	u0 --- s2 --- u1
+//	  \----------/
+func buildTriangle(t *testing.T) *Graph {
+	t.Helper()
+	g := New(3, 3)
+	u0 := g.AddUser(0, 0)
+	u1 := g.AddUser(10, 0)
+	s2 := g.AddSwitch(5, 5, 4)
+	g.MustAddEdge(u0, s2, 7)
+	g.MustAddEdge(s2, u1, 7)
+	g.MustAddEdge(u0, u1, 10)
+	return g
+}
+
+func TestAddNodeAssignsDenseIDs(t *testing.T) {
+	g := New(0, 0)
+	for i := 0; i < 5; i++ {
+		id := g.AddUser(float64(i), 0)
+		if id != NodeID(i) {
+			t.Fatalf("node %d got ID %d", i, id)
+		}
+	}
+	if g.NumNodes() != 5 {
+		t.Fatalf("NumNodes = %d, want 5", g.NumNodes())
+	}
+}
+
+func TestAddEdgeRejections(t *testing.T) {
+	g := New(2, 1)
+	a := g.AddUser(0, 0)
+	b := g.AddUser(1, 1)
+	g.MustAddEdge(a, b, 5)
+
+	tests := []struct {
+		name    string
+		a, b    NodeID
+		length  float64
+		wantErr error
+	}{
+		{"self loop", a, a, 1, ErrSelfLoop},
+		{"duplicate", a, b, 2, ErrDuplicateEdge},
+		{"duplicate reversed", b, a, 2, ErrDuplicateEdge},
+		{"unknown node", a, 99, 1, ErrUnknownNode},
+		{"zero length", a, b, 0, ErrBadLength},
+		{"negative length", a, b, -3, ErrBadLength},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := g.AddEdge(tc.a, tc.b, tc.length)
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("AddEdge(%d,%d,%g) error = %v, want %v", tc.a, tc.b, tc.length, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestEdgeOther(t *testing.T) {
+	e := Edge{ID: 0, A: 3, B: 7}
+	if got := e.Other(3); got != 7 {
+		t.Fatalf("Other(3) = %d, want 7", got)
+	}
+	if got := e.Other(7); got != 3 {
+		t.Fatalf("Other(7) = %d, want 3", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Other(5) did not panic for non-endpoint")
+		}
+	}()
+	e.Other(5)
+}
+
+func TestEdgeBetween(t *testing.T) {
+	g := buildTriangle(t)
+	e, ok := g.EdgeBetween(0, 2)
+	if !ok || e.Length != 7 {
+		t.Fatalf("EdgeBetween(0,2) = %+v ok=%v, want length 7", e, ok)
+	}
+	if _, ok := g.EdgeBetween(0, 0); ok {
+		t.Fatal("EdgeBetween(0,0) reported an edge")
+	}
+	if _, ok := g.EdgeBetween(0, 99); ok {
+		t.Fatal("EdgeBetween with unknown node reported an edge")
+	}
+}
+
+func TestUsersAndSwitches(t *testing.T) {
+	g := buildTriangle(t)
+	users := g.Users()
+	if len(users) != 2 || users[0] != 0 || users[1] != 1 {
+		t.Fatalf("Users() = %v, want [0 1]", users)
+	}
+	switches := g.Switches()
+	if len(switches) != 1 || switches[0] != 2 {
+		t.Fatalf("Switches() = %v, want [2]", switches)
+	}
+}
+
+func TestDegreeAndAverageDegree(t *testing.T) {
+	g := buildTriangle(t)
+	for id, want := range map[NodeID]int{0: 2, 1: 2, 2: 2} {
+		if got := g.Degree(id); got != want {
+			t.Errorf("Degree(%d) = %d, want %d", id, got, want)
+		}
+	}
+	if got := g.AverageDegree(); got != 2 {
+		t.Fatalf("AverageDegree = %g, want 2", got)
+	}
+	if got := New(0, 0).AverageDegree(); got != 0 {
+		t.Fatalf("empty AverageDegree = %g, want 0", got)
+	}
+}
+
+func TestNeighborsIteration(t *testing.T) {
+	g := buildTriangle(t)
+	var seen []NodeID
+	g.Neighbors(0, func(n Node, via Edge) bool {
+		seen = append(seen, n.ID)
+		return true
+	})
+	if len(seen) != 2 {
+		t.Fatalf("node 0 has %d neighbors, want 2", len(seen))
+	}
+	// Early stop.
+	count := 0
+	g.Neighbors(0, func(Node, Edge) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("early-stop iteration visited %d, want 1", count)
+	}
+}
+
+func TestSetQubits(t *testing.T) {
+	g := buildTriangle(t)
+	g.SetQubits(2, 10)
+	if got := g.Node(2).Qubits; got != 10 {
+		t.Fatalf("Qubits = %d, want 10", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetQubits on a user did not panic")
+		}
+	}()
+	g.SetQubits(0, 4)
+}
+
+func TestSetAllSwitchQubits(t *testing.T) {
+	g := buildTriangle(t)
+	g.AddSwitch(1, 1, 2)
+	g.SetAllSwitchQubits(8)
+	for _, s := range g.Switches() {
+		if got := g.Node(s).Qubits; got != 8 {
+			t.Errorf("switch %d qubits = %d, want 8", s, got)
+		}
+	}
+	if g.Node(0).Qubits != 0 {
+		t.Error("user qubits were modified")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := buildTriangle(t)
+	c := g.Clone()
+	c.SetQubits(2, 99)
+	c.MustAddEdge(c.AddUser(20, 20), 0, 5)
+	if g.Node(2).Qubits == 99 {
+		t.Fatal("clone mutation leaked into the qubit count")
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("original changed: %s", g)
+	}
+}
+
+func TestWithoutEdges(t *testing.T) {
+	g := buildTriangle(t)
+	direct, _ := g.EdgeBetween(0, 1)
+	c := g.WithoutEdges([]EdgeID{direct.ID})
+	if c.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", c.NumEdges())
+	}
+	if c.HasEdge(0, 1) {
+		t.Fatal("removed edge still present")
+	}
+	if !c.HasEdge(0, 2) || !c.HasEdge(2, 1) {
+		t.Fatal("surviving edges missing")
+	}
+	// Edge IDs are densified in the copy.
+	for i, e := range c.Edges() {
+		if e.ID != EdgeID(i) {
+			t.Fatalf("edge %d has stale ID %d", i, e.ID)
+		}
+	}
+	// Unknown removals are ignored; original untouched.
+	same := g.WithoutEdges([]EdgeID{99})
+	if same.NumEdges() != 3 {
+		t.Fatalf("unknown removal changed edge count to %d", same.NumEdges())
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	s := buildTriangle(t).String()
+	for _, want := range []string{"2 users", "1 switches", "3 edges"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := buildTriangle(t)
+	g.nodes[2].Label = "relay"
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed shape: %s vs %s", back, g)
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		a, b := g.Node(NodeID(i)), back.Node(NodeID(i))
+		if a != b {
+			t.Errorf("node %d round trip: %+v != %+v", i, a, b)
+		}
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		a, b := g.Edge(EdgeID(i)), back.Edge(EdgeID(i))
+		if a != b {
+			t.Errorf("edge %d round trip: %+v != %+v", i, a, b)
+		}
+	}
+}
+
+func TestJSONRejectsBadInput(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"bad kind", `{"nodes":[{"kind":"router","x":0,"y":0}],"edges":[]}`},
+		{"bad edge ref", `{"nodes":[{"kind":"user","x":0,"y":0}],"edges":[{"a":0,"b":5,"length":1}]}`},
+		{"self loop", `{"nodes":[{"kind":"user","x":0,"y":0}],"edges":[{"a":0,"b":0,"length":1}]}`},
+		{"not json", `{{{`},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadJSON(strings.NewReader(tc.in)); err == nil {
+				t.Fatalf("ReadJSON accepted %q", tc.in)
+			}
+		})
+	}
+}
+
+func TestUnknownNodePanics(t *testing.T) {
+	g := buildTriangle(t)
+	tests := []struct {
+		name string
+		fn   func()
+	}{
+		{"Node", func() { g.Node(99) }},
+		{"Edge", func() { g.Edge(99) }},
+		{"Degree", func() { g.Degree(-1) }},
+		{"Neighbors", func() { g.Neighbors(99, func(Node, Edge) bool { return true }) }},
+		{"NeighborIDs", func() { g.NeighborIDs(99) }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", tc.name)
+				}
+			}()
+			tc.fn()
+		})
+	}
+}

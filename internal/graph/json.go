@@ -1,0 +1,92 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonGraph is the serialized form of a Graph, a stable format used by
+// cmd/topogen and the examples to exchange topologies.
+type jsonGraph struct {
+	Nodes []jsonNode `json:"nodes"`
+	Edges []jsonEdge `json:"edges"`
+}
+
+type jsonNode struct {
+	Kind   string  `json:"kind"`
+	X      float64 `json:"x"`
+	Y      float64 `json:"y"`
+	Qubits int     `json:"qubits,omitempty"`
+	Label  string  `json:"label,omitempty"`
+}
+
+type jsonEdge struct {
+	A      int     `json:"a"`
+	B      int     `json:"b"`
+	Length float64 `json:"length"`
+}
+
+// MarshalJSON encodes the graph as {"nodes": [...], "edges": [...]}, with
+// node references in edges given as dense indices.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{
+		Nodes: make([]jsonNode, len(g.nodes)),
+		Edges: make([]jsonEdge, len(g.edges)),
+	}
+	for i, n := range g.nodes {
+		jg.Nodes[i] = jsonNode{Kind: n.Kind.String(), X: n.X, Y: n.Y, Qubits: n.Qubits, Label: n.Label}
+	}
+	for i, e := range g.edges {
+		jg.Edges[i] = jsonEdge{A: int(e.A), B: int(e.B), Length: e.Length}
+	}
+	return json.Marshal(jg)
+}
+
+// UnmarshalJSON decodes a graph previously encoded by MarshalJSON,
+// validating node kinds and edge structure.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return fmt.Errorf("graph: decode: %w", err)
+	}
+	fresh := New(len(jg.Nodes), len(jg.Edges))
+	for i, n := range jg.Nodes {
+		var kind NodeKind
+		switch n.Kind {
+		case "user":
+			kind = KindUser
+		case "switch":
+			kind = KindSwitch
+		default:
+			return fmt.Errorf("graph: node %d has unknown kind %q", i, n.Kind)
+		}
+		fresh.AddNode(Node{Kind: kind, X: n.X, Y: n.Y, Qubits: n.Qubits, Label: n.Label})
+	}
+	for i, e := range jg.Edges {
+		if _, err := fresh.AddEdge(NodeID(e.A), NodeID(e.B), e.Length); err != nil {
+			return fmt.Errorf("graph: edge %d: %w", i, err)
+		}
+	}
+	*g = *fresh
+	return nil
+}
+
+// WriteJSON writes the graph to w as indented JSON.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(g); err != nil {
+		return fmt.Errorf("graph: write: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON reads a graph from r.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var g Graph
+	if err := json.NewDecoder(r).Decode(&g); err != nil {
+		return nil, fmt.Errorf("graph: read: %w", err)
+	}
+	return &g, nil
+}

@@ -1,0 +1,138 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/muerp/quantumnet/internal/pq"
+)
+
+// WeightFunc gives the traversal cost of an edge. Returning ok=false marks
+// the edge unusable (e.g. it would enter a switch with no free qubits).
+// Weights must be non-negative for Dijkstra's invariants to hold.
+type WeightFunc func(e Edge) (w float64, ok bool)
+
+// TransitFunc reports whether a node may be used as an interior (relay)
+// vertex of a path. The source and the destination are exempt: the filter
+// only gates relaying *through* a node. A nil TransitFunc admits every node.
+//
+// MUERP channels must transit only switches with at least one free channel
+// slot (2 qubits), never other users (paper Definition 2), which callers
+// express through this hook.
+type TransitFunc func(n Node) bool
+
+// ShortestPaths holds the result of a single-source Dijkstra run: the
+// shortest distance and predecessor for every node, under the weight and
+// transit constraints supplied to the run.
+type ShortestPaths struct {
+	Source NodeID
+	g      *Graph
+	dist   []float64
+	prev   []NodeID
+}
+
+// Dijkstra computes shortest paths from src under the given edge weights and
+// transit filter. It implements the relaxation loop of the paper's
+// Algorithm 1 generalized to a single-source/all-destinations run (the
+// optimization the paper describes for Algorithm 2's first step).
+//
+// The run never relaxes out of a non-source node rejected by transit, so
+// every returned path's interior vertices satisfy the filter. Destination
+// vertices are not filtered: a path may *end* at any node.
+func (g *Graph) Dijkstra(src NodeID, weight WeightFunc, transit TransitFunc) *ShortestPaths {
+	if !g.HasNode(src) {
+		panic(fmt.Sprintf("graph: Dijkstra from unknown node %d", src))
+	}
+	if weight == nil {
+		panic("graph: Dijkstra needs a weight function")
+	}
+	n := len(g.nodes)
+	sp := &ShortestPaths{
+		Source: src,
+		g:      g,
+		dist:   make([]float64, n),
+		prev:   make([]NodeID, n),
+	}
+	for i := range sp.dist {
+		sp.dist[i] = math.Inf(1)
+		sp.prev[i] = None
+	}
+	sp.dist[src] = 0
+
+	heap := pq.NewIndexedMinHeap(n)
+	heap.Push(int(src), 0)
+	settled := make([]bool, n)
+	for {
+		item, d, ok := heap.Pop()
+		if !ok {
+			break
+		}
+		v := NodeID(item)
+		settled[v] = true
+		// A settled non-source node that may not relay still keeps its
+		// distance (it is a valid destination) but must not expand.
+		if v != src && transit != nil && !transit(g.nodes[v]) {
+			continue
+		}
+		for _, h := range g.adj[v] {
+			if settled[h.to] {
+				continue
+			}
+			w, usable := weight(g.edges[h.edge])
+			if !usable {
+				continue
+			}
+			if w < 0 || math.IsNaN(w) {
+				panic(fmt.Sprintf("graph: negative or NaN edge weight %g on edge %d", w, h.edge))
+			}
+			if nd := d + w; nd < sp.dist[h.to] {
+				sp.dist[h.to] = nd
+				sp.prev[h.to] = v
+				heap.PushOrDecrease(int(h.to), nd)
+			}
+		}
+	}
+	return sp
+}
+
+// Reachable reports whether dst was reached from the source.
+func (sp *ShortestPaths) Reachable(dst NodeID) bool {
+	return !math.IsInf(sp.dist[dst], 1)
+}
+
+// DistTo returns the shortest-path distance to dst; ok is false when dst is
+// unreachable.
+func (sp *ShortestPaths) DistTo(dst NodeID) (float64, bool) {
+	d := sp.dist[dst]
+	return d, !math.IsInf(d, 1)
+}
+
+// PathTo reconstructs the shortest path from the source to dst as a node
+// sequence beginning with the source and ending with dst; ok is false when
+// dst is unreachable. For dst == source it returns a single-node path.
+func (sp *ShortestPaths) PathTo(dst NodeID) (path []NodeID, ok bool) {
+	if !sp.g.HasNode(dst) {
+		panic(fmt.Sprintf("graph: PathTo unknown node %d", dst))
+	}
+	if !sp.Reachable(dst) {
+		return nil, false
+	}
+	for v := dst; v != None; v = sp.prev[v] {
+		path = append(path, v)
+		if len(path) > sp.g.NumNodes() {
+			panic("graph: predecessor cycle in shortest-path tree")
+		}
+	}
+	reverse(path)
+	return path, true
+}
+
+func reverse(p []NodeID) {
+	for i, j := 0, len(p)-1; i < j; i, j = i+1, j-1 {
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// LengthWeight is a WeightFunc using the raw fiber length, for plain
+// geometric shortest paths.
+func LengthWeight(e Edge) (float64, bool) { return e.Length, true }

@@ -1,0 +1,254 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// buildDiamond returns:
+//
+//	    s1
+//	  /    \
+//	u0      u3      upper path length 2+2=4
+//	  \    /
+//	    s2          lower path length 1+1=2
+type diamond struct {
+	g              *Graph
+	u0, s1, s2, u3 NodeID
+}
+
+func buildDiamond(t *testing.T) diamond {
+	t.Helper()
+	g := New(4, 4)
+	d := diamond{g: g}
+	d.u0 = g.AddUser(0, 0)
+	d.s1 = g.AddSwitch(1, 1, 4)
+	d.s2 = g.AddSwitch(1, -1, 4)
+	d.u3 = g.AddUser(2, 0)
+	g.MustAddEdge(d.u0, d.s1, 2)
+	g.MustAddEdge(d.s1, d.u3, 2)
+	g.MustAddEdge(d.u0, d.s2, 1)
+	g.MustAddEdge(d.s2, d.u3, 1)
+	return d
+}
+
+func TestDijkstraPicksShortest(t *testing.T) {
+	d := buildDiamond(t)
+	sp := d.g.Dijkstra(d.u0, LengthWeight, nil)
+	dist, ok := sp.DistTo(d.u3)
+	if !ok || dist != 2 {
+		t.Fatalf("DistTo(u3) = %g ok=%v, want 2", dist, ok)
+	}
+	path, ok := sp.PathTo(d.u3)
+	if !ok {
+		t.Fatal("PathTo(u3) unreachable")
+	}
+	want := []NodeID{d.u0, d.s2, d.u3}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestDijkstraTransitFilterReroutes(t *testing.T) {
+	d := buildDiamond(t)
+	// Forbid relaying through the cheap switch s2: path must go via s1.
+	sp := d.g.Dijkstra(d.u0, LengthWeight, func(n Node) bool { return n.ID != d.s2 })
+	dist, ok := sp.DistTo(d.u3)
+	if !ok || dist != 4 {
+		t.Fatalf("DistTo(u3) = %g ok=%v, want 4 via s1", dist, ok)
+	}
+	// s2 itself is still reachable as a destination (filter gates transit,
+	// not arrival).
+	if dist, ok := sp.DistTo(d.s2); !ok || dist != 1 {
+		t.Fatalf("DistTo(s2) = %g ok=%v, want 1", dist, ok)
+	}
+}
+
+func TestDijkstraTransitFilterBlocksAll(t *testing.T) {
+	d := buildDiamond(t)
+	sp := d.g.Dijkstra(d.u0, LengthWeight, func(Node) bool { return false })
+	// Direct neighbors remain reachable; u3 does not.
+	if !sp.Reachable(d.s1) || !sp.Reachable(d.s2) {
+		t.Fatal("direct neighbors must stay reachable")
+	}
+	if sp.Reachable(d.u3) {
+		t.Fatal("u3 reachable despite no relays allowed")
+	}
+	if _, ok := sp.PathTo(d.u3); ok {
+		t.Fatal("PathTo returned a path to an unreachable node")
+	}
+}
+
+func TestDijkstraWeightFuncCanDisableEdges(t *testing.T) {
+	d := buildDiamond(t)
+	// Disable the u0-s2 edge.
+	blocked, _ := d.g.EdgeBetween(d.u0, d.s2)
+	weight := func(e Edge) (float64, bool) {
+		if e.ID == blocked.ID {
+			return 0, false
+		}
+		return e.Length, true
+	}
+	sp := d.g.Dijkstra(d.u0, weight, nil)
+	if dist, _ := sp.DistTo(d.u3); dist != 4 {
+		t.Fatalf("DistTo(u3) = %g, want 4 (lower path disabled)", dist)
+	}
+}
+
+func TestDijkstraSelfPath(t *testing.T) {
+	d := buildDiamond(t)
+	sp := d.g.Dijkstra(d.u0, LengthWeight, nil)
+	path, ok := sp.PathTo(d.u0)
+	if !ok || len(path) != 1 || path[0] != d.u0 {
+		t.Fatalf("PathTo(source) = %v ok=%v, want single-node path", path, ok)
+	}
+	if dist, _ := sp.DistTo(d.u0); dist != 0 {
+		t.Fatalf("DistTo(source) = %g, want 0", dist)
+	}
+}
+
+func TestDijkstraNegativeWeightPanics(t *testing.T) {
+	d := buildDiamond(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative weight did not panic")
+		}
+	}()
+	d.g.Dijkstra(d.u0, func(e Edge) (float64, bool) { return -1, true }, nil)
+}
+
+// bruteShortest enumerates every simple path from src to dst whose interior
+// nodes pass the filter and returns the minimum total weight.
+func bruteShortest(g *Graph, src, dst NodeID, transit TransitFunc) float64 {
+	best := math.Inf(1)
+	visited := make(map[NodeID]bool)
+	var dfs func(v NodeID, acc float64)
+	dfs = func(v NodeID, acc float64) {
+		if acc >= best {
+			return
+		}
+		if v == dst {
+			best = acc
+			return
+		}
+		if v != src && transit != nil && !transit(g.Node(v)) {
+			return // may not relay through v
+		}
+		visited[v] = true
+		g.Neighbors(v, func(n Node, via Edge) bool {
+			if !visited[n.ID] {
+				dfs(n.ID, acc+via.Length)
+			}
+			return true
+		})
+		visited[v] = false
+	}
+	dfs(src, 0)
+	return best
+}
+
+// randomGraph builds a small random graph with mixed node kinds.
+func randomGraph(rng *rand.Rand, n int) *Graph {
+	g := New(n, n*2)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.5 {
+			g.AddUser(rng.Float64()*10, rng.Float64()*10)
+		} else {
+			g.AddSwitch(rng.Float64()*10, rng.Float64()*10, 2+rng.Intn(4))
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.45 {
+				g.MustAddEdge(NodeID(i), NodeID(j), 0.1+rng.Float64()*10)
+			}
+		}
+	}
+	return g
+}
+
+// TestQuickDijkstraMatchesBruteForce cross-checks Dijkstra distances against
+// exhaustive path enumeration on small random graphs, both unfiltered and
+// with the switches-only transit rule the routing algorithms use.
+func TestQuickDijkstraMatchesBruteForce(t *testing.T) {
+	switchesOnly := func(n Node) bool { return n.Kind == KindSwitch }
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(6)
+		g := randomGraph(rng, n)
+		src := NodeID(rng.Intn(n))
+		for _, transit := range []TransitFunc{nil, switchesOnly} {
+			sp := g.Dijkstra(src, LengthWeight, transit)
+			for dst := 0; dst < n; dst++ {
+				want := bruteShortest(g, src, NodeID(dst), transit)
+				got, ok := sp.DistTo(NodeID(dst))
+				if math.IsInf(want, 1) {
+					if ok {
+						t.Logf("seed %d: dst %d reachable (%g) but brute force says no", seed, dst, got)
+						return false
+					}
+					continue
+				}
+				if !ok || math.Abs(got-want) > 1e-9 {
+					t.Logf("seed %d: dist(%d->%d) = %g, brute force %g", seed, src, dst, got, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDijkstraPathsAreValid checks that every reconstructed path walks
+// existing edges, starts at the source, ends at the target, respects the
+// transit filter, and its edge weights sum to the reported distance.
+func TestQuickDijkstraPathsAreValid(t *testing.T) {
+	switchesOnly := func(n Node) bool { return n.Kind == KindSwitch }
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(6)
+		g := randomGraph(rng, n)
+		src := NodeID(rng.Intn(n))
+		sp := g.Dijkstra(src, LengthWeight, switchesOnly)
+		for dst := 0; dst < n; dst++ {
+			path, ok := sp.PathTo(NodeID(dst))
+			if !ok {
+				continue
+			}
+			if path[0] != src || path[len(path)-1] != NodeID(dst) {
+				return false
+			}
+			total := 0.0
+			for i := 0; i+1 < len(path); i++ {
+				e, exists := g.EdgeBetween(path[i], path[i+1])
+				if !exists {
+					return false
+				}
+				total += e.Length
+			}
+			for i := 1; i+1 < len(path); i++ {
+				if g.Node(path[i]).Kind != KindSwitch {
+					return false
+				}
+			}
+			dist, _ := sp.DistTo(NodeID(dst))
+			if math.Abs(total-dist) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

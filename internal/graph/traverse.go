@@ -1,0 +1,88 @@
+package graph
+
+// BFSFrom performs a breadth-first traversal from src over nodes admitted by
+// the filter and returns the set of reached nodes (including src). A nil
+// filter admits every node. src itself is always admitted.
+func (g *Graph) BFSFrom(src NodeID, admit func(Node) bool) map[NodeID]bool {
+	if !g.HasNode(src) {
+		panic("graph: BFSFrom from unknown node")
+	}
+	seen := map[NodeID]bool{src: true}
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, h := range g.adj[v] {
+			if seen[h.to] {
+				continue
+			}
+			if admit != nil && !admit(g.nodes[h.to]) {
+				continue
+			}
+			seen[h.to] = true
+			queue = append(queue, h.to)
+		}
+	}
+	return seen
+}
+
+// Connected reports whether the graph is connected. The empty graph is
+// considered connected.
+func (g *Graph) Connected() bool {
+	if len(g.nodes) == 0 {
+		return true
+	}
+	return len(g.BFSFrom(0, nil)) == len(g.nodes)
+}
+
+// UsersConnected reports whether all user nodes lie in one connected
+// component of the full graph (a necessary condition for any entanglement
+// tree to exist). It is true when the graph has fewer than two users.
+func (g *Graph) UsersConnected() bool {
+	users := g.Users()
+	if len(users) < 2 {
+		return true
+	}
+	reached := g.BFSFrom(users[0], nil)
+	for _, u := range users[1:] {
+		if !reached[u] {
+			return false
+		}
+	}
+	return true
+}
+
+// Components returns the connected components of the graph as slices of
+// node IDs, each sorted ascending, ordered by their smallest member.
+func (g *Graph) Components() [][]NodeID {
+	var comps [][]NodeID
+	visited := make([]bool, len(g.nodes))
+	for i := range g.nodes {
+		if visited[i] {
+			continue
+		}
+		reached := g.BFSFrom(NodeID(i), nil)
+		comp := make([]NodeID, 0, len(reached))
+		// Collect in ID order for determinism: scan the visited array range.
+		for j := i; j < len(g.nodes); j++ {
+			if reached[NodeID(j)] && !visited[j] {
+				visited[j] = true
+				comp = append(comp, NodeID(j))
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// LargestComponent returns the node IDs of the largest connected component
+// (ties broken by smallest member). It returns nil for an empty graph.
+func (g *Graph) LargestComponent() []NodeID {
+	var best []NodeID
+	for _, c := range g.Components() {
+		if len(c) > len(best) {
+			best = c
+		}
+	}
+	return best
+}

@@ -1,0 +1,118 @@
+package graph
+
+import "testing"
+
+// buildTwoComponents returns a graph with components {0,1,2} and {3,4},
+// where 0,3 are users and the rest switches.
+func buildTwoComponents(t *testing.T) *Graph {
+	t.Helper()
+	g := New(5, 3)
+	u0 := g.AddUser(0, 0)
+	s1 := g.AddSwitch(1, 0, 4)
+	s2 := g.AddSwitch(2, 0, 4)
+	u3 := g.AddUser(10, 10)
+	s4 := g.AddSwitch(11, 10, 4)
+	g.MustAddEdge(u0, s1, 1)
+	g.MustAddEdge(s1, s2, 1)
+	g.MustAddEdge(u3, s4, 1)
+	return g
+}
+
+func TestBFSFromReachesComponent(t *testing.T) {
+	g := buildTwoComponents(t)
+	seen := g.BFSFrom(0, nil)
+	want := map[NodeID]bool{0: true, 1: true, 2: true}
+	if len(seen) != len(want) {
+		t.Fatalf("BFSFrom(0) reached %v, want %v", seen, want)
+	}
+	for id := range want {
+		if !seen[id] {
+			t.Errorf("BFSFrom(0) missed node %d", id)
+		}
+	}
+}
+
+func TestBFSFromWithFilter(t *testing.T) {
+	g := buildTwoComponents(t)
+	// Reject switches: from user 0 nothing else is reachable.
+	seen := g.BFSFrom(0, func(n Node) bool { return n.Kind == KindUser })
+	if len(seen) != 1 || !seen[0] {
+		t.Fatalf("filtered BFS reached %v, want only the source", seen)
+	}
+}
+
+func TestBFSSourceAlwaysAdmitted(t *testing.T) {
+	g := buildTwoComponents(t)
+	// Filter rejects everything, including (nominally) the source.
+	seen := g.BFSFrom(1, func(Node) bool { return false })
+	if len(seen) != 1 || !seen[1] {
+		t.Fatalf("BFS with rejecting filter = %v, want {1}", seen)
+	}
+}
+
+func TestConnected(t *testing.T) {
+	g := buildTwoComponents(t)
+	if g.Connected() {
+		t.Fatal("two-component graph reported connected")
+	}
+	g.MustAddEdge(2, 3, 5)
+	if !g.Connected() {
+		t.Fatal("joined graph reported disconnected")
+	}
+	if !New(0, 0).Connected() {
+		t.Fatal("empty graph reported disconnected")
+	}
+}
+
+func TestUsersConnected(t *testing.T) {
+	g := buildTwoComponents(t)
+	if g.UsersConnected() {
+		t.Fatal("users in different components reported connected")
+	}
+	g.MustAddEdge(2, 4, 5) // joins components via switches
+	if !g.UsersConnected() {
+		t.Fatal("users joined via switches reported disconnected")
+	}
+
+	single := New(1, 0)
+	single.AddUser(0, 0)
+	if !single.UsersConnected() {
+		t.Fatal("single user reported disconnected")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := buildTwoComponents(t)
+	comps := g.Components()
+	if len(comps) != 2 {
+		t.Fatalf("Components() = %d groups, want 2", len(comps))
+	}
+	if len(comps[0]) != 3 || comps[0][0] != 0 {
+		t.Fatalf("first component = %v, want [0 1 2]", comps[0])
+	}
+	if len(comps[1]) != 2 || comps[1][0] != 3 {
+		t.Fatalf("second component = %v, want [3 4]", comps[1])
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	g := buildTwoComponents(t)
+	largest := g.LargestComponent()
+	if len(largest) != 3 || largest[0] != 0 {
+		t.Fatalf("LargestComponent = %v, want [0 1 2]", largest)
+	}
+	if got := New(0, 0).LargestComponent(); got != nil {
+		t.Fatalf("empty graph LargestComponent = %v, want nil", got)
+	}
+}
+
+func TestComponentsSingletons(t *testing.T) {
+	g := New(3, 0)
+	g.AddUser(0, 0)
+	g.AddUser(1, 1)
+	g.AddUser(2, 2)
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("isolated nodes yielded %d components, want 3", len(comps))
+	}
+}

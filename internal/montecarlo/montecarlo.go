@@ -1,0 +1,142 @@
+// Package montecarlo validates routed solutions empirically: it samples the
+// stochastic entanglement process — every quantum link succeeding with
+// probability exp(-alpha*L) and every BSM swap with probability q — and
+// measures the fraction of rounds in which the whole entanglement tree
+// comes up. By construction the expectation equals the analytic Eq. 2
+// value, so this package is the ground-truth check on the rate model and,
+// transitively, on every routing algorithm's reported rate.
+package montecarlo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/muerp/quantumnet/internal/core"
+	"github.com/muerp/quantumnet/internal/graph"
+	"github.com/muerp/quantumnet/internal/quantum"
+)
+
+// Result summarizes a Monte Carlo estimation run.
+type Result struct {
+	Trials    int
+	Successes int
+	// Rate is the empirical success fraction.
+	Rate float64
+	// Analytic is the Eq. 2 (times measurement factor) prediction.
+	Analytic float64
+	// CI95 is the 95% binomial normal-approximation half-width around Rate.
+	CI95 float64
+}
+
+// Agrees reports whether the analytic prediction lies within the empirical
+// 95% interval widened by slack standard-error multiples (slack 0 means the
+// plain interval).
+func (r Result) Agrees(slack float64) bool {
+	half := r.CI95 * (1 + slack)
+	return math.Abs(r.Rate-r.Analytic) <= half+1e-12
+}
+
+// channelPlan precomputes one channel's per-link success probabilities and
+// swap count.
+type channelPlan struct {
+	linkProbs []float64
+	swaps     int
+}
+
+// compile turns a tree into sampling plans, validating that every channel's
+// links exist in the graph.
+func compile(g *graph.Graph, t quantum.Tree, p quantum.Params) ([]channelPlan, error) {
+	plans := make([]channelPlan, 0, len(t.Channels))
+	for i, c := range t.Channels {
+		if len(c.Nodes) < 2 {
+			return nil, fmt.Errorf("montecarlo: channel %d too short", i)
+		}
+		plan := channelPlan{swaps: len(c.Nodes) - 2}
+		for j := 0; j+1 < len(c.Nodes); j++ {
+			e, ok := g.EdgeBetween(c.Nodes[j], c.Nodes[j+1])
+			if !ok {
+				return nil, fmt.Errorf("montecarlo: channel %d: no fiber %d-%d", i, c.Nodes[j], c.Nodes[j+1])
+			}
+			plan.linkProbs = append(plan.linkProbs, p.LinkRate(e.Length))
+		}
+		plans = append(plans, plan)
+	}
+	return plans, nil
+}
+
+// sampleOnce draws one synchronized entanglement round: true when every
+// link of every channel entangles and every swap succeeds.
+func sampleOnce(plans []channelPlan, swapProb float64, extraProb float64, rng *rand.Rand) bool {
+	for _, plan := range plans {
+		for _, lp := range plan.linkProbs {
+			if rng.Float64() >= lp {
+				return false
+			}
+		}
+		for s := 0; s < plan.swaps; s++ {
+			if rng.Float64() >= swapProb {
+				return false
+			}
+		}
+	}
+	if extraProb < 1 && rng.Float64() >= extraProb {
+		return false
+	}
+	return true
+}
+
+// SimulateTree estimates the empirical entanglement rate of a tree over the
+// given number of independent rounds.
+func SimulateTree(g *graph.Graph, t quantum.Tree, p quantum.Params, trials int, rng *rand.Rand) (Result, error) {
+	return simulate(g, t, p, 1, trials, rng)
+}
+
+// SimulateSolution estimates the empirical rate of a routed solution,
+// including any terminal measurement factor (the N-FUSION baseline's GHZ
+// fusion), sampled as one extra Bernoulli step per round.
+func SimulateSolution(g *graph.Graph, sol *core.Solution, p quantum.Params, trials int, rng *rand.Rand) (Result, error) {
+	if sol == nil {
+		return Result{}, errors.New("montecarlo: nil solution")
+	}
+	factor := sol.MeasurementFactor
+	if factor == 0 {
+		factor = 1
+	}
+	return simulate(g, sol.Tree, p, factor, trials, rng)
+}
+
+func simulate(g *graph.Graph, t quantum.Tree, p quantum.Params, extraProb float64, trials int, rng *rand.Rand) (Result, error) {
+	if trials <= 0 {
+		return Result{}, fmt.Errorf("montecarlo: trials must be positive, got %d", trials)
+	}
+	if rng == nil {
+		return Result{}, errors.New("montecarlo: nil rng")
+	}
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if extraProb < 0 || extraProb > 1 {
+		return Result{}, fmt.Errorf("montecarlo: measurement factor %g outside [0,1]", extraProb)
+	}
+	plans, err := compile(g, t, p)
+	if err != nil {
+		return Result{}, err
+	}
+	successes := 0
+	for i := 0; i < trials; i++ {
+		if sampleOnce(plans, p.SwapProb, extraProb, rng) {
+			successes++
+		}
+	}
+	rate := float64(successes) / float64(trials)
+	res := Result{
+		Trials:    trials,
+		Successes: successes,
+		Rate:      rate,
+		Analytic:  t.Rate() * extraProb,
+		CI95:      1.96 * math.Sqrt(rate*(1-rate)/float64(trials)),
+	}
+	return res, nil
+}

@@ -1,0 +1,287 @@
+// Package multigroup routes several independent entanglement groups over
+// one quantum network with a shared switch-qubit budget — the second
+// extension the paper names ("concurrent routing of multiple independent
+// entanglement groups", §I and §VII).
+//
+// Every group wants its own entanglement tree; the trees compete for
+// switch qubits. Two strategies are provided:
+//
+//   - Sequential: route groups one after another (first come, first
+//     served) with the Prim-based builder against the shared ledger.
+//     Simple, but late groups can starve.
+//   - RoundRobin: interleave the groups, each committing one channel per
+//     turn. Capacity pressure is shared, which improves fairness when
+//     groups contend for the same switches.
+package multigroup
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/muerp/quantumnet/internal/core"
+	"github.com/muerp/quantumnet/internal/graph"
+	"github.com/muerp/quantumnet/internal/quantum"
+)
+
+// Group is one independent entanglement request: a named set of users that
+// must form their own entanglement tree.
+type Group struct {
+	Name  string
+	Users []graph.NodeID
+}
+
+// Strategy selects how the groups share the network.
+type Strategy int
+
+const (
+	// Sequential routes whole groups in input order.
+	Sequential Strategy = iota + 1
+	// RoundRobin interleaves groups channel by channel.
+	RoundRobin
+)
+
+// String returns the strategy name.
+func (s Strategy) String() string {
+	switch s {
+	case Sequential:
+		return "sequential"
+	case RoundRobin:
+		return "round-robin"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Result reports the outcome per group.
+type Result struct {
+	// Solutions maps group name to its routed tree; groups that could not
+	// be completed are absent here and listed in Failed.
+	Solutions map[string]*core.Solution
+	// Failed maps group name to the infeasibility reason.
+	Failed map[string]string
+}
+
+// Rates returns each routed group's entanglement rate (failed groups score
+// 0), keyed by group name.
+func (r Result) Rates(groups []Group) map[string]float64 {
+	out := make(map[string]float64, len(groups))
+	for _, g := range groups {
+		if sol, ok := r.Solutions[g.Name]; ok {
+			out[g.Name] = sol.Rate()
+		} else {
+			out[g.Name] = 0
+		}
+	}
+	return out
+}
+
+// MinRate returns the worst group rate (0 when any group failed).
+func (r Result) MinRate(groups []Group) float64 {
+	min := math.Inf(1)
+	for _, rate := range r.Rates(groups) {
+		if rate < min {
+			min = rate
+		}
+	}
+	if math.IsInf(min, 1) {
+		return 0
+	}
+	return min
+}
+
+// JainIndex returns Jain's fairness index over the group rates:
+// (sum r)^2 / (n * sum r^2), in (0, 1], 1 = perfectly even.
+func (r Result) JainIndex(groups []Group) float64 {
+	rates := r.Rates(groups)
+	if len(rates) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, rate := range rates {
+		sum += rate
+		sumSq += rate * rate
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(rates)) * sumSq)
+}
+
+// Routing errors.
+var (
+	ErrNoGroups     = errors.New("multigroup: no groups")
+	ErrDupGroupName = errors.New("multigroup: duplicate group name")
+	ErrBadStrategy  = errors.New("multigroup: unknown strategy")
+	ErrOverlapUsers = errors.New("multigroup: groups share a user")
+)
+
+// Route routes all groups over g under one shared switch budget. Groups
+// must be disjoint (a user belongs to at most one group): a user node has
+// one application context in the model. Failed groups do not abort the
+// others; their reasons land in Result.Failed.
+func Route(g *graph.Graph, groups []Group, params quantum.Params, strategy Strategy) (Result, error) {
+	if len(groups) == 0 {
+		return Result{}, ErrNoGroups
+	}
+	seenName := make(map[string]bool, len(groups))
+	seenUser := make(map[graph.NodeID]string)
+	builders := make([]*treeBuilder, 0, len(groups))
+	for _, grp := range groups {
+		if seenName[grp.Name] {
+			return Result{}, fmt.Errorf("%w: %q", ErrDupGroupName, grp.Name)
+		}
+		seenName[grp.Name] = true
+		for _, u := range grp.Users {
+			if owner, clash := seenUser[u]; clash {
+				return Result{}, fmt.Errorf("%w: user %d in %q and %q", ErrOverlapUsers, u, owner, grp.Name)
+			}
+			seenUser[u] = grp.Name
+		}
+		prob, err := core.NewProblem(g, grp.Users, params)
+		if err != nil {
+			return Result{}, fmt.Errorf("multigroup: group %q: %w", grp.Name, err)
+		}
+		builders = append(builders, newTreeBuilder(grp.Name, prob))
+	}
+
+	led := quantum.NewLedger(g)
+	switch strategy {
+	case Sequential:
+		// Whole groups in order; a stalled group is final (later groups
+		// have not reserved anything it could wait for).
+		for _, b := range builders {
+			for b.active() {
+				if !b.tryStep(led) {
+					b.fail(led)
+				}
+			}
+		}
+	case RoundRobin:
+		// Interleave one channel per group per cycle. A group stalled in
+		// one cycle retries in the next — another group may have finished
+		// or failed and released capacity. Only when a whole cycle makes no
+		// progress is one stalled group declared failed (refunding its
+		// qubits), and the rest keep going.
+		for {
+			progressed := false
+			active := 0
+			for _, b := range builders {
+				if !b.active() {
+					continue
+				}
+				active++
+				if b.tryStep(led) {
+					progressed = true
+				}
+			}
+			if active == 0 {
+				break
+			}
+			if !progressed {
+				for _, b := range builders {
+					if b.active() {
+						b.fail(led)
+						break
+					}
+				}
+			}
+		}
+	default:
+		return Result{}, fmt.Errorf("%w: %d", ErrBadStrategy, int(strategy))
+	}
+
+	res := Result{
+		Solutions: make(map[string]*core.Solution, len(builders)),
+		Failed:    make(map[string]string),
+	}
+	for _, b := range builders {
+		if b.done() {
+			sol := &core.Solution{Tree: b.tree, Algorithm: "multigroup-prim", MeasurementFactor: 1}
+			if err := b.prob.Validate(sol); err != nil {
+				return Result{}, fmt.Errorf("multigroup: group %q built an invalid tree: %w", b.name, err)
+			}
+			res.Solutions[b.name] = sol
+		} else {
+			reason := b.failed
+			if reason == "" {
+				reason = "no capacity-feasible channel to the remaining users"
+			}
+			res.Failed[b.name] = reason
+		}
+	}
+	return res, nil
+}
+
+// treeBuilder grows one group's entanglement tree channel by channel, the
+// Prim-style step shared by both strategies.
+type treeBuilder struct {
+	name   string
+	prob   *core.Problem
+	inTree map[graph.NodeID]bool
+	tree   quantum.Tree
+	failed string
+}
+
+func newTreeBuilder(name string, prob *core.Problem) *treeBuilder {
+	b := &treeBuilder{
+		name:   name,
+		prob:   prob,
+		inTree: make(map[graph.NodeID]bool, len(prob.Users)),
+	}
+	b.inTree[prob.Users[0]] = true
+	return b
+}
+
+func (b *treeBuilder) done() bool { return len(b.inTree) == len(b.prob.Users) }
+
+// active reports whether the builder still has work and has not failed.
+func (b *treeBuilder) active() bool { return !b.done() && b.failed == "" }
+
+// tryStep commits the group's best frontier channel under the shared
+// ledger. It returns false when no capacity-feasible channel exists right
+// now — a stall, which the strategy decides how to handle.
+func (b *treeBuilder) tryStep(led *quantum.Ledger) bool {
+	if !b.active() {
+		return false
+	}
+	var best quantum.Channel
+	found := false
+	for _, src := range b.prob.Users {
+		if !b.inTree[src] {
+			continue
+		}
+		for dst, ch := range b.prob.MaxRateChannels(src, led) {
+			if b.inTree[dst] {
+				continue
+			}
+			if !found || ch.Rate > best.Rate {
+				best, found = ch, true
+			}
+		}
+	}
+	if !found {
+		return false
+	}
+	if err := led.Reserve(best.Nodes); err != nil {
+		panic(fmt.Sprintf("multigroup: reserve after gated search: %v", err))
+	}
+	a, c := best.Endpoints()
+	joined := c
+	if b.inTree[c] {
+		joined = a
+	}
+	b.inTree[joined] = true
+	b.tree.Channels = append(b.tree.Channels, best)
+	return true
+}
+
+// fail marks the group infeasible and refunds every qubit it had reserved,
+// so a failed group cannot starve the others.
+func (b *treeBuilder) fail(led *quantum.Ledger) {
+	b.failed = fmt.Sprintf("%d users unreachable under shared capacity", len(b.prob.Users)-len(b.inTree))
+	for _, ch := range b.tree.Channels {
+		led.Release(ch.Nodes)
+	}
+	b.tree = quantum.Tree{}
+}

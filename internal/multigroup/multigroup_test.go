@@ -1,0 +1,204 @@
+package multigroup
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/muerp/quantumnet/internal/graph"
+	"github.com/muerp/quantumnet/internal/quantum"
+	"github.com/muerp/quantumnet/internal/topology"
+)
+
+// contendedNet builds two 2-user groups whose only short routes cross one
+// shared switch that can carry `sharedChannels` channels; a long detour
+// switch serves overflow.
+func contendedNet(t *testing.T, sharedQubits int) (*graph.Graph, []Group) {
+	t.Helper()
+	g := graph.New(6, 8)
+	g.AddUser(0, 0)                      // 0: group A
+	g.AddUser(2000, 0)                   // 1: group A
+	g.AddUser(0, 200)                    // 2: group B
+	g.AddUser(2000, 200)                 // 3: group B
+	g.AddSwitch(1000, 100, sharedQubits) // 4: shared bottleneck
+	g.AddSwitch(1000, 5000, 16)          // 5: detour
+	for _, u := range []graph.NodeID{0, 1, 2, 3} {
+		un, s4, s5 := g.Node(u), g.Node(4), g.Node(5)
+		g.MustAddEdge(u, 4, math.Hypot(un.X-s4.X, un.Y-s4.Y))
+		g.MustAddEdge(u, 5, math.Hypot(un.X-s5.X, un.Y-s5.Y))
+	}
+	groups := []Group{
+		{Name: "A", Users: []graph.NodeID{0, 1}},
+		{Name: "B", Users: []graph.NodeID{2, 3}},
+	}
+	return g, groups
+}
+
+func TestRouteBothGroupsAmpleCapacity(t *testing.T) {
+	g, groups := contendedNet(t, 8)
+	for _, strat := range []Strategy{Sequential, RoundRobin} {
+		t.Run(strat.String(), func(t *testing.T) {
+			res, err := Route(g, groups, quantum.DefaultParams(), strat)
+			if err != nil {
+				t.Fatalf("Route: %v", err)
+			}
+			if len(res.Failed) != 0 {
+				t.Fatalf("failures: %v", res.Failed)
+			}
+			rates := res.Rates(groups)
+			for name, rate := range rates {
+				if rate <= 0 {
+					t.Errorf("group %s rate %g", name, rate)
+				}
+			}
+			if idx := res.JainIndex(groups); idx < 0.9 {
+				t.Errorf("uncontended fairness index %g, want ~1", idx)
+			}
+		})
+	}
+}
+
+func TestRouteContentionForcesDetour(t *testing.T) {
+	// Shared switch carries exactly one channel: one group gets the short
+	// route, the other must detour (much lower rate) — but both complete.
+	g, groups := contendedNet(t, 2)
+	res, err := Route(g, groups, quantum.DefaultParams(), Sequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failed) != 0 {
+		t.Fatalf("failures: %v", res.Failed)
+	}
+	rates := res.Rates(groups)
+	// Sequential: group A (first) wins the bottleneck.
+	if rates["A"] <= rates["B"] {
+		t.Fatalf("expected first group to win the bottleneck: A=%g B=%g", rates["A"], rates["B"])
+	}
+	if idx := res.JainIndex(groups); idx >= 0.99 {
+		t.Errorf("contended fairness index %g should show imbalance", idx)
+	}
+}
+
+func TestRouteMinRateZeroOnFailure(t *testing.T) {
+	g, groups := contendedNet(t, 2)
+	g.SetQubits(5, 0) // remove the detour: one group must fail
+	res, err := Route(g, groups, quantum.DefaultParams(), Sequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failed) != 1 {
+		t.Fatalf("failed groups = %v, want exactly 1", res.Failed)
+	}
+	if got := res.MinRate(groups); got != 0 {
+		t.Fatalf("MinRate = %g, want 0", got)
+	}
+}
+
+func TestRouteValidatesInput(t *testing.T) {
+	g, groups := contendedNet(t, 8)
+	p := quantum.DefaultParams()
+	if _, err := Route(g, nil, p, Sequential); !errors.Is(err, ErrNoGroups) {
+		t.Errorf("nil groups error = %v", err)
+	}
+	dup := []Group{groups[0], {Name: "A", Users: groups[1].Users}}
+	if _, err := Route(g, dup, p, Sequential); !errors.Is(err, ErrDupGroupName) {
+		t.Errorf("duplicate name error = %v", err)
+	}
+	overlap := []Group{groups[0], {Name: "C", Users: []graph.NodeID{1, 3}}}
+	if _, err := Route(g, overlap, p, Sequential); !errors.Is(err, ErrOverlapUsers) {
+		t.Errorf("overlapping users error = %v", err)
+	}
+	if _, err := Route(g, groups, p, Strategy(99)); !errors.Is(err, ErrBadStrategy) {
+		t.Errorf("bad strategy error = %v", err)
+	}
+	bad := []Group{{Name: "X", Users: []graph.NodeID{4}}} // a switch
+	if _, err := Route(g, bad, p, Sequential); err == nil {
+		t.Error("switch in a group accepted")
+	}
+}
+
+func TestRoundRobinAtLeastAsFairUnderContention(t *testing.T) {
+	// On paper-style random networks with tight switches, round-robin's
+	// fairness index should on average be no worse than sequential's.
+	cfg := topology.Default()
+	cfg.Users = 8
+	cfg.Switches = 24
+	cfg.SwitchQubits = 2
+	params := quantum.DefaultParams()
+	var seqFair, rrFair float64
+	nets := 12
+	for i := 0; i < nets; i++ {
+		g, err := topology.Generate(cfg, rand.New(rand.NewSource(int64(100+i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		users := g.Users()
+		groups := []Group{
+			{Name: "A", Users: users[0:4]},
+			{Name: "B", Users: users[4:8]},
+		}
+		seq, err := Route(g, groups, params, Sequential)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, err := Route(g, groups, params, RoundRobin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqFair += seq.JainIndex(groups)
+		rrFair += rr.JainIndex(groups)
+	}
+	if rrFair < seqFair*0.95 {
+		t.Fatalf("round-robin mean fairness %.3f well below sequential %.3f",
+			rrFair/float64(nets), seqFair/float64(nets))
+	}
+}
+
+// TestQuickGroupTreesShareCapacitySoundly: across random nets and random
+// group splits, every completed group validates on its own AND the joint
+// qubit load of all trees never exceeds any switch's budget.
+func TestQuickGroupTreesShareCapacitySoundly(t *testing.T) {
+	f := func(seed int64, strategyRaw uint8) bool {
+		strat := []Strategy{Sequential, RoundRobin}[int(strategyRaw)%2]
+		rng := rand.New(rand.NewSource(seed))
+		cfg := topology.Default()
+		cfg.Users = 4 + 2*rng.Intn(3) // 4, 6, 8
+		cfg.Switches = 10 + rng.Intn(15)
+		cfg.SwitchQubits = 2 + 2*rng.Intn(3)
+		g, err := topology.Generate(cfg, rng)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		users := g.Users()
+		half := len(users) / 2
+		groups := []Group{
+			{Name: "A", Users: users[:half]},
+			{Name: "B", Users: users[half:]},
+		}
+		res, err := Route(g, groups, quantum.DefaultParams(), strat)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		// Joint load across all completed trees.
+		load := map[graph.NodeID]int{}
+		for _, sol := range res.Solutions {
+			for s, q := range sol.Tree.QubitLoad() {
+				load[s] += q
+			}
+		}
+		for s, q := range load {
+			if q > g.Node(s).Qubits {
+				t.Logf("seed %d: switch %d jointly loaded %d > %d", seed, s, q, g.Node(s).Qubits)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,87 @@
+package multigroup
+
+import (
+	"testing"
+
+	"github.com/muerp/quantumnet/internal/core"
+	"github.com/muerp/quantumnet/internal/graph"
+	"github.com/muerp/quantumnet/internal/quantum"
+)
+
+// TestFailedGroupReleasesReservations: a group that commits one channel and
+// then dead-ends must refund the qubits it held.
+func TestFailedGroupReleasesReservations(t *testing.T) {
+	// Group users: u0 - s3 - u1 routable; u2 isolated, so the group fails
+	// after committing u0-u1.
+	g := graph.New(4, 2)
+	g.AddUser(0, 0)       // 0
+	g.AddUser(2000, 0)    // 1
+	g.AddUser(9000, 9000) // 2 isolated
+	g.AddSwitch(1000, 0, 2)
+	g.MustAddEdge(0, 3, 1000)
+	g.MustAddEdge(3, 1, 1000)
+
+	prob, err := core.NewProblem(g, []graph.NodeID{0, 1, 2}, quantum.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	led := quantum.NewLedger(g)
+	b := newTreeBuilder("doomed", prob)
+
+	if !b.tryStep(led) {
+		t.Fatal("first step made no progress")
+	}
+	if led.Free(3) != 0 {
+		t.Fatalf("switch free = %d after commit, want 0", led.Free(3))
+	}
+	// Next step dead-ends on the isolated user: a stall.
+	if b.tryStep(led) {
+		t.Fatal("step progressed toward an isolated user")
+	}
+	b.fail(led)
+	if b.failed == "" {
+		t.Fatal("builder did not record failure")
+	}
+	if led.Free(3) != 2 {
+		t.Fatalf("switch free = %d after failure, want full refund 2", led.Free(3))
+	}
+	// Failed builders are inert.
+	if b.active() || b.tryStep(led) {
+		t.Fatal("failed builder still active")
+	}
+}
+
+// TestRouteFailedGroupDoesNotStarveOthers: under round-robin, a group that
+// fails mid-way frees its qubits so a competing group can finish.
+func TestRouteFailedGroupDoesNotStarveOthers(t *testing.T) {
+	// One bottleneck switch with capacity for exactly one channel. Group A
+	// (u0, u1, u4-isolated) grabs it first under round-robin but then
+	// fails; group B (u2, u3) must still complete through the refunded
+	// switch.
+	g := graph.New(6, 4)
+	g.AddUser(0, 0)       // 0 A
+	g.AddUser(2000, 0)    // 1 A
+	g.AddUser(0, 100)     // 2 B
+	g.AddUser(2000, 100)  // 3 B
+	g.AddUser(9000, 9000) // 4 A, isolated
+	g.AddSwitch(1000, 50, 2)
+	g.MustAddEdge(0, 5, 1000)
+	g.MustAddEdge(1, 5, 1000)
+	g.MustAddEdge(2, 5, 1100)
+	g.MustAddEdge(3, 5, 1100)
+
+	groups := []Group{
+		{Name: "A", Users: []graph.NodeID{0, 1, 4}},
+		{Name: "B", Users: []graph.NodeID{2, 3}},
+	}
+	res, err := Route(g, groups, quantum.DefaultParams(), RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Failed["A"]; !ok {
+		t.Fatalf("group A should fail (isolated user); result: %+v", res)
+	}
+	if _, ok := res.Solutions["B"]; !ok {
+		t.Fatalf("group B starved despite A's failure: %+v", res.Failed)
+	}
+}

@@ -1,0 +1,152 @@
+// Package pq implements an indexed binary min-heap keyed by float64
+// priorities.
+//
+// It is the priority-queue substrate for the Dijkstra engine in
+// internal/graph: items are dense integer IDs (graph node IDs), and
+// DecreaseKey is O(log n) thanks to the position index.
+package pq
+
+import "fmt"
+
+// IndexedMinHeap is a min-heap over integer items in [0, n) with float64
+// priorities and O(log n) DecreaseKey.
+//
+// The zero value is not usable; construct with NewIndexedMinHeap.
+type IndexedMinHeap struct {
+	heap []int     // heap[i] = item at heap position i
+	pos  []int     // pos[item] = position in heap, -1 if absent
+	prio []float64 // prio[item] = current priority
+}
+
+// NewIndexedMinHeap returns an empty heap able to hold items in [0, n).
+func NewIndexedMinHeap(n int) *IndexedMinHeap {
+	if n < 0 {
+		panic(fmt.Sprintf("pq: negative capacity %d", n))
+	}
+	h := &IndexedMinHeap{
+		heap: make([]int, 0, n),
+		pos:  make([]int, n),
+		prio: make([]float64, n),
+	}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+// Len returns the number of items currently in the heap.
+func (h *IndexedMinHeap) Len() int { return len(h.heap) }
+
+// Contains reports whether item is currently in the heap.
+func (h *IndexedMinHeap) Contains(item int) bool {
+	h.check(item)
+	return h.pos[item] >= 0
+}
+
+// Priority returns the priority of item. It panics if the item is not in
+// the heap.
+func (h *IndexedMinHeap) Priority(item int) float64 {
+	if !h.Contains(item) {
+		panic(fmt.Sprintf("pq: item %d not in heap", item))
+	}
+	return h.prio[item]
+}
+
+// Push inserts item with the given priority. It panics if the item is
+// already present.
+func (h *IndexedMinHeap) Push(item int, priority float64) {
+	if h.Contains(item) {
+		panic(fmt.Sprintf("pq: item %d already in heap", item))
+	}
+	h.prio[item] = priority
+	h.pos[item] = len(h.heap)
+	h.heap = append(h.heap, item)
+	h.up(len(h.heap) - 1)
+}
+
+// Pop removes and returns the item with the minimum priority. The boolean is
+// false when the heap is empty.
+func (h *IndexedMinHeap) Pop() (item int, priority float64, ok bool) {
+	if len(h.heap) == 0 {
+		return 0, 0, false
+	}
+	item = h.heap[0]
+	priority = h.prio[item]
+	last := len(h.heap) - 1
+	h.swap(0, last)
+	h.heap = h.heap[:last]
+	h.pos[item] = -1
+	if last > 0 {
+		h.down(0)
+	}
+	return item, priority, true
+}
+
+// DecreaseKey lowers item's priority. It panics if the item is absent or the
+// new priority is higher than the current one.
+func (h *IndexedMinHeap) DecreaseKey(item int, priority float64) {
+	if !h.Contains(item) {
+		panic(fmt.Sprintf("pq: item %d not in heap", item))
+	}
+	if priority > h.prio[item] {
+		panic(fmt.Sprintf("pq: DecreaseKey(%d) would raise priority %g -> %g", item, h.prio[item], priority))
+	}
+	h.prio[item] = priority
+	h.up(h.pos[item])
+}
+
+// PushOrDecrease inserts the item, or lowers its priority if it is already
+// queued with a higher one. It reports whether the heap changed.
+func (h *IndexedMinHeap) PushOrDecrease(item int, priority float64) bool {
+	if !h.Contains(item) {
+		h.Push(item, priority)
+		return true
+	}
+	if priority < h.prio[item] {
+		h.DecreaseKey(item, priority)
+		return true
+	}
+	return false
+}
+
+func (h *IndexedMinHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.prio[h.heap[parent]] <= h.prio[h.heap[i]] {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *IndexedMinHeap) down(i int) {
+	n := len(h.heap)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && h.prio[h.heap[left]] < h.prio[h.heap[smallest]] {
+			smallest = left
+		}
+		if right < n && h.prio[h.heap[right]] < h.prio[h.heap[smallest]] {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (h *IndexedMinHeap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.pos[h.heap[i]] = i
+	h.pos[h.heap[j]] = j
+}
+
+func (h *IndexedMinHeap) check(item int) {
+	if item < 0 || item >= len(h.pos) {
+		panic(fmt.Sprintf("pq: item %d out of range [0, %d)", item, len(h.pos)))
+	}
+}

@@ -1,0 +1,147 @@
+package pq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyPop(t *testing.T) {
+	h := NewIndexedMinHeap(4)
+	if _, _, ok := h.Pop(); ok {
+		t.Fatal("Pop on empty heap reported ok")
+	}
+	if h.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", h.Len())
+	}
+}
+
+func TestPushPopOrdering(t *testing.T) {
+	h := NewIndexedMinHeap(8)
+	prios := []float64{5, 1, 3, 7, 2, 6, 0, 4}
+	for item, p := range prios {
+		h.Push(item, p)
+	}
+	for want := 0.0; want < 8; want++ {
+		item, p, ok := h.Pop()
+		if !ok {
+			t.Fatalf("heap exhausted early at priority %g", want)
+		}
+		if p != want {
+			t.Fatalf("popped priority %g, want %g", p, want)
+		}
+		if prios[item] != p {
+			t.Fatalf("item %d carries priority %g, want %g", item, p, prios[item])
+		}
+	}
+}
+
+func TestContainsAndPriority(t *testing.T) {
+	h := NewIndexedMinHeap(4)
+	h.Push(2, 1.5)
+	if !h.Contains(2) {
+		t.Fatal("Contains(2) = false after push")
+	}
+	if h.Contains(1) {
+		t.Fatal("Contains(1) = true, never pushed")
+	}
+	if got := h.Priority(2); got != 1.5 {
+		t.Fatalf("Priority(2) = %g, want 1.5", got)
+	}
+	h.Pop()
+	if h.Contains(2) {
+		t.Fatal("Contains(2) = true after pop")
+	}
+}
+
+func TestDecreaseKeyReordersHeap(t *testing.T) {
+	h := NewIndexedMinHeap(4)
+	h.Push(0, 10)
+	h.Push(1, 20)
+	h.Push(2, 30)
+	h.DecreaseKey(2, 5)
+	item, p, _ := h.Pop()
+	if item != 2 || p != 5 {
+		t.Fatalf("Pop = (%d, %g), want (2, 5)", item, p)
+	}
+}
+
+func TestPushOrDecrease(t *testing.T) {
+	h := NewIndexedMinHeap(4)
+	if !h.PushOrDecrease(1, 10) {
+		t.Fatal("initial PushOrDecrease = false")
+	}
+	if h.PushOrDecrease(1, 15) {
+		t.Fatal("raising PushOrDecrease = true, want no-op")
+	}
+	if !h.PushOrDecrease(1, 5) {
+		t.Fatal("lowering PushOrDecrease = false")
+	}
+	if got := h.Priority(1); got != 5 {
+		t.Fatalf("Priority(1) = %g, want 5", got)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	tests := []struct {
+		name string
+		fn   func(h *IndexedMinHeap)
+	}{
+		{"push duplicate", func(h *IndexedMinHeap) { h.Push(0, 1); h.Push(0, 2) }},
+		{"decrease absent", func(h *IndexedMinHeap) { h.DecreaseKey(0, 1) }},
+		{"decrease raising", func(h *IndexedMinHeap) { h.Push(0, 1); h.DecreaseKey(0, 2) }},
+		{"priority absent", func(h *IndexedMinHeap) { h.Priority(3) }},
+		{"out of range", func(h *IndexedMinHeap) { h.Contains(99) }},
+		{"negative capacity", func(h *IndexedMinHeap) { NewIndexedMinHeap(-1) }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", tc.name)
+				}
+			}()
+			tc.fn(NewIndexedMinHeap(4))
+		})
+	}
+}
+
+// TestQuickHeapSort checks against sort.Float64s: pushing any random
+// priorities and popping yields a sorted sequence, with DecreaseKey mixed in.
+func TestQuickHeapSort(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(64)
+		h := NewIndexedMinHeap(n)
+		prios := make([]float64, n)
+		for i := range prios {
+			prios[i] = rng.Float64() * 100
+			h.Push(i, prios[i])
+		}
+		// Random decreases.
+		for k := 0; k < n/2; k++ {
+			i := rng.Intn(n)
+			if !h.Contains(i) {
+				continue
+			}
+			lower := prios[i] * rng.Float64()
+			h.DecreaseKey(i, lower)
+			prios[i] = lower
+		}
+		want := append([]float64(nil), prios...)
+		sort.Float64s(want)
+		for _, w := range want {
+			_, p, ok := h.Pop()
+			if !ok || p != w {
+				t.Logf("pop %g want %g ok=%v", p, w, ok)
+				return false
+			}
+		}
+		_, _, ok := h.Pop()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,143 @@
+// Package purify implements recurrence entanglement purification
+// (BBPSSW, Bennett et al. 1996) over Werner states, the standard mechanism
+// the fidelity-aware routing literature (e.g. the paper's reference [18])
+// uses to trade entanglement *rate* for entanglement *fidelity*: two noisy
+// Bell pairs are consumed to probabilistically distill one better pair.
+//
+// Combined with internal/fidelity, this answers the practical question a
+// fidelity floor raises: when no single channel reaches the floor, how many
+// purification rounds (and how much rate) does it take to get there?
+package purify
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Purification errors.
+var (
+	ErrBadFidelity = errors.New("purify: fidelity must be in (0.5, 1] for purification to help")
+	ErrUnreachable = errors.New("purify: target fidelity unreachable by recurrence")
+	ErrBadRounds   = errors.New("purify: negative round count")
+	ErrBadTarget   = errors.New("purify: target fidelity out of (0, 1]")
+	errNotProbable = errors.New("purify: internal: success probability out of range")
+)
+
+// Step applies one BBPSSW recurrence round to two Werner pairs of fidelity
+// f, returning the output fidelity and the success probability:
+//
+//	F' = (F² + ((1-F)/3)²) / P,   P = F² + 2F(1-F)/3 + 5((1-F)/3)²
+//
+// Purification only improves pairs with F > 1/2; lower inputs are rejected.
+func Step(f float64) (fOut, pSucc float64, err error) {
+	if !(f > 0.5 && f <= 1) {
+		return 0, 0, fmt.Errorf("%w: got %g", ErrBadFidelity, f)
+	}
+	bad := (1 - f) / 3
+	pSucc = f*f + 2*f*bad + 5*bad*bad
+	fOut = (f*f + bad*bad) / pSucc
+	if pSucc <= 0 || pSucc > 1 {
+		return 0, 0, fmt.Errorf("%w: %g", errNotProbable, pSucc)
+	}
+	return fOut, pSucc, nil
+}
+
+// Result summarizes a recurrence schedule.
+type Result struct {
+	// Rounds is the number of recurrence levels applied.
+	Rounds int
+	// Fidelity is the output fidelity after the schedule.
+	Fidelity float64
+	// ExpectedPairs is the expected number of raw input pairs consumed per
+	// distilled output pair: E_0 = 1, E_k = 2*E_{k-1}/p_k (failed rounds
+	// discard both inputs and retry).
+	ExpectedPairs float64
+}
+
+// RateFactor returns the multiplicative rate cost of the schedule: the
+// distilled pair rate is the raw rate divided by ExpectedPairs.
+func (r Result) RateFactor() float64 {
+	if r.ExpectedPairs == 0 {
+		return 0
+	}
+	return 1 / r.ExpectedPairs
+}
+
+// Recurrence applies `rounds` BBPSSW levels starting from fidelity f.
+// Round counts of zero return the input unchanged at cost 1.
+func Recurrence(f float64, rounds int) (Result, error) {
+	if rounds < 0 {
+		return Result{}, fmt.Errorf("%w: %d", ErrBadRounds, rounds)
+	}
+	if rounds == 0 {
+		if !(f > 0 && f <= 1) {
+			return Result{}, fmt.Errorf("%w: got %g", ErrBadTarget, f)
+		}
+		return Result{Rounds: 0, Fidelity: f, ExpectedPairs: 1}, nil
+	}
+	res := Result{Fidelity: f, ExpectedPairs: 1}
+	for k := 0; k < rounds; k++ {
+		fOut, pSucc, err := Step(res.Fidelity)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Fidelity = fOut
+		res.ExpectedPairs = 2 * res.ExpectedPairs / pSucc
+		res.Rounds++
+	}
+	return res, nil
+}
+
+// maxRounds bounds RoundsToReach's search; recurrence converges fast, so a
+// schedule deeper than this is never worth its exponential pair cost.
+const maxRounds = 32
+
+// RoundsToReach returns the smallest recurrence schedule whose output
+// fidelity is at least target, starting from fidelity f. It fails with
+// ErrUnreachable when the recurrence plateaus below the target (the BBPSSW
+// map's fixed point is 1, but convergence per round shrinks; practically a
+// cap of 32 rounds detects stalls) and with ErrBadFidelity when f <= 0.5.
+func RoundsToReach(f, target float64) (Result, error) {
+	if !(target > 0 && target <= 1) {
+		return Result{}, fmt.Errorf("%w: %g", ErrBadTarget, target)
+	}
+	if f >= target {
+		return Result{Rounds: 0, Fidelity: f, ExpectedPairs: 1}, nil
+	}
+	if !(f > 0.5) {
+		return Result{}, fmt.Errorf("%w: got %g", ErrBadFidelity, f)
+	}
+	res := Result{Fidelity: f, ExpectedPairs: 1}
+	for res.Rounds < maxRounds {
+		fOut, pSucc, err := Step(res.Fidelity)
+		if err != nil {
+			return Result{}, err
+		}
+		if fOut <= res.Fidelity+1e-15 {
+			return Result{}, fmt.Errorf("%w: plateau at %g < %g", ErrUnreachable, res.Fidelity, target)
+		}
+		res.Fidelity = fOut
+		res.ExpectedPairs = 2 * res.ExpectedPairs / pSucc
+		res.Rounds++
+		if res.Fidelity >= target {
+			return res, nil
+		}
+	}
+	return Result{}, fmt.Errorf("%w: %g after %d rounds, target %g", ErrUnreachable, res.Fidelity, maxRounds, target)
+}
+
+// PlanChannel decides the purification schedule for one routed quantum
+// channel: given the channel's raw end-to-end fidelity and entanglement
+// rate, it returns the schedule meeting the fidelity floor and the
+// channel's effective (distilled) rate.
+func PlanChannel(rawFidelity, rawRate, floor float64) (Result, float64, error) {
+	if !(rawRate >= 0 && rawRate <= 1) || math.IsNaN(rawRate) {
+		return Result{}, 0, fmt.Errorf("purify: raw rate %g out of [0,1]", rawRate)
+	}
+	res, err := RoundsToReach(rawFidelity, floor)
+	if err != nil {
+		return Result{}, 0, err
+	}
+	return res, rawRate * res.RateFactor(), nil
+}

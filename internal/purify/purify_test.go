@@ -1,0 +1,198 @@
+package purify
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStepKnownValue(t *testing.T) {
+	// F = 0.7: bad = 0.1, P = 0.49 + 0.14 + 0.05 = 0.68,
+	// F' = (0.49 + 0.01)/0.68 = 0.7352941...
+	fOut, pSucc, err := Step(0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pSucc-0.68) > 1e-12 {
+		t.Errorf("pSucc = %g, want 0.68", pSucc)
+	}
+	if math.Abs(fOut-0.5/0.68) > 1e-12 {
+		t.Errorf("fOut = %g, want %g", fOut, 0.5/0.68)
+	}
+}
+
+func TestStepPerfectInput(t *testing.T) {
+	fOut, pSucc, err := Step(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fOut != 1 || pSucc != 1 {
+		t.Fatalf("Step(1) = (%g, %g), want (1, 1)", fOut, pSucc)
+	}
+}
+
+func TestStepRejectsLowFidelity(t *testing.T) {
+	for _, f := range []float64{0.5, 0.3, 0, -1, 1.2} {
+		if _, _, err := Step(f); !errors.Is(err, ErrBadFidelity) {
+			t.Errorf("Step(%g) error = %v, want ErrBadFidelity", f, err)
+		}
+	}
+}
+
+// TestQuickStepImproves: one round strictly improves any F in (0.5, 1) and
+// returns a valid probability.
+func TestQuickStepImproves(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fid := 0.5 + 1e-6 + rng.Float64()*(0.5-2e-6)
+		fOut, pSucc, err := Step(fid)
+		if err != nil {
+			return false
+		}
+		return fOut > fid && fOut <= 1 && pSucc > 0 && pSucc <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecurrence(t *testing.T) {
+	res, err := Recurrence(0.8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 3 {
+		t.Fatalf("Rounds = %d", res.Rounds)
+	}
+	// Manual chain must agree.
+	fid, pairs := 0.8, 1.0
+	for i := 0; i < 3; i++ {
+		fOut, p, err := Step(fid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fid = fOut
+		pairs = 2 * pairs / p
+	}
+	if math.Abs(res.Fidelity-fid) > 1e-12 || math.Abs(res.ExpectedPairs-pairs) > 1e-9 {
+		t.Fatalf("Recurrence = %+v, manual = (%g, %g)", res, fid, pairs)
+	}
+	// Pair cost at least doubles per round.
+	if res.ExpectedPairs < 8 {
+		t.Fatalf("ExpectedPairs = %g, want >= 8 for 3 rounds", res.ExpectedPairs)
+	}
+	if rf := res.RateFactor(); math.Abs(rf-1/res.ExpectedPairs) > 1e-15 {
+		t.Fatalf("RateFactor = %g", rf)
+	}
+}
+
+func TestRecurrenceZeroRounds(t *testing.T) {
+	res, err := Recurrence(0.4, 0) // below 0.5 is fine when not purifying
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fidelity != 0.4 || res.ExpectedPairs != 1 {
+		t.Fatalf("zero-round result %+v", res)
+	}
+	if _, err := Recurrence(0.8, -1); !errors.Is(err, ErrBadRounds) {
+		t.Fatalf("negative rounds error = %v", err)
+	}
+}
+
+func TestRoundsToReach(t *testing.T) {
+	res, err := RoundsToReach(0.8, 0.95)
+	if err != nil {
+		t.Fatalf("RoundsToReach: %v", err)
+	}
+	if res.Fidelity < 0.95 {
+		t.Fatalf("reached %g < 0.95", res.Fidelity)
+	}
+	// Minimality: one fewer round must fall short.
+	if res.Rounds == 0 {
+		t.Fatal("expected at least one round")
+	}
+	prev, err := Recurrence(0.8, res.Rounds-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev.Fidelity >= 0.95 {
+		t.Fatalf("%d rounds already reach the target (%g)", res.Rounds-1, prev.Fidelity)
+	}
+}
+
+func TestRoundsToReachAlreadyThere(t *testing.T) {
+	res, err := RoundsToReach(0.9, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 0 || res.ExpectedPairs != 1 || res.Fidelity != 0.9 {
+		t.Fatalf("no-op schedule = %+v", res)
+	}
+	// Works even below the purification threshold when no rounds needed.
+	if _, err := RoundsToReach(0.4, 0.3); err != nil {
+		t.Fatalf("already-satisfied low fidelity rejected: %v", err)
+	}
+}
+
+func TestRoundsToReachRejections(t *testing.T) {
+	if _, err := RoundsToReach(0.4, 0.9); !errors.Is(err, ErrBadFidelity) {
+		t.Errorf("sub-threshold error = %v", err)
+	}
+	if _, err := RoundsToReach(0.8, 1.5); !errors.Is(err, ErrBadTarget) {
+		t.Errorf("bad target error = %v", err)
+	}
+	// Target 1.0 exactly is unreachable from below in finitely many rounds.
+	if _, err := RoundsToReach(0.9, 1); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("target-1 error = %v", err)
+	}
+}
+
+// TestQuickRecurrenceMonotone: fidelity increases and pair cost grows
+// monotonically in the round count.
+func TestQuickRecurrenceMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fid := 0.55 + rng.Float64()*0.4
+		rounds := 1 + rng.Intn(6)
+		var prevF, prevP float64 = fid, 1
+		for k := 1; k <= rounds; k++ {
+			res, err := Recurrence(fid, k)
+			if err != nil {
+				return false
+			}
+			if res.Fidelity <= prevF-1e-15 || res.ExpectedPairs < 2*prevP-1e-9 {
+				return false
+			}
+			prevF, prevP = res.Fidelity, res.ExpectedPairs
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanChannel(t *testing.T) {
+	res, effRate, err := PlanChannel(0.82, 0.4, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fidelity < 0.95 {
+		t.Fatalf("fidelity %g below floor", res.Fidelity)
+	}
+	want := 0.4 / res.ExpectedPairs
+	if math.Abs(effRate-want) > 1e-12 {
+		t.Fatalf("effective rate %g, want %g", effRate, want)
+	}
+	if effRate >= 0.4 {
+		t.Fatal("purification cannot be free")
+	}
+	if _, _, err := PlanChannel(0.82, 1.5, 0.9); err == nil {
+		t.Error("rate > 1 accepted")
+	}
+	if _, _, err := PlanChannel(0.45, 0.4, 0.9); err == nil {
+		t.Error("sub-threshold fidelity accepted")
+	}
+}

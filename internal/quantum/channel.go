@@ -1,0 +1,104 @@
+package quantum
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"github.com/muerp/quantumnet/internal/graph"
+)
+
+// Channel is a quantum channel (paper Definition 2): a width-1 path whose
+// endpoints are quantum users and whose interior vertices are quantum
+// switches, each contributing one BSM swap and consuming 2 qubits.
+type Channel struct {
+	// Nodes lists the path from one endpoint user to the other; interior
+	// entries are switches.
+	Nodes []graph.NodeID
+	// Rate is the channel's entanglement rate per Eq. 1.
+	Rate float64
+}
+
+// Channel construction errors.
+var (
+	ErrShortPath      = errors.New("quantum: a channel needs at least two nodes")
+	ErrEndpointKind   = errors.New("quantum: channel endpoints must be users")
+	ErrInteriorKind   = errors.New("quantum: channel interior vertices must be switches")
+	ErrMissingEdge    = errors.New("quantum: consecutive channel nodes are not adjacent")
+	ErrRepeatedNode   = errors.New("quantum: channel revisits a node")
+	ErrInteriorQubits = errors.New("quantum: interior switch lacks the 2 qubits a channel needs")
+)
+
+// NewChannel validates path against g and computes its Eq. 1 rate.
+// The path must run user -> switches... -> user along existing fibers
+// without revisiting nodes. Interior switch *capacity* is not checked here —
+// that is the routing algorithms' job via Ledger — but a switch with fewer
+// than 2 qubits total can never carry a channel and is rejected outright.
+func NewChannel(g *graph.Graph, path []graph.NodeID, p Params) (Channel, error) {
+	if len(path) < 2 {
+		return Channel{}, fmt.Errorf("%w: got %d", ErrShortPath, len(path))
+	}
+	seen := make(map[graph.NodeID]bool, len(path))
+	for i, id := range path {
+		if !g.HasNode(id) {
+			return Channel{}, fmt.Errorf("quantum: channel node %d: %w", id, graph.ErrUnknownNode)
+		}
+		if seen[id] {
+			return Channel{}, fmt.Errorf("%w: node %d", ErrRepeatedNode, id)
+		}
+		seen[id] = true
+		n := g.Node(id)
+		interior := i > 0 && i < len(path)-1
+		switch {
+		case !interior && n.Kind != graph.KindUser:
+			return Channel{}, fmt.Errorf("%w: node %d is a %s", ErrEndpointKind, id, n.Kind)
+		case interior && n.Kind != graph.KindSwitch:
+			return Channel{}, fmt.Errorf("%w: node %d is a %s", ErrInteriorKind, id, n.Kind)
+		case interior && n.Qubits < 2:
+			return Channel{}, fmt.Errorf("%w: switch %d has %d", ErrInteriorQubits, id, n.Qubits)
+		}
+	}
+	lengths := make([]float64, 0, len(path)-1)
+	for i := 0; i+1 < len(path); i++ {
+		e, ok := g.EdgeBetween(path[i], path[i+1])
+		if !ok {
+			return Channel{}, fmt.Errorf("%w: %d-%d", ErrMissingEdge, path[i], path[i+1])
+		}
+		lengths = append(lengths, e.Length)
+	}
+	nodes := make([]graph.NodeID, len(path))
+	copy(nodes, path)
+	return Channel{Nodes: nodes, Rate: p.ChannelRate(lengths)}, nil
+}
+
+// Endpoints returns the two user endpoints of the channel.
+func (c Channel) Endpoints() (graph.NodeID, graph.NodeID) {
+	return c.Nodes[0], c.Nodes[len(c.Nodes)-1]
+}
+
+// Links returns the number of quantum links (edges) in the channel.
+func (c Channel) Links() int { return len(c.Nodes) - 1 }
+
+// Interior returns the interior (switch) vertices of the channel, in path
+// order. It returns nil for a direct user-user channel.
+func (c Channel) Interior() []graph.NodeID {
+	if len(c.Nodes) <= 2 {
+		return nil
+	}
+	out := make([]graph.NodeID, len(c.Nodes)-2)
+	copy(out, c.Nodes[1:len(c.Nodes)-1])
+	return out
+}
+
+// String renders the channel as "u3 -[2 swaps]-> u7 (rate 1.23e-02)".
+func (c Channel) String() string {
+	if len(c.Nodes) == 0 {
+		return "channel(empty)"
+	}
+	a, b := c.Endpoints()
+	ids := make([]string, len(c.Nodes))
+	for i, id := range c.Nodes {
+		ids[i] = fmt.Sprintf("%d", id)
+	}
+	return fmt.Sprintf("channel %d->%d via [%s] rate %.3e", a, b, strings.Join(ids, " "), c.Rate)
+}

@@ -1,0 +1,141 @@
+package quantum
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/muerp/quantumnet/internal/graph"
+)
+
+// lineNetwork builds u0 - s1 - s2 - u3 with unit-km fibers plus a direct
+// u0-u3 fiber of length 10.
+func lineNetwork(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New(4, 4)
+	u0 := g.AddUser(0, 0)
+	s1 := g.AddSwitch(1, 0, 4)
+	s2 := g.AddSwitch(2, 0, 4)
+	u3 := g.AddUser(3, 0)
+	g.MustAddEdge(u0, s1, 1000)
+	g.MustAddEdge(s1, s2, 1000)
+	g.MustAddEdge(s2, u3, 1000)
+	g.MustAddEdge(u0, u3, 10000)
+	return g
+}
+
+func TestNewChannelComputesRate(t *testing.T) {
+	g := lineNetwork(t)
+	p := DefaultParams()
+	ch, err := NewChannel(g, []graph.NodeID{0, 1, 2, 3}, p)
+	if err != nil {
+		t.Fatalf("NewChannel: %v", err)
+	}
+	want := math.Pow(0.9, 2) * math.Exp(-1e-4*3000)
+	if math.Abs(ch.Rate-want) > 1e-12 {
+		t.Fatalf("Rate = %g, want %g", ch.Rate, want)
+	}
+	if got := ch.Links(); got != 3 {
+		t.Errorf("Links = %d, want 3", got)
+	}
+	a, b := ch.Endpoints()
+	if a != 0 || b != 3 {
+		t.Errorf("Endpoints = %d,%d, want 0,3", a, b)
+	}
+	interior := ch.Interior()
+	if len(interior) != 2 || interior[0] != 1 || interior[1] != 2 {
+		t.Errorf("Interior = %v, want [1 2]", interior)
+	}
+}
+
+func TestNewChannelDirectLink(t *testing.T) {
+	g := lineNetwork(t)
+	ch, err := NewChannel(g, []graph.NodeID{0, 3}, DefaultParams())
+	if err != nil {
+		t.Fatalf("NewChannel direct: %v", err)
+	}
+	want := math.Exp(-1e-4 * 10000) // no swap on a direct link
+	if math.Abs(ch.Rate-want) > 1e-12 {
+		t.Fatalf("Rate = %g, want %g", ch.Rate, want)
+	}
+	if ch.Interior() != nil {
+		t.Fatalf("Interior = %v, want nil", ch.Interior())
+	}
+}
+
+func TestNewChannelRejections(t *testing.T) {
+	g := lineNetwork(t)
+	starved := g.Clone()
+	starved.SetQubits(1, 1)
+	p := DefaultParams()
+	tests := []struct {
+		name    string
+		g       *graph.Graph
+		path    []graph.NodeID
+		wantErr error
+	}{
+		{"too short", g, []graph.NodeID{0}, ErrShortPath},
+		{"empty", g, nil, ErrShortPath},
+		{"switch endpoint", g, []graph.NodeID{1, 2}, ErrEndpointKind},
+		{"user interior", g, []graph.NodeID{0, 3}, nil}, // control: valid
+		{"missing edge", g, []graph.NodeID{0, 2, 3}, ErrMissingEdge},
+		{"unknown node", g, []graph.NodeID{0, 99}, graph.ErrUnknownNode},
+		{"repeated node", g, []graph.NodeID{0, 1, 2, 1}, ErrRepeatedNode},
+		{"starved switch", starved, []graph.NodeID{0, 1, 2, 3}, ErrInteriorQubits},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewChannel(tc.g, tc.path, p)
+			if tc.wantErr == nil {
+				if err != nil {
+					t.Fatalf("NewChannel(%v) = %v, want success", tc.path, err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("NewChannel(%v) error = %v, want %v", tc.path, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestNewChannelUserAsInterior(t *testing.T) {
+	g := graph.New(3, 2)
+	u0 := g.AddUser(0, 0)
+	u1 := g.AddUser(1, 0)
+	u2 := g.AddUser(2, 0)
+	g.MustAddEdge(u0, u1, 1000)
+	g.MustAddEdge(u1, u2, 1000)
+	_, err := NewChannel(g, []graph.NodeID{u0, u1, u2}, DefaultParams())
+	if !errors.Is(err, ErrInteriorKind) {
+		t.Fatalf("user interior error = %v, want ErrInteriorKind", err)
+	}
+}
+
+func TestChannelCopiesPath(t *testing.T) {
+	g := lineNetwork(t)
+	path := []graph.NodeID{0, 1, 2, 3}
+	ch, err := NewChannel(g, path, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path[0] = 99
+	if ch.Nodes[0] != 0 {
+		t.Fatal("channel shares the caller's path slice")
+	}
+}
+
+func TestChannelString(t *testing.T) {
+	g := lineNetwork(t)
+	ch, _ := NewChannel(g, []graph.NodeID{0, 1, 2, 3}, DefaultParams())
+	s := ch.String()
+	for _, want := range []string{"0->3", "rate"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	if got := (Channel{}).String(); got != "channel(empty)" {
+		t.Errorf("empty String() = %q", got)
+	}
+}

@@ -1,0 +1,104 @@
+package quantum
+
+import (
+	"fmt"
+
+	"github.com/muerp/quantumnet/internal/graph"
+)
+
+// Ledger tracks the free qubits of every switch while channels are being
+// committed. Each channel transiting a switch reserves 2 of its qubits
+// (paper §II-C); users are modeled with sufficient capacity and are never
+// charged.
+//
+// The zero value is not usable; construct with NewLedger.
+type Ledger struct {
+	free []int
+	g    *graph.Graph
+}
+
+// NewLedger returns a ledger with every switch's full qubit budget free.
+func NewLedger(g *graph.Graph) *Ledger {
+	l := &Ledger{free: make([]int, g.NumNodes()), g: g}
+	for _, n := range g.Nodes() {
+		if n.Kind == graph.KindSwitch {
+			l.free[n.ID] = n.Qubits
+		}
+	}
+	return l
+}
+
+// Free returns the number of free qubits at a switch. For users it returns
+// 0; users have no budget and are never charged.
+func (l *Ledger) Free(id graph.NodeID) int {
+	l.check(id)
+	return l.free[id]
+}
+
+// CanRelay reports whether node n may serve as a channel-interior vertex
+// right now: it must be a switch with at least 2 free qubits. The signature
+// matches graph.TransitFunc so a ledger can gate Dijkstra runs directly.
+func (l *Ledger) CanRelay(n graph.Node) bool {
+	return n.Kind == graph.KindSwitch && l.free[n.ID] >= 2
+}
+
+// CanCarry reports whether every interior switch of the path has 2 free
+// qubits.
+func (l *Ledger) CanCarry(path []graph.NodeID) bool {
+	for i := 1; i+1 < len(path); i++ {
+		if l.free[path[i]] < 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// Reserve charges 2 qubits at every interior switch of the path. It fails
+// without side effects when some switch lacks capacity.
+func (l *Ledger) Reserve(path []graph.NodeID) error {
+	if !l.CanCarry(path) {
+		return fmt.Errorf("quantum: reserve %v: %w", path, ErrInteriorQubits)
+	}
+	for i := 1; i+1 < len(path); i++ {
+		l.free[path[i]] -= 2
+	}
+	return nil
+}
+
+// Release refunds 2 qubits at every interior switch of the path, undoing a
+// prior Reserve. It panics if the refund would exceed a switch's total
+// budget, which indicates release without a matching reserve.
+func (l *Ledger) Release(path []graph.NodeID) {
+	for i := 1; i+1 < len(path); i++ {
+		id := path[i]
+		l.free[id] += 2
+		if l.free[id] > l.g.Node(id).Qubits {
+			panic(fmt.Sprintf("quantum: release of unreserved capacity at switch %d", id))
+		}
+	}
+}
+
+// Clone returns an independent copy of the ledger.
+func (l *Ledger) Clone() *Ledger {
+	c := &Ledger{free: make([]int, len(l.free)), g: l.g}
+	copy(c.free, l.free)
+	return c
+}
+
+// UsedQubits returns the total number of qubits currently reserved across
+// all switches.
+func (l *Ledger) UsedQubits() int {
+	used := 0
+	for _, n := range l.g.Nodes() {
+		if n.Kind == graph.KindSwitch {
+			used += n.Qubits - l.free[n.ID]
+		}
+	}
+	return used
+}
+
+func (l *Ledger) check(id graph.NodeID) {
+	if id < 0 || int(id) >= len(l.free) {
+		panic(fmt.Sprintf("quantum: ledger: unknown node %d", id))
+	}
+}

@@ -1,0 +1,137 @@
+package quantum
+
+import (
+	"testing"
+
+	"github.com/muerp/quantumnet/internal/graph"
+)
+
+func ledgerNetwork(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New(4, 3)
+	g.AddUser(0, 0)      // 0
+	g.AddSwitch(1, 0, 4) // 1
+	g.AddSwitch(2, 0, 2) // 2
+	g.AddUser(3, 0)      // 3
+	g.MustAddEdge(0, 1, 100)
+	g.MustAddEdge(1, 2, 100)
+	g.MustAddEdge(2, 3, 100)
+	return g
+}
+
+func TestLedgerInitialBudgets(t *testing.T) {
+	g := ledgerNetwork(t)
+	l := NewLedger(g)
+	if got := l.Free(1); got != 4 {
+		t.Errorf("Free(switch 1) = %d, want 4", got)
+	}
+	if got := l.Free(2); got != 2 {
+		t.Errorf("Free(switch 2) = %d, want 2", got)
+	}
+	if got := l.Free(0); got != 0 {
+		t.Errorf("Free(user) = %d, want 0 (users have no budget)", got)
+	}
+	if got := l.UsedQubits(); got != 0 {
+		t.Errorf("UsedQubits = %d, want 0", got)
+	}
+}
+
+func TestReserveAndRelease(t *testing.T) {
+	g := ledgerNetwork(t)
+	l := NewLedger(g)
+	path := []graph.NodeID{0, 1, 2, 3}
+	if !l.CanCarry(path) {
+		t.Fatal("fresh ledger cannot carry the channel")
+	}
+	if err := l.Reserve(path); err != nil {
+		t.Fatalf("Reserve: %v", err)
+	}
+	if got := l.Free(1); got != 2 {
+		t.Errorf("Free(1) after reserve = %d, want 2", got)
+	}
+	if got := l.Free(2); got != 0 {
+		t.Errorf("Free(2) after reserve = %d, want 0", got)
+	}
+	if got := l.UsedQubits(); got != 4 {
+		t.Errorf("UsedQubits = %d, want 4", got)
+	}
+	// Switch 2 is exhausted: a second channel must be rejected atomically.
+	if l.CanCarry(path) {
+		t.Fatal("exhausted switch still reported able to carry")
+	}
+	if err := l.Reserve(path); err == nil {
+		t.Fatal("Reserve over capacity succeeded")
+	}
+	if got := l.Free(1); got != 2 {
+		t.Errorf("failed Reserve mutated Free(1) = %d, want 2", got)
+	}
+	l.Release(path)
+	if l.Free(1) != 4 || l.Free(2) != 2 {
+		t.Fatalf("Release did not restore budgets: %d, %d", l.Free(1), l.Free(2))
+	}
+}
+
+func TestReserveIgnoresEndpoints(t *testing.T) {
+	g := ledgerNetwork(t)
+	l := NewLedger(g)
+	// Direct user-user path reserves nothing.
+	if err := l.Reserve([]graph.NodeID{0, 3}); err != nil {
+		t.Fatalf("Reserve direct: %v", err)
+	}
+	if got := l.UsedQubits(); got != 0 {
+		t.Fatalf("direct channel consumed %d qubits", got)
+	}
+}
+
+func TestCanRelay(t *testing.T) {
+	g := ledgerNetwork(t)
+	l := NewLedger(g)
+	if l.CanRelay(g.Node(0)) {
+		t.Error("user reported as relay-capable")
+	}
+	if !l.CanRelay(g.Node(2)) {
+		t.Error("switch with 2 free qubits rejected")
+	}
+	if err := l.Reserve([]graph.NodeID{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if l.CanRelay(g.Node(2)) {
+		t.Error("exhausted switch reported relay-capable")
+	}
+	if !l.CanRelay(g.Node(1)) {
+		t.Error("half-used switch rejected")
+	}
+}
+
+func TestLedgerClone(t *testing.T) {
+	g := ledgerNetwork(t)
+	l := NewLedger(g)
+	c := l.Clone()
+	if err := c.Reserve([]graph.NodeID{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if l.Free(2) != 2 {
+		t.Fatal("clone mutation leaked into the original")
+	}
+}
+
+func TestReleaseUnreservedPanics(t *testing.T) {
+	g := ledgerNetwork(t)
+	l := NewLedger(g)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release without Reserve did not panic")
+		}
+	}()
+	l.Release([]graph.NodeID{0, 1, 2, 3})
+}
+
+func TestLedgerUnknownNodePanics(t *testing.T) {
+	l := NewLedger(ledgerNetwork(t))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Free(99) did not panic")
+		}
+	}()
+	l.Free(99)
+}

@@ -1,0 +1,80 @@
+// Package quantum implements the physical model of the MUERP paper:
+// entanglement rates of quantum links (p = exp(-alpha*L)), quantum channels
+// (Eq. 1), entanglement trees (Eq. 2), and the switch-qubit accounting that
+// constrains routing.
+package quantum
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Params holds the physical-layer constants of the model.
+type Params struct {
+	// Alpha is the fiber attenuation constant per kilometre; the link
+	// entanglement success rate is exp(-Alpha*L). The paper uses 1e-4.
+	Alpha float64
+	// SwapProb is q, the success probability of one Bell-state-measurement
+	// entanglement swap at a switch. The paper's default is 0.9.
+	SwapProb float64
+}
+
+// DefaultParams returns the paper's §V-A defaults: alpha = 1e-4, q = 0.9.
+func DefaultParams() Params {
+	return Params{Alpha: 1e-4, SwapProb: 0.9}
+}
+
+// ErrBadParams reports physically meaningless parameters.
+var ErrBadParams = errors.New("quantum: invalid physical parameters")
+
+// Validate checks that the parameters are physically meaningful:
+// alpha > 0 and q in (0, 1].
+func (p Params) Validate() error {
+	if !(p.Alpha > 0) || math.IsInf(p.Alpha, 1) {
+		return fmt.Errorf("%w: alpha %g must be positive and finite", ErrBadParams, p.Alpha)
+	}
+	if !(p.SwapProb > 0 && p.SwapProb <= 1) {
+		return fmt.Errorf("%w: swap probability %g must be in (0, 1]", ErrBadParams, p.SwapProb)
+	}
+	return nil
+}
+
+// LinkRate returns the entanglement success rate of a quantum link over a
+// fiber of the given length: exp(-alpha*L).
+func (p Params) LinkRate(length float64) float64 {
+	return math.Exp(-p.Alpha * length)
+}
+
+// EdgeWeight returns the Dijkstra edge weight of the paper's Algorithm 1:
+// alpha*L - ln q. Summing it over a path of l links gives
+// alpha*sum(L) + l*(-ln q); RateFromDistance undoes the transform.
+func (p Params) EdgeWeight(length float64) float64 {
+	return p.Alpha*length - math.Log(p.SwapProb)
+}
+
+// RateFromDistance converts a summed Algorithm-1 distance back into the
+// channel entanglement rate of Eq. 1. A distance over l links is
+// alpha*sum(L) + l*(-ln q), one -ln q more than the channel's l-1 swaps
+// cost, so the rate is
+//
+//	exp(-ln q - dist) = q^(l-1) * exp(-alpha*sum(L)),
+//
+// matching line 27 of the paper's Algorithm 1 (RATE <- exp(-ln q - Dist)).
+func (p Params) RateFromDistance(dist float64) float64 {
+	return math.Exp(-math.Log(p.SwapProb) - dist)
+}
+
+// ChannelRate computes Eq. 1 directly from a channel's link lengths:
+// q^(links-1) * prod_i exp(-alpha*L_i). It returns 0 for an empty length
+// list, which does not describe a channel.
+func (p Params) ChannelRate(lengths []float64) float64 {
+	if len(lengths) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, l := range lengths {
+		total += l
+	}
+	return math.Pow(p.SwapProb, float64(len(lengths)-1)) * math.Exp(-p.Alpha*total)
+}

@@ -1,0 +1,153 @@
+package quantum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultParams(t *testing.T) {
+	p := DefaultParams()
+	if p.Alpha != 1e-4 {
+		t.Errorf("Alpha = %g, want 1e-4", p.Alpha)
+	}
+	if p.SwapProb != 0.9 {
+		t.Errorf("SwapProb = %g, want 0.9", p.SwapProb)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("default params invalid: %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       Params
+		wantErr bool
+	}{
+		{"defaults", DefaultParams(), false},
+		{"q = 1 allowed", Params{Alpha: 1e-4, SwapProb: 1}, false},
+		{"zero alpha", Params{Alpha: 0, SwapProb: 0.9}, true},
+		{"negative alpha", Params{Alpha: -1, SwapProb: 0.9}, true},
+		{"infinite alpha", Params{Alpha: math.Inf(1), SwapProb: 0.9}, true},
+		{"NaN alpha", Params{Alpha: math.NaN(), SwapProb: 0.9}, true},
+		{"zero q", Params{Alpha: 1e-4, SwapProb: 0}, true},
+		{"q > 1", Params{Alpha: 1e-4, SwapProb: 1.1}, true},
+		{"negative q", Params{Alpha: 1e-4, SwapProb: -0.5}, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.p.Validate()
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("Validate() = %v, wantErr=%v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestLinkRate(t *testing.T) {
+	p := Params{Alpha: 1e-4, SwapProb: 0.9}
+	tests := []struct {
+		length float64
+		want   float64
+	}{
+		{0, 1},
+		{1000, math.Exp(-0.1)},
+		{10000, math.Exp(-1)},
+	}
+	for _, tc := range tests {
+		if got := p.LinkRate(tc.length); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("LinkRate(%g) = %g, want %g", tc.length, got, tc.want)
+		}
+	}
+}
+
+func TestChannelRateMatchesEquationOne(t *testing.T) {
+	p := Params{Alpha: 1e-4, SwapProb: 0.9}
+	tests := []struct {
+		name    string
+		lengths []float64
+		want    float64
+	}{
+		{"empty is not a channel", nil, 0},
+		// Single link: no swap, rate = exp(-alpha*L).
+		{"one link", []float64{1000}, math.Exp(-0.1)},
+		// Two links through one switch: q * p1 * p2 (Fig. 4a's p^2*q).
+		{"two links", []float64{1000, 2000}, 0.9 * math.Exp(-0.3)},
+		// Four links, three swaps.
+		{"four links", []float64{500, 500, 500, 500}, math.Pow(0.9, 3) * math.Exp(-0.2)},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := p.ChannelRate(tc.lengths); math.Abs(got-tc.want) > 1e-12 {
+				t.Fatalf("ChannelRate(%v) = %g, want %g", tc.lengths, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestQuickWeightDistanceInverse checks the Algorithm 1 transform: for any
+// channel, summing EdgeWeight over its links and applying RateFromDistance
+// reproduces the direct Eq. 1 product.
+func TestQuickWeightDistanceInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := Params{Alpha: 1e-5 + rng.Float64()*1e-3, SwapProb: 0.05 + rng.Float64()*0.95}
+		links := 1 + rng.Intn(8)
+		lengths := make([]float64, links)
+		dist := 0.0
+		for i := range lengths {
+			lengths[i] = rng.Float64() * 5000
+			dist += p.EdgeWeight(lengths[i])
+		}
+		direct := p.ChannelRate(lengths)
+		viaLog := p.RateFromDistance(dist)
+		if direct == 0 && viaLog == 0 {
+			return true
+		}
+		return math.Abs(direct-viaLog) <= 1e-9*math.Max(direct, viaLog)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRatesAreProbabilities checks 0 < rate <= 1 for all physical
+// inputs.
+func TestQuickRatesAreProbabilities(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := Params{Alpha: 1e-5 + rng.Float64()*1e-3, SwapProb: 0.05 + rng.Float64()*0.95}
+		links := 1 + rng.Intn(10)
+		lengths := make([]float64, links)
+		for i := range lengths {
+			lengths[i] = rng.Float64() * 10000
+		}
+		r := p.ChannelRate(lengths)
+		return r > 0 && r <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLongerChannelsNeverBetter: adding a link to a channel can only
+// lower its rate (monotonicity that justifies the greedy searches).
+func TestQuickLongerChannelsNeverBetter(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := Params{Alpha: 1e-5 + rng.Float64()*1e-3, SwapProb: 0.05 + rng.Float64()*0.95}
+		links := 1 + rng.Intn(8)
+		lengths := make([]float64, links)
+		for i := range lengths {
+			lengths[i] = rng.Float64() * 5000
+		}
+		shorter := p.ChannelRate(lengths)
+		longer := p.ChannelRate(append(lengths, rng.Float64()*5000))
+		return longer <= shorter+1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,190 @@
+package quantum
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/muerp/quantumnet/internal/graph"
+)
+
+// starNetwork builds three users around one switch (Fig. 4a):
+//
+//	u0, u1, u2 all adjacent to s3 (4 qubits) and to each other via long
+//	direct fibers.
+func starNetwork(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New(4, 6)
+	g.AddUser(0, 0)      // u0
+	g.AddUser(2, 0)      // u1
+	g.AddUser(1, 2)      // u2
+	g.AddSwitch(1, 1, 4) // s3
+	g.MustAddEdge(0, 3, 1000)
+	g.MustAddEdge(1, 3, 1000)
+	g.MustAddEdge(2, 3, 1000)
+	g.MustAddEdge(0, 1, 9000)
+	g.MustAddEdge(0, 2, 9000)
+	return g
+}
+
+func mustChannel(t *testing.T, g *graph.Graph, p Params, path ...graph.NodeID) Channel {
+	t.Helper()
+	ch, err := NewChannel(g, path, p)
+	if err != nil {
+		t.Fatalf("NewChannel(%v): %v", path, err)
+	}
+	return ch
+}
+
+func TestTreeRateIsProduct(t *testing.T) {
+	g := starNetwork(t)
+	p := DefaultParams()
+	c1 := mustChannel(t, g, p, 0, 3, 1)
+	c2 := mustChannel(t, g, p, 0, 2)
+	tree := Tree{Channels: []Channel{c1, c2}}
+	want := c1.Rate * c2.Rate
+	if math.Abs(tree.Rate()-want) > 1e-15 {
+		t.Fatalf("Rate = %g, want %g", tree.Rate(), want)
+	}
+	if math.Abs(tree.LogRate()-math.Log(want)) > 1e-9 {
+		t.Fatalf("LogRate = %g, want %g", tree.LogRate(), math.Log(want))
+	}
+}
+
+func TestEmptyTreeRate(t *testing.T) {
+	tree := Tree{}
+	if tree.Rate() != 1 {
+		t.Fatalf("empty Rate = %g, want 1", tree.Rate())
+	}
+	if tree.LogRate() != 0 {
+		t.Fatalf("empty LogRate = %g, want 0", tree.LogRate())
+	}
+}
+
+func TestTreeQubitLoad(t *testing.T) {
+	g := starNetwork(t)
+	p := DefaultParams()
+	tree := Tree{Channels: []Channel{
+		mustChannel(t, g, p, 0, 3, 1),
+		mustChannel(t, g, p, 0, 3, 2),
+	}}
+	load := tree.QubitLoad()
+	if got := load[3]; got != 4 {
+		t.Fatalf("QubitLoad[s3] = %d, want 4 (Fig. 4a)", got)
+	}
+	users := tree.Users()
+	for _, u := range []graph.NodeID{0, 1, 2} {
+		if !users[u] {
+			t.Errorf("Users() missing %d", u)
+		}
+	}
+}
+
+func TestValidateTreeAccepts(t *testing.T) {
+	g := starNetwork(t)
+	p := DefaultParams()
+	// The Fig. 4a configuration: two channels through the switch.
+	tree := Tree{Channels: []Channel{
+		mustChannel(t, g, p, 0, 3, 1),
+		mustChannel(t, g, p, 0, 3, 2),
+	}}
+	if err := ValidateTree(g, []graph.NodeID{0, 1, 2}, tree, p); err != nil {
+		t.Fatalf("ValidateTree: %v", err)
+	}
+}
+
+func TestValidateTreeSingleUser(t *testing.T) {
+	g := starNetwork(t)
+	if err := ValidateTree(g, []graph.NodeID{0}, Tree{}, DefaultParams()); err != nil {
+		t.Fatalf("single user with no channels: %v", err)
+	}
+}
+
+func TestValidateTreeRejections(t *testing.T) {
+	g := starNetwork(t)
+	p := DefaultParams()
+	c01 := mustChannel(t, g, p, 0, 3, 1)
+	c02 := mustChannel(t, g, p, 0, 3, 2)
+	c01direct := mustChannel(t, g, p, 0, 1)
+	c02direct := mustChannel(t, g, p, 0, 2)
+	users := []graph.NodeID{0, 1, 2}
+
+	badRate := c01
+	badRate.Rate *= 2
+
+	tightG := g.Clone()
+	tightG.SetQubits(3, 2) // only one channel fits through the switch
+
+	tests := []struct {
+		name    string
+		g       *graph.Graph
+		users   []graph.NodeID
+		tree    Tree
+		wantErr error
+	}{
+		{"too few channels", g, users, Tree{Channels: []Channel{c01}}, ErrWrongTreeDegree},
+		{"loop among users", g, users,
+			Tree{Channels: []Channel{c01, c01direct}}, nil /* dup pair first */},
+		{"duplicate pair", g, users,
+			Tree{Channels: []Channel{c01, c01direct}}, ErrDuplicatePair},
+		{"disconnected", g, users,
+			Tree{Channels: []Channel{c01, c01direct}}, ErrDuplicatePair},
+		{"foreign endpoint", g, []graph.NodeID{0, 1},
+			Tree{Channels: []Channel{c02}}, ErrForeignUser},
+		{"rate mismatch", g, users,
+			Tree{Channels: []Channel{badRate, c02}}, ErrRateMismatch},
+		{"over capacity", tightG, users,
+			Tree{Channels: []Channel{c01, c02}}, ErrOverCapacity},
+		{"empty users", g, nil, Tree{}, nil},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateTree(tc.g, tc.users, tc.tree, p)
+			if err == nil {
+				t.Fatalf("ValidateTree accepted %s", tc.name)
+			}
+			if tc.wantErr != nil && !errors.Is(err, tc.wantErr) {
+				t.Fatalf("error = %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+
+	// A genuine loop: three channels pairwise-connecting three users.
+	c12 := Tree{Channels: []Channel{c01direct, c02direct, mustChannel(t, g, p, 0, 3, 1)}}
+	err := ValidateTree(g, users, c12, p)
+	if !errors.Is(err, ErrWrongTreeDegree) {
+		t.Fatalf("3 channels over 3 users error = %v, want ErrWrongTreeDegree", err)
+	}
+}
+
+func TestValidateTreeUserListChecks(t *testing.T) {
+	g := starNetwork(t)
+	p := DefaultParams()
+	if err := ValidateTree(g, []graph.NodeID{0, 0}, Tree{}, p); err == nil {
+		t.Fatal("duplicate user accepted")
+	}
+	if err := ValidateTree(g, []graph.NodeID{3}, Tree{}, p); err == nil {
+		t.Fatal("switch in user set accepted")
+	}
+	if err := ValidateTree(g, []graph.NodeID{99}, Tree{}, p); err == nil {
+		t.Fatal("unknown node in user set accepted")
+	}
+}
+
+func TestValidateTreeCapacityBoundary(t *testing.T) {
+	g := starNetwork(t)
+	p := DefaultParams()
+	// Exactly at capacity (4 qubits, two channels) passes; shrinking to 3
+	// fails (a channel needs 2 whole qubits).
+	tree := Tree{Channels: []Channel{
+		mustChannel(t, g, p, 0, 3, 1),
+		mustChannel(t, g, p, 0, 3, 2),
+	}}
+	if err := ValidateTree(g, []graph.NodeID{0, 1, 2}, tree, p); err != nil {
+		t.Fatalf("at-capacity tree rejected: %v", err)
+	}
+	g.SetQubits(3, 3)
+	if err := ValidateTree(g, []graph.NodeID{0, 1, 2}, tree, p); !errors.Is(err, ErrOverCapacity) {
+		t.Fatalf("3-qubit switch error = %v, want ErrOverCapacity", err)
+	}
+}

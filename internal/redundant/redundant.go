@@ -1,0 +1,171 @@
+// Package redundant lifts the paper's "at most one quantum channel between
+// one pair of quantum users" assumption (§II-D), the relaxation the paper
+// itself flags as a natural extension: when switch capacity is left over, a
+// user pair of the entanglement tree can hold several parallel channels,
+// and the pair entangles if *any* of them comes up in the round.
+//
+// With channels C_1..C_k between a pair, the pair's success probability is
+// 1 - prod_i (1 - P(C_i)), and the tree's rate remains the product over its
+// pairs. Parallel channels consume independent qubit pairs, so they respect
+// the same ledger; they may share fibers (multi-core, unlimited) and even
+// the same path.
+package redundant
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/muerp/quantumnet/internal/core"
+	"github.com/muerp/quantumnet/internal/graph"
+	"github.com/muerp/quantumnet/internal/quantum"
+	"github.com/muerp/quantumnet/internal/unionfind"
+)
+
+// PairChannels is one tree edge: a user pair and its parallel channels.
+type PairChannels struct {
+	A, B     graph.NodeID
+	Channels []quantum.Channel
+}
+
+// Rate returns the pair's any-channel success probability.
+func (pc PairChannels) Rate() float64 {
+	fail := 1.0
+	for _, ch := range pc.Channels {
+		fail *= 1 - ch.Rate
+	}
+	return 1 - fail
+}
+
+// Solution is a redundant entanglement tree.
+type Solution struct {
+	Pairs []PairChannels
+}
+
+// Rate returns the tree's entanglement rate: the product of pair rates.
+func (s *Solution) Rate() float64 {
+	rate := 1.0
+	for _, pc := range s.Pairs {
+		rate *= pc.Rate()
+	}
+	return rate
+}
+
+// Width returns the largest channel count on any pair.
+func (s *Solution) Width() int {
+	w := 0
+	for _, pc := range s.Pairs {
+		if len(pc.Channels) > w {
+			w = len(pc.Channels)
+		}
+	}
+	return w
+}
+
+// ErrBadWidth rejects non-positive width caps.
+var ErrBadWidth = errors.New("redundant: maxWidth must be at least 1")
+
+// Boost converts a single-channel tree into a redundant one: starting from
+// base's channels (width 1), it greedily adds, while capacity remains and
+// every pair is below maxWidth, the backup channel with the largest
+// multiplicative gain to the tree rate. maxWidth = 1 returns base's tree
+// unchanged (in redundant form).
+func Boost(p *core.Problem, base *core.Solution, maxWidth int) (*Solution, error) {
+	if base == nil {
+		return nil, errors.New("redundant: nil base solution")
+	}
+	if maxWidth < 1 {
+		return nil, fmt.Errorf("%w: %d", ErrBadWidth, maxWidth)
+	}
+	led := quantum.NewLedger(p.Graph)
+	sol := &Solution{}
+	for _, ch := range base.Tree.Channels {
+		a, b := ch.Endpoints()
+		if err := led.Reserve(ch.Nodes); err != nil {
+			return nil, fmt.Errorf("redundant: base tree does not fit capacity: %w", err)
+		}
+		sol.Pairs = append(sol.Pairs, PairChannels{A: a, B: b, Channels: []quantum.Channel{ch}})
+	}
+
+	for {
+		bestGain := 1.0
+		bestPair := -1
+		var bestCh quantum.Channel
+		for i := range sol.Pairs {
+			pc := &sol.Pairs[i]
+			if len(pc.Channels) >= maxWidth {
+				continue
+			}
+			ch, ok := p.MaxRateChannel(pc.A, pc.B, led)
+			if !ok {
+				continue
+			}
+			old := pc.Rate()
+			gain := (1 - (1-old)*(1-ch.Rate)) / old
+			if gain > bestGain+1e-15 {
+				bestGain = gain
+				bestPair = i
+				bestCh = ch
+			}
+		}
+		if bestPair < 0 {
+			return sol, nil
+		}
+		if err := led.Reserve(bestCh.Nodes); err != nil {
+			panic(fmt.Sprintf("redundant: reserve after gated search: %v", err))
+		}
+		sol.Pairs[bestPair].Channels = append(sol.Pairs[bestPair].Channels, bestCh)
+	}
+}
+
+// Validate checks a redundant solution: the pairs form a spanning tree over
+// the users, every channel is a valid channel of the graph joining its
+// pair, and the joint qubit load of all channels respects every switch.
+func Validate(p *core.Problem, s *Solution) error {
+	if s == nil {
+		return errors.New("redundant: nil solution")
+	}
+	if len(s.Pairs) != len(p.Users)-1 {
+		return fmt.Errorf("redundant: %d pairs for %d users", len(s.Pairs), len(p.Users))
+	}
+	idx := make(map[graph.NodeID]int, len(p.Users))
+	for i, u := range p.Users {
+		idx[u] = i
+	}
+	uf := unionfind.New(len(p.Users))
+	load := map[graph.NodeID]int{}
+	for _, pc := range s.Pairs {
+		ia, okA := idx[pc.A]
+		ib, okB := idx[pc.B]
+		if !okA || !okB {
+			return fmt.Errorf("redundant: pair %d-%d outside the user set", pc.A, pc.B)
+		}
+		if !uf.Union(ia, ib) {
+			return fmt.Errorf("redundant: pairs form a loop at %d-%d", pc.A, pc.B)
+		}
+		if len(pc.Channels) == 0 {
+			return fmt.Errorf("redundant: pair %d-%d has no channels", pc.A, pc.B)
+		}
+		for _, ch := range pc.Channels {
+			rebuilt, err := quantum.NewChannel(p.Graph, ch.Nodes, p.Params)
+			if err != nil {
+				return fmt.Errorf("redundant: pair %d-%d: %w", pc.A, pc.B, err)
+			}
+			a, b := rebuilt.Endpoints()
+			if !(a == pc.A && b == pc.B || a == pc.B && b == pc.A) {
+				return fmt.Errorf("redundant: channel %v does not join pair %d-%d", ch.Nodes, pc.A, pc.B)
+			}
+			for _, sw := range rebuilt.Interior() {
+				load[sw] += 2
+			}
+		}
+	}
+	if uf.Sets() != 1 {
+		return fmt.Errorf("redundant: pairs do not span the users (%d groups)", uf.Sets())
+	}
+	for sw, used := range load {
+		if q := p.Graph.Node(sw).Qubits; used > q {
+			return fmt.Errorf("redundant: switch %d uses %d of %d qubits", sw, used, q)
+		}
+	}
+	return nil
+}

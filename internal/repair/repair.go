@@ -1,0 +1,144 @@
+// Package repair maintains a committed entanglement tree across fiber
+// failures. Fig. 7b of the paper studies how *re-routing from scratch*
+// degrades as fibers disappear; operationally a network would rather keep
+// the surviving channels and re-route only the broken ones. This package
+// implements that local repair and quantifies when it matches — and when it
+// loses to — a full re-route.
+package repair
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/muerp/quantumnet/internal/core"
+	"github.com/muerp/quantumnet/internal/graph"
+	"github.com/muerp/quantumnet/internal/quantum"
+	"github.com/muerp/quantumnet/internal/unionfind"
+)
+
+// Outcome reports one repair operation.
+type Outcome struct {
+	// Solution is the repaired tree on the degraded network.
+	Solution *core.Solution
+	// Rerouted counts the channels that had to be replaced.
+	Rerouted int
+	// Kept counts the surviving channels that were retained.
+	Kept int
+}
+
+// ErrNilInput reports missing arguments.
+var ErrNilInput = errors.New("repair: nil input")
+
+// AfterEdgeFailures repairs sol after the given fibers failed: surviving
+// channels keep their reservations; channels that crossed a failed fiber
+// are torn down and their user pairs reconnected greedily (maximum-rate
+// channel between the split unions, the Algorithm 3 phase-2 rule) under
+// the residual capacity of the degraded network.
+//
+// degraded must be the graph with the fibers already removed (see
+// graph.WithoutEdges); failed lists the removed fibers as (A, B) endpoint
+// pairs of the original graph. Returns core.ErrInfeasible when the
+// surviving network cannot reconnect the users.
+func AfterEdgeFailures(degraded *graph.Graph, users []graph.NodeID, sol *core.Solution, failed []graph.Edge, params quantum.Params) (Outcome, error) {
+	if degraded == nil || sol == nil {
+		return Outcome{}, ErrNilInput
+	}
+	prob, err := core.NewProblem(degraded, users, params)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("repair: %w", err)
+	}
+
+	gone := make(map[[2]graph.NodeID]bool, len(failed))
+	key := func(a, b graph.NodeID) [2]graph.NodeID {
+		if a > b {
+			a, b = b, a
+		}
+		return [2]graph.NodeID{a, b}
+	}
+	for _, e := range failed {
+		gone[key(e.A, e.B)] = true
+	}
+
+	idx := make(map[graph.NodeID]int, len(users))
+	for i, u := range users {
+		idx[u] = i
+	}
+
+	led := quantum.NewLedger(degraded)
+	uf := unionfind.New(len(users))
+	tree := quantum.Tree{}
+	kept := 0
+	for _, ch := range sol.Tree.Channels {
+		if channelBroken(ch, gone, key) {
+			continue
+		}
+		// Surviving channel: recompute against the degraded graph (rates
+		// are unchanged — same fibers — but this revalidates structure).
+		fresh, err := quantum.NewChannel(degraded, ch.Nodes, params)
+		if err != nil {
+			return Outcome{}, fmt.Errorf("repair: surviving channel invalid on degraded graph: %w", err)
+		}
+		if err := led.Reserve(fresh.Nodes); err != nil {
+			return Outcome{}, fmt.Errorf("repair: surviving channel lost its capacity: %w", err)
+		}
+		a, b := fresh.Endpoints()
+		uf.Union(idx[a], idx[b])
+		tree.Channels = append(tree.Channels, fresh)
+		kept++
+	}
+
+	if err := prob.ReconnectUnions(led, uf, &tree); err != nil {
+		return Outcome{}, err
+	}
+	out := &core.Solution{Tree: tree, Algorithm: "repair", MeasurementFactor: 1}
+	if err := prob.Validate(out); err != nil {
+		return Outcome{}, fmt.Errorf("repair: produced an invalid tree: %w", err)
+	}
+	return Outcome{
+		Solution: out,
+		Rerouted: len(tree.Channels) - kept,
+		Kept:     kept,
+	}, nil
+}
+
+// channelBroken reports whether the channel used any failed fiber.
+func channelBroken(ch quantum.Channel, gone map[[2]graph.NodeID]bool, key func(a, b graph.NodeID) [2]graph.NodeID) bool {
+	for i := 0; i+1 < len(ch.Nodes); i++ {
+		if gone[key(ch.Nodes[i], ch.Nodes[i+1])] {
+			return true
+		}
+	}
+	return false
+}
+
+// CompareWithReroute repairs locally and also re-routes from scratch
+// (Algorithm 3) on the degraded network, returning both rates (0 for an
+// infeasible side). Local repair keeps working channels but is constrained
+// by their existing reservations; a full re-route is free to restructure —
+// the returned pair quantifies that trade-off.
+func CompareWithReroute(degraded *graph.Graph, users []graph.NodeID, sol *core.Solution, failed []graph.Edge, params quantum.Params) (repaired, rerouted float64, err error) {
+	out, err := AfterEdgeFailures(degraded, users, sol, failed, params)
+	switch {
+	case err == nil:
+		repaired = out.Solution.Rate()
+	case errors.Is(err, core.ErrInfeasible):
+		repaired = 0
+	default:
+		return 0, 0, err
+	}
+
+	prob, err := core.NewProblem(degraded, users, params)
+	if err != nil {
+		return 0, 0, err
+	}
+	full, err := core.SolveConflictFree(prob)
+	switch {
+	case err == nil:
+		rerouted = full.Rate()
+	case errors.Is(err, core.ErrInfeasible):
+		rerouted = 0
+	default:
+		return 0, 0, err
+	}
+	return repaired, rerouted, nil
+}

@@ -1,0 +1,258 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/muerp/quantumnet/internal/core"
+	"github.com/muerp/quantumnet/internal/graph"
+	"github.com/muerp/quantumnet/internal/transport"
+)
+
+// controller is the central node of §II-B: it collects requests, computes
+// the routing plan offline, disseminates it, then drives synchronized
+// entanglement rounds and aggregates their outcomes.
+type controller struct {
+	conn transport.Conn
+	g    *graph.Graph
+	cfg  Config
+	rng  *rand.Rand
+}
+
+// collectRequests blocks until every user in the network has requested
+// entanglement, returning the user set in ascending ID order.
+func (c *controller) collectRequests(ctx context.Context) ([]graph.NodeID, error) {
+	want := len(c.g.Users())
+	seen := make(map[graph.NodeID]bool, want)
+	for len(seen) < want {
+		msg, err := c.conn.Recv(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: controller awaiting requests: %w", err)
+		}
+		if msg.Kind != KindRequest {
+			return nil, fmt.Errorf("runtime: controller expected request, got %q from %s", msg.Kind, msg.From)
+		}
+		var req RequestBody
+		if err := decodeBody(msg.Payload, &req); err != nil {
+			return nil, err
+		}
+		id := graph.NodeID(req.User)
+		if !c.g.HasNode(id) || c.g.Node(id).Kind != graph.KindUser {
+			return nil, fmt.Errorf("runtime: request from non-user node %d", id)
+		}
+		seen[id] = true
+	}
+	users := make([]graph.NodeID, 0, want)
+	for id := range seen {
+		users = append(users, id)
+	}
+	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+	return users, nil
+}
+
+// broadcast sends one message to every node of the network.
+func (c *controller) broadcast(kind string, payload []byte) error {
+	for _, n := range c.g.Nodes() {
+		if err := c.conn.Send(nodeName(n.ID), kind, payload); err != nil {
+			return fmt.Errorf("runtime: broadcast %s to node %d: %w", kind, n.ID, err)
+		}
+	}
+	return nil
+}
+
+// makePlan converts the routed solution into its wire form.
+func (c *controller) makePlan(sol *core.Solution) (PlanBody, error) {
+	plan := PlanBody{
+		Alpha:    c.cfg.Params.Alpha,
+		SwapProb: c.cfg.Params.SwapProb,
+		Rounds:   c.cfg.Rounds,
+	}
+	for i, ch := range sol.Tree.Channels {
+		cp := ChannelPlan{Index: i, Path: make([]int64, len(ch.Nodes))}
+		for j, id := range ch.Nodes {
+			cp.Path[j] = int64(id)
+		}
+		for j := 0; j+1 < len(ch.Nodes); j++ {
+			e, ok := c.g.EdgeBetween(ch.Nodes[j], ch.Nodes[j+1])
+			if !ok {
+				return PlanBody{}, fmt.Errorf("runtime: plan channel %d: missing fiber %d-%d", i, ch.Nodes[j], ch.Nodes[j+1])
+			}
+			cp.LinkLens = append(cp.LinkLens, e.Length)
+		}
+		plan.Channels = append(plan.Channels, cp)
+	}
+	return plan, nil
+}
+
+// runRounds drives the synchronized entanglement rounds and fills in the
+// report's statistics.
+func (c *controller) runRounds(ctx context.Context, sol *core.Solution, report *Report) error {
+	plan, err := c.makePlan(sol)
+	if err != nil {
+		return err
+	}
+	planBytes, err := encodeBody(plan)
+	if err != nil {
+		return err
+	}
+	if err := c.broadcast(KindPlan, planBytes); err != nil {
+		return err
+	}
+
+	totalLinks := 0
+	for _, ch := range plan.Channels {
+		totalLinks += len(ch.LinkLens)
+	}
+	report.ChannelSuccess = make([]int, len(plan.Channels))
+
+	extra := sol.MeasurementFactor
+	if extra == 0 {
+		extra = 1
+	}
+
+	for round := 1; round <= c.cfg.Rounds; round++ {
+		startBytes, err := encodeBody(RoundBody{Round: round})
+		if err != nil {
+			return err
+		}
+		if err := c.broadcast(KindRoundStart, startBytes); err != nil {
+			return err
+		}
+
+		linkOK, err := c.collectLinkReports(ctx, plan, totalLinks, round)
+		if err != nil {
+			return err
+		}
+		report.LinksAttempted += totalLinks
+
+		chanOK, swaps, err := c.resolveSwaps(ctx, plan, linkOK, round)
+		if err != nil {
+			return err
+		}
+		report.SwapsAttempted += swaps
+
+		success := true
+		for i, ok := range chanOK {
+			if ok {
+				report.ChannelSuccess[i]++
+			} else {
+				success = false
+			}
+		}
+		if success && extra < 1 && c.rng.Float64() >= extra {
+			success = false
+		}
+		if success {
+			report.Successes++
+		}
+		resBytes, err := encodeBody(RoundResultBody{Round: round, OK: success})
+		if err != nil {
+			return err
+		}
+		for _, u := range c.g.Users() {
+			if err := c.conn.Send(nodeName(u), KindRoundResult, resBytes); err != nil {
+				return fmt.Errorf("runtime: round result to user %d: %w", u, err)
+			}
+		}
+	}
+	return nil
+}
+
+// collectLinkReports gathers every link outcome of one round, keyed
+// [channel][link].
+func (c *controller) collectLinkReports(ctx context.Context, plan PlanBody, totalLinks, round int) ([][]bool, error) {
+	linkOK := make([][]bool, len(plan.Channels))
+	for i, ch := range plan.Channels {
+		linkOK[i] = make([]bool, len(ch.LinkLens))
+	}
+	seen := make(map[[2]int]bool, totalLinks)
+	for len(seen) < totalLinks {
+		msg, err := c.conn.Recv(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: awaiting link reports (round %d): %w", round, err)
+		}
+		if msg.Kind != KindLinkReport {
+			return nil, fmt.Errorf("runtime: expected link report, got %q from %s", msg.Kind, msg.From)
+		}
+		var rep LinkReportBody
+		if err := decodeBody(msg.Payload, &rep); err != nil {
+			return nil, err
+		}
+		if rep.Round != round {
+			return nil, fmt.Errorf("runtime: link report for round %d during round %d", rep.Round, round)
+		}
+		if rep.Channel < 0 || rep.Channel >= len(linkOK) || rep.Link < 0 || rep.Link >= len(linkOK[rep.Channel]) {
+			return nil, fmt.Errorf("runtime: link report out of plan bounds (%d,%d)", rep.Channel, rep.Link)
+		}
+		key := [2]int{rep.Channel, rep.Link}
+		if seen[key] {
+			return nil, fmt.Errorf("runtime: duplicate link report (%d,%d)", rep.Channel, rep.Link)
+		}
+		seen[key] = true
+		linkOK[rep.Channel][rep.Link] = rep.OK
+	}
+	return linkOK, nil
+}
+
+// resolveSwaps asks each interior switch whose two adjacent links came up
+// to perform its BSM, gathers the outcomes, and returns per-channel
+// success plus the number of swaps attempted.
+func (c *controller) resolveSwaps(ctx context.Context, plan PlanBody, linkOK [][]bool, round int) ([]bool, int, error) {
+	chanOK := make([]bool, len(plan.Channels))
+	type pending struct{ channel, pos int }
+	requested := make(map[pending]bool)
+
+	for i, ch := range plan.Channels {
+		ok := true
+		for _, up := range linkOK[i] {
+			if !up {
+				ok = false
+				break
+			}
+		}
+		chanOK[i] = ok
+		if !ok {
+			continue // a dark link already failed the channel; no BSM needed
+		}
+		for pos := 1; pos+1 < len(ch.Path); pos++ {
+			body, err := encodeBody(SwapBody{Round: round, Channel: i, Pos: pos})
+			if err != nil {
+				return nil, 0, err
+			}
+			sw := graph.NodeID(ch.Path[pos])
+			if err := c.conn.Send(nodeName(sw), KindSwapRequest, body); err != nil {
+				return nil, 0, fmt.Errorf("runtime: swap request to switch %d: %w", sw, err)
+			}
+			requested[pending{channel: i, pos: pos}] = true
+		}
+	}
+
+	attempted := len(requested)
+	for len(requested) > 0 {
+		msg, err := c.conn.Recv(ctx)
+		if err != nil {
+			return nil, 0, fmt.Errorf("runtime: awaiting swap reports (round %d): %w", round, err)
+		}
+		if msg.Kind != KindSwapReport {
+			return nil, 0, fmt.Errorf("runtime: expected swap report, got %q from %s", msg.Kind, msg.From)
+		}
+		var rep SwapBody
+		if err := decodeBody(msg.Payload, &rep); err != nil {
+			return nil, 0, err
+		}
+		if rep.Round != round {
+			return nil, 0, fmt.Errorf("runtime: swap report for round %d during round %d", rep.Round, round)
+		}
+		key := pending{channel: rep.Channel, pos: rep.Pos}
+		if !requested[key] {
+			return nil, 0, fmt.Errorf("runtime: unsolicited swap report (%d,%d)", rep.Channel, rep.Pos)
+		}
+		delete(requested, key)
+		if !rep.OK {
+			chanOK[rep.Channel] = false
+		}
+	}
+	return chanOK, attempted, nil
+}

@@ -1,0 +1,151 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/muerp/quantumnet/internal/graph"
+	"github.com/muerp/quantumnet/internal/transport"
+)
+
+// node is one quantum node's protocol endpoint: a user or a switch,
+// executing its share of the entanglement plan.
+type node struct {
+	id   graph.NodeID
+	kind graph.NodeKind
+	conn transport.Conn
+	rng  *rand.Rand
+
+	// duties derived from the plan:
+	plan      PlanBody
+	ownedLink []linkDuty
+}
+
+// linkDuty is one quantum link this node initiates each round: the node is
+// the upstream endpoint of link index Link in channel Channel.
+type linkDuty struct {
+	Channel int
+	Link    int
+	Prob    float64 // success probability exp(-alpha * length)
+}
+
+// newNode joins the message plane as the given graph node.
+func newNode(net transport.Network, n graph.Node, seed int64) (*node, error) {
+	conn, err := net.Join(nodeName(n.ID))
+	if err != nil {
+		return nil, fmt.Errorf("runtime: node %d join: %w", n.ID, err)
+	}
+	return &node{
+		id:   n.ID,
+		kind: n.Kind,
+		conn: conn,
+		rng:  rand.New(rand.NewSource(seed ^ (int64(n.ID)+1)*-7046029254386353131)),
+	}, nil
+}
+
+// run is the node's main loop. Users first send their entanglement request;
+// then every node serves plan/round/swap messages until stop. The loop exits
+// on stop, context cancellation, or a transport failure.
+func (n *node) run(ctx context.Context) error {
+	if n.kind == graph.KindUser {
+		body, err := encodeBody(RequestBody{User: int64(n.id)})
+		if err != nil {
+			return err
+		}
+		if err := n.conn.Send(ControllerName, KindRequest, body); err != nil {
+			return fmt.Errorf("runtime: user %d request: %w", n.id, err)
+		}
+	}
+	for {
+		msg, err := n.conn.Recv(ctx)
+		if err != nil {
+			return fmt.Errorf("runtime: node %d recv: %w", n.id, err)
+		}
+		switch msg.Kind {
+		case KindPlan:
+			if err := n.acceptPlan(msg.Payload); err != nil {
+				return err
+			}
+		case KindRoundStart:
+			if err := n.startRound(msg.Payload); err != nil {
+				return err
+			}
+		case KindSwapRequest:
+			if err := n.performSwap(msg.Payload); err != nil {
+				return err
+			}
+		case KindRoundResult:
+			// Users learn the round outcome; nothing to do in simulation.
+		case KindStop:
+			return nil
+		default:
+			return fmt.Errorf("runtime: node %d: unexpected message kind %q", n.id, msg.Kind)
+		}
+	}
+}
+
+// acceptPlan derives this node's duties from the disseminated plan.
+func (n *node) acceptPlan(payload []byte) error {
+	var plan PlanBody
+	if err := decodeBody(payload, &plan); err != nil {
+		return err
+	}
+	n.plan = plan
+	n.ownedLink = n.ownedLink[:0]
+	for _, ch := range plan.Channels {
+		for i := 0; i+1 < len(ch.Path); i++ {
+			if graph.NodeID(ch.Path[i]) != n.id {
+				continue
+			}
+			n.ownedLink = append(n.ownedLink, linkDuty{
+				Channel: ch.Index,
+				Link:    i,
+				Prob:    math.Exp(-plan.Alpha * ch.LinkLens[i]),
+			})
+		}
+	}
+	return nil
+}
+
+// startRound attempts every owned quantum link and reports each heralded
+// outcome to the controller. Draw order is fixed (plan order), so the
+// node's random stream is independent of message timing.
+func (n *node) startRound(payload []byte) error {
+	var round RoundBody
+	if err := decodeBody(payload, &round); err != nil {
+		return err
+	}
+	for _, d := range n.ownedLink {
+		ok := n.rng.Float64() < d.Prob
+		body, err := encodeBody(LinkReportBody{Round: round.Round, Channel: d.Channel, Link: d.Link, OK: ok})
+		if err != nil {
+			return err
+		}
+		if err := n.conn.Send(ControllerName, KindLinkReport, body); err != nil {
+			return fmt.Errorf("runtime: node %d link report: %w", n.id, err)
+		}
+	}
+	return nil
+}
+
+// performSwap draws one BSM outcome and reports it.
+func (n *node) performSwap(payload []byte) error {
+	var req SwapBody
+	if err := decodeBody(payload, &req); err != nil {
+		return err
+	}
+	if n.kind != graph.KindSwitch {
+		return fmt.Errorf("runtime: %s node %d asked to swap", n.kind, n.id)
+	}
+	req.OK = n.rng.Float64() < n.plan.SwapProb
+	body, err := encodeBody(req)
+	if err != nil {
+		return err
+	}
+	if err := n.conn.Send(ControllerName, KindSwapReport, body); err != nil {
+		return fmt.Errorf("runtime: switch %d swap report: %w", n.id, err)
+	}
+	return nil
+}

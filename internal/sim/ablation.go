@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/muerp/quantumnet/internal/baseline"
+	"github.com/muerp/quantumnet/internal/core"
+	"github.com/muerp/quantumnet/internal/graph"
+	"github.com/muerp/quantumnet/internal/stats"
+	"github.com/muerp/quantumnet/internal/topology"
+)
+
+// This file implements the ablation studies DESIGN.md calls out: each one
+// isolates a design choice of an algorithm (or of our baseline
+// reconstruction) and measures what it is worth on the paper's default
+// workload.
+
+// variant is one arm of an ablation: a name and a routing function that
+// scores one network (0 = infeasible).
+type variant struct {
+	name string
+	rate func(g *graph.Graph, rng *rand.Rand) (float64, error)
+}
+
+// runAblation draws cfg.Networks networks and scores every variant on each.
+func runAblation(label string, cfg Config, variants []variant) (PointResult, error) {
+	if cfg.Networks <= 0 {
+		return PointResult{}, errors.New("sim: Networks must be positive")
+	}
+	point := PointResult{Label: label, Summary: make(map[string]stats.Summary, len(variants))}
+	rates := make(map[string][]float64, len(variants))
+	for i := 0; i < cfg.Networks; i++ {
+		rng := rand.New(rand.NewSource(networkSeed(cfg.Seed, i)))
+		g, err := topology.Generate(cfg.Topology, rng)
+		if err != nil {
+			return PointResult{}, fmt.Errorf("sim: ablation network %d: %w", i, err)
+		}
+		trial := TrialResult{Network: i, Rates: map[string]float64{}, Failures: map[string]string{}}
+		for _, v := range variants {
+			rate, err := v.rate(g, rng)
+			if err != nil {
+				if errors.Is(err, core.ErrInfeasible) {
+					rate = 0
+					trial.Failures[v.name] = err.Error()
+				} else {
+					return PointResult{}, fmt.Errorf("sim: ablation %s on network %d: %w", v.name, i, err)
+				}
+			}
+			trial.Rates[v.name] = rate
+			rates[v.name] = append(rates[v.name], rate)
+		}
+		point.Trials = append(point.Trials, trial)
+	}
+	for _, v := range variants {
+		point.Summary[v.name] = stats.Summarize(rates[v.name])
+	}
+	return point, nil
+}
+
+// AblationReplayOrder compares Algorithm 3's phase-1 replay orders
+// (descending = the paper's greedy rule, ascending = adversarial, random).
+// The greedy rule should dominate, quantifying the "retain the channel with
+// the maximum entanglement rate" decision.
+func AblationReplayOrder(cfg Config) (Series, error) {
+	mk := func(order core.ReplayOrder) func(*graph.Graph, *rand.Rand) (float64, error) {
+		return func(g *graph.Graph, rng *rand.Rand) (float64, error) {
+			prob, err := core.AllUsersProblem(g, cfg.Params)
+			if err != nil {
+				return 0, err
+			}
+			sol, err := core.SolveConflictFreeOrdered(prob, order, rng)
+			if err != nil {
+				return 0, err
+			}
+			if err := prob.Validate(sol); err != nil {
+				return 0, err
+			}
+			return sol.Rate(), nil
+		}
+	}
+	point, err := runAblation("replay-order", cfg, []variant{
+		{name: "descending", rate: mk(core.ReplayDescending)},
+		{name: "ascending", rate: mk(core.ReplayAscending)},
+		{name: "random", rate: mk(core.ReplayRandom)},
+	})
+	if err != nil {
+		return Series{}, err
+	}
+	return Series{
+		Figure: "ablation-replay",
+		Title:  "Algorithm 3 phase-1 replay order (paper rule = descending)",
+		XLabel: "ablation",
+		Points: []PointResult{point},
+	}, nil
+}
+
+// AblationPrimStart compares Algorithm 4's random starting user against the
+// best over all starts, bounding the value a smarter start could add.
+func AblationPrimStart(cfg Config) (Series, error) {
+	random := func(g *graph.Graph, rng *rand.Rand) (float64, error) {
+		prob, err := core.AllUsersProblem(g, cfg.Params)
+		if err != nil {
+			return 0, err
+		}
+		sol, err := core.SolvePrim(prob, rng)
+		if err != nil {
+			return 0, err
+		}
+		return sol.Rate(), nil
+	}
+	best := func(g *graph.Graph, _ *rand.Rand) (float64, error) {
+		prob, err := core.AllUsersProblem(g, cfg.Params)
+		if err != nil {
+			return 0, err
+		}
+		sol, err := core.SolvePrimBestOfAllStarts(prob)
+		if err != nil {
+			return 0, err
+		}
+		return sol.Rate(), nil
+	}
+	point, err := runAblation("prim-start", cfg, []variant{
+		{name: "random-start", rate: random},
+		{name: "best-start", rate: best},
+	})
+	if err != nil {
+		return Series{}, err
+	}
+	return Series{
+		Figure: "ablation-prim-start",
+		Title:  "Algorithm 4 starting user: paper's random pick vs best of all starts",
+		XLabel: "ablation",
+		Points: []PointResult{point},
+	}, nil
+}
+
+// AblationNFusionHub compares our charitable best-hub N-FUSION against
+// pinning the hub to the first user, bounding how much the reconstruction
+// choice flatters the baseline.
+func AblationNFusionHub(cfg Config) (Series, error) {
+	best := func(g *graph.Graph, _ *rand.Rand) (float64, error) {
+		prob, err := core.AllUsersProblem(g, cfg.Params)
+		if err != nil {
+			return 0, err
+		}
+		sol, err := baseline.SolveNFusion(prob)
+		if err != nil {
+			return 0, err
+		}
+		return sol.Rate(), nil
+	}
+	fixed := func(g *graph.Graph, _ *rand.Rand) (float64, error) {
+		prob, err := core.AllUsersProblem(g, cfg.Params)
+		if err != nil {
+			return 0, err
+		}
+		sol, err := baseline.SolveNFusionFixedHub(prob, prob.Users[0])
+		if err != nil {
+			return 0, err
+		}
+		return sol.Rate(), nil
+	}
+	point, err := runAblation("nfusion-hub", cfg, []variant{
+		{name: "best-hub", rate: best},
+		{name: "first-hub", rate: fixed},
+	})
+	if err != nil {
+		return Series{}, err
+	}
+	return Series{
+		Figure: "ablation-nfusion-hub",
+		Title:  "N-FUSION hub selection: best user vs first user",
+		XLabel: "ablation",
+		Points: []PointResult{point},
+	}, nil
+}
+
+// AblationWaxmanAlpha sweeps the Waxman locality parameter, showing how the
+// generator's distance bias (not part of the paper's sweep) moves absolute
+// rates: larger alpha = longer fibers = lower rates across the board.
+func AblationWaxmanAlpha(cfg Config, alphas []float64) (Series, error) {
+	if len(alphas) == 0 {
+		alphas = []float64{0.1, 0.2, 0.4, 0.8}
+	}
+	s := Series{
+		Figure: "ablation-waxman-alpha",
+		Title:  "Waxman locality parameter vs entanglement rate",
+		XLabel: "waxman alpha",
+	}
+	for _, a := range alphas {
+		c := cfg
+		c.Topology.WaxmanAlpha = a
+		c.Topology.Model = topology.Waxman
+		point, err := RunPoint(fmt.Sprintf("alpha=%g", a), a, c)
+		if err != nil {
+			return Series{}, fmt.Errorf("waxman alpha %g: %w", a, err)
+		}
+		s.Points = append(s.Points, point)
+	}
+	return s, nil
+}
+
+// AllAblations runs every ablation study.
+func AllAblations(cfg Config) ([]Series, error) {
+	type gen struct {
+		name string
+		run  func() (Series, error)
+	}
+	gens := []gen{
+		{"replay", func() (Series, error) { return AblationReplayOrder(cfg) }},
+		{"prim-start", func() (Series, error) { return AblationPrimStart(cfg) }},
+		{"nfusion-hub", func() (Series, error) { return AblationNFusionHub(cfg) }},
+		{"waxman-alpha", func() (Series, error) { return AblationWaxmanAlpha(cfg, nil) }},
+	}
+	out := make([]Series, 0, len(gens))
+	for _, g := range gens {
+		s, err := g.run()
+		if err != nil {
+			return nil, fmt.Errorf("sim: ablation %s: %w", g.name, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

@@ -1,0 +1,104 @@
+package sim
+
+import "testing"
+
+func ablationConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Networks = 4
+	cfg.Topology.Users = 6
+	cfg.Topology.Switches = 18
+	cfg.Topology.SwitchQubits = 2 // tight capacity so orders actually differ
+	return cfg
+}
+
+func TestAblationReplayOrder(t *testing.T) {
+	s, err := AblationReplayOrder(ablationConfig())
+	if err != nil {
+		t.Fatalf("AblationReplayOrder: %v", err)
+	}
+	if len(s.Points) != 1 {
+		t.Fatalf("%d points, want 1", len(s.Points))
+	}
+	sum := s.Points[0].Summary
+	for _, name := range []string{"descending", "ascending", "random"} {
+		if _, ok := sum[name]; !ok {
+			t.Fatalf("missing variant %q", name)
+		}
+	}
+	// The paper's greedy (descending) rule should not lose decisively to
+	// the adversarial ascending order. The gap is small in expectation —
+	// phase 2 repairs most of what a bad replay order breaks — so allow a
+	// few percent of sampling noise at this batch size.
+	if sum["descending"].Mean < sum["ascending"].Mean*0.92 {
+		t.Errorf("descending mean %g well below ascending %g — greedy rule refuted?",
+			sum["descending"].Mean, sum["ascending"].Mean)
+	}
+}
+
+func TestAblationPrimStart(t *testing.T) {
+	s, err := AblationPrimStart(ablationConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := s.Points[0].Summary
+	if sum["best-start"].Mean < sum["random-start"].Mean-1e-12 {
+		t.Errorf("best-start mean %g below random-start %g",
+			sum["best-start"].Mean, sum["random-start"].Mean)
+	}
+}
+
+func TestAblationNFusionHub(t *testing.T) {
+	s, err := AblationNFusionHub(ablationConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := s.Points[0].Summary
+	if sum["best-hub"].Mean < sum["first-hub"].Mean-1e-12 {
+		t.Errorf("best-hub mean %g below first-hub %g",
+			sum["best-hub"].Mean, sum["first-hub"].Mean)
+	}
+}
+
+func TestAblationWaxmanAlpha(t *testing.T) {
+	cfg := ablationConfig()
+	cfg.Topology.SwitchQubits = 4
+	s, err := AblationWaxmanAlpha(cfg, []float64{0.1, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 2 {
+		t.Fatalf("%d points, want 2", len(s.Points))
+	}
+	// More locality bias (smaller alpha) means shorter fibers and higher
+	// rates for the capacity-aware algorithms.
+	lo, hi := s.Points[0], s.Points[1]
+	if lo.Summary[AlgConflictFree].Mean <= hi.Summary[AlgConflictFree].Mean {
+		t.Errorf("alpha=0.1 alg3 mean %g not above alpha=0.8 mean %g",
+			lo.Summary[AlgConflictFree].Mean, hi.Summary[AlgConflictFree].Mean)
+	}
+}
+
+func TestAllAblations(t *testing.T) {
+	cfg := ablationConfig()
+	cfg.Networks = 2
+	series, err := AllAblations(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 4 {
+		t.Fatalf("%d series, want 4", len(series))
+	}
+	for _, s := range series {
+		if s.Table() == "" {
+			t.Errorf("series %s renders empty", s.Figure)
+		}
+	}
+}
+
+func TestRunAblationRejectsZeroNetworks(t *testing.T) {
+	cfg := ablationConfig()
+	cfg.Networks = 0
+	if _, err := AblationReplayOrder(cfg); err == nil {
+		t.Fatal("zero networks accepted")
+	}
+}

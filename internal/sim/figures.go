@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/muerp/quantumnet/internal/graph"
+	"github.com/muerp/quantumnet/internal/stats"
+	"github.com/muerp/quantumnet/internal/topology"
+)
+
+// Series is one figure's worth of results: a sweep of PointResults.
+type Series struct {
+	// Figure identifies the paper figure being regenerated ("fig5", ...).
+	Figure string
+	// Title is a human-readable description.
+	Title string
+	// XLabel names the sweep variable.
+	XLabel string
+	Points []PointResult
+}
+
+// Fig5 regenerates Fig. 5: entanglement rate vs. network topology, running
+// the full algorithm suite on Waxman, Watts-Strogatz and Volchenkov
+// networks at the default parameters.
+func Fig5(cfg Config) (Series, error) {
+	s := Series{Figure: "fig5", Title: "Entanglement rate vs. network topology", XLabel: "topology"}
+	for i, model := range []topology.Model{topology.Waxman, topology.WattsStrogatz, topology.Volchenkov} {
+		c := cfg
+		c.Topology.Model = model
+		point, err := RunPoint(model.String(), float64(i), c)
+		if err != nil {
+			return Series{}, fmt.Errorf("fig5 %s: %w", model, err)
+		}
+		s.Points = append(s.Points, point)
+	}
+	return s, nil
+}
+
+// Fig6aUsers regenerates Fig. 6a: entanglement rate vs. the number of users
+// to entangle.
+func Fig6aUsers(cfg Config, userCounts []int) (Series, error) {
+	if len(userCounts) == 0 {
+		userCounts = []int{4, 6, 8, 10, 12, 14}
+	}
+	s := Series{Figure: "fig6a", Title: "Entanglement rate vs. number of users", XLabel: "users"}
+	for _, n := range userCounts {
+		c := cfg
+		c.Topology.Users = n
+		point, err := RunPoint(fmt.Sprintf("users=%d", n), float64(n), c)
+		if err != nil {
+			return Series{}, fmt.Errorf("fig6a users=%d: %w", n, err)
+		}
+		s.Points = append(s.Points, point)
+	}
+	return s, nil
+}
+
+// Fig6bSwitches regenerates Fig. 6b: entanglement rate vs. the number of
+// switches in the network.
+func Fig6bSwitches(cfg Config, switchCounts []int) (Series, error) {
+	if len(switchCounts) == 0 {
+		switchCounts = []int{20, 30, 40, 50}
+	}
+	s := Series{Figure: "fig6b", Title: "Entanglement rate vs. number of switches", XLabel: "switches"}
+	for _, n := range switchCounts {
+		c := cfg
+		c.Topology.Switches = n
+		point, err := RunPoint(fmt.Sprintf("switches=%d", n), float64(n), c)
+		if err != nil {
+			return Series{}, fmt.Errorf("fig6b switches=%d: %w", n, err)
+		}
+		s.Points = append(s.Points, point)
+	}
+	return s, nil
+}
+
+// Fig7aDegree regenerates Fig. 7a: entanglement rate vs. the average node
+// degree.
+func Fig7aDegree(cfg Config, degrees []float64) (Series, error) {
+	if len(degrees) == 0 {
+		degrees = []float64{4, 6, 8, 10}
+	}
+	s := Series{Figure: "fig7a", Title: "Entanglement rate vs. average degree", XLabel: "degree"}
+	for _, d := range degrees {
+		c := cfg
+		c.Topology.AvgDegree = d
+		point, err := RunPoint(fmt.Sprintf("degree=%g", d), d, c)
+		if err != nil {
+			return Series{}, fmt.Errorf("fig7a degree=%g: %w", d, err)
+		}
+		s.Points = append(s.Points, point)
+	}
+	return s, nil
+}
+
+// Fig7bRemoval regenerates Fig. 7b: entanglement rate vs. the ratio of
+// randomly removed fibers. Per the paper: 10 users, 50 switches, 600
+// fibers, 4 qubits per switch; remove 30 random fibers per step,
+// cumulatively, until no algorithm can entangle the users. Each of the
+// cfg.Networks networks follows its own removal sequence; results are
+// averaged per removal ratio.
+func Fig7bRemoval(cfg Config, step int) (Series, error) {
+	if step <= 0 {
+		step = 30
+	}
+	c := cfg
+	c.Topology.ExactEdges = 600
+	c.Topology.EnsureConnected = true
+
+	algs := c.Algorithms
+	if len(algs) == 0 {
+		algs = AllAlgorithms()
+	}
+	if c.Networks <= 0 {
+		return Series{}, errors.New("sim: Networks must be positive")
+	}
+
+	// ratesByStep[step][alg] accumulates rates across networks.
+	var ratesByStep []map[string][]float64
+	ensureStep := func(i int) map[string][]float64 {
+		for len(ratesByStep) <= i {
+			ratesByStep = append(ratesByStep, make(map[string][]float64, len(algs)))
+		}
+		return ratesByStep[i]
+	}
+
+	totalEdges := 600
+	for n := 0; n < c.Networks; n++ {
+		rng := rand.New(rand.NewSource(networkSeed(c.Seed, n)))
+		g, err := topology.Generate(c.Topology, rng)
+		if err != nil {
+			return Series{}, fmt.Errorf("fig7b network %d: %w", n, err)
+		}
+		for stepIdx := 0; ; stepIdx++ {
+			bucket := ensureStep(stepIdx)
+			trial, err := runTrial(g, c, algs, rng)
+			if err != nil {
+				return Series{}, fmt.Errorf("fig7b network %d step %d: %w", n, stepIdx, err)
+			}
+			allZero := true
+			for _, a := range algs {
+				bucket[a] = append(bucket[a], trial.Rates[a])
+				if trial.Rates[a] > 0 {
+					allZero = false
+				}
+			}
+			if allZero || g.NumEdges() == 0 {
+				break
+			}
+			g = removeRandomEdges(g, step, rng)
+		}
+	}
+
+	s := Series{Figure: "fig7b", Title: "Entanglement rate vs. removed-fiber ratio", XLabel: "removed ratio"}
+	for i, bucket := range ratesByStep {
+		ratio := float64(i*step) / float64(totalEdges)
+		point := PointResult{
+			Label:   fmt.Sprintf("removed=%.2f", ratio),
+			X:       ratio,
+			Summary: make(map[string]stats.Summary, len(algs)),
+		}
+		for _, a := range algs {
+			// Networks that already died at an earlier step no longer
+			// contribute trials here; score the missing entries as 0 so
+			// every step averages over the full batch, as the figure does.
+			xs := bucket[a]
+			for len(xs) < c.Networks {
+				xs = append(xs, 0)
+			}
+			point.Summary[a] = stats.Summarize(xs)
+		}
+		s.Points = append(s.Points, point)
+	}
+	return s, nil
+}
+
+// removeRandomEdges returns a copy of g with n uniformly random fibers
+// removed (all of them when fewer than n remain).
+func removeRandomEdges(g *graph.Graph, n int, rng *rand.Rand) *graph.Graph {
+	m := g.NumEdges()
+	if n >= m {
+		all := make([]graph.EdgeID, m)
+		for i := range all {
+			all[i] = graph.EdgeID(i)
+		}
+		return g.WithoutEdges(all)
+	}
+	perm := rng.Perm(m)
+	remove := make([]graph.EdgeID, n)
+	for i := 0; i < n; i++ {
+		remove[i] = graph.EdgeID(perm[i])
+	}
+	return g.WithoutEdges(remove)
+}
+
+// Fig8aQubits regenerates Fig. 8a: entanglement rate vs. the number of
+// qubits per switch. Algorithm 2 keeps its sufficient-capacity switches
+// (2|U| qubits) at every point, as the paper states.
+func Fig8aQubits(cfg Config, qubitCounts []int) (Series, error) {
+	if len(qubitCounts) == 0 {
+		qubitCounts = []int{2, 4, 6, 8}
+	}
+	s := Series{Figure: "fig8a", Title: "Entanglement rate vs. qubits per switch", XLabel: "qubits"}
+	for _, q := range qubitCounts {
+		c := cfg
+		c.Topology.SwitchQubits = q
+		point, err := RunPoint(fmt.Sprintf("qubits=%d", q), float64(q), c)
+		if err != nil {
+			return Series{}, fmt.Errorf("fig8a qubits=%d: %w", q, err)
+		}
+		s.Points = append(s.Points, point)
+	}
+	return s, nil
+}
+
+// Fig8bSwapRate regenerates Fig. 8b: entanglement rate vs. the BSM swap
+// success probability q.
+func Fig8bSwapRate(cfg Config, qs []float64) (Series, error) {
+	if len(qs) == 0 {
+		qs = []float64{0.7, 0.8, 0.9, 1.0}
+	}
+	s := Series{Figure: "fig8b", Title: "Entanglement rate vs. swap success rate", XLabel: "swap rate"}
+	for _, q := range qs {
+		c := cfg
+		c.Params.SwapProb = q
+		point, err := RunPoint(fmt.Sprintf("q=%.2f", q), q, c)
+		if err != nil {
+			return Series{}, fmt.Errorf("fig8b q=%g: %w", q, err)
+		}
+		s.Points = append(s.Points, point)
+	}
+	return s, nil
+}
+
+// AllFigures regenerates every figure of the paper's evaluation with the
+// given base configuration.
+func AllFigures(cfg Config) ([]Series, error) {
+	type gen struct {
+		name string
+		run  func() (Series, error)
+	}
+	gens := []gen{
+		{"fig5", func() (Series, error) { return Fig5(cfg) }},
+		{"fig6a", func() (Series, error) { return Fig6aUsers(cfg, nil) }},
+		{"fig6b", func() (Series, error) { return Fig6bSwitches(cfg, nil) }},
+		{"fig7a", func() (Series, error) { return Fig7aDegree(cfg, nil) }},
+		{"fig7b", func() (Series, error) { return Fig7bRemoval(cfg, 30) }},
+		{"fig8a", func() (Series, error) { return Fig8aQubits(cfg, nil) }},
+		{"fig8b", func() (Series, error) { return Fig8bSwapRate(cfg, nil) }},
+	}
+	out := make([]Series, 0, len(gens))
+	for _, g := range gens {
+		s, err := g.run()
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s: %w", g.name, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

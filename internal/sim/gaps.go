@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/muerp/quantumnet/internal/baseline"
+	"github.com/muerp/quantumnet/internal/core"
+	"github.com/muerp/quantumnet/internal/exact"
+	"github.com/muerp/quantumnet/internal/stats"
+	"github.com/muerp/quantumnet/internal/topology"
+)
+
+// This file measures the heuristics' optimality gap: on instances small
+// enough for the exact branch-and-bound solver, what fraction of the true
+// optimum does each scheme achieve? The paper proves Algorithm 2 optimal
+// only under sufficient capacity and gives no quality guarantee for
+// Algorithms 3/4 — this study quantifies them empirically.
+
+// GapConfig parameterizes the gap study.
+type GapConfig struct {
+	// Instances is the number of random small networks per point.
+	Instances int
+	// Users and Switches size the instances (keep them small: the exact
+	// search is exponential).
+	Users    int
+	Switches int
+	// Qubits lists the per-switch budgets to sweep (capacity pressure).
+	Qubits []int
+	// Seed drives instance generation.
+	Seed int64
+	// Limits bound the exact search; instances that exceed them are
+	// skipped (counted per point).
+	Limits exact.Limits
+}
+
+// DefaultGapConfig returns a study of 30 instances per point on 4-user,
+// 7-switch networks across tight-to-ample budgets.
+func DefaultGapConfig() GapConfig {
+	return GapConfig{
+		Instances: 30,
+		Users:     4,
+		Switches:  7,
+		Qubits:    []int{2, 4, 8},
+		Seed:      1,
+		Limits:    exact.DefaultLimits(),
+	}
+}
+
+// gapSolvers are the schemes whose quality is measured. Algorithm 2 is
+// excluded: it is only defined under sufficient capacity, where Theorem 3
+// already proves it optimal.
+func gapSolvers() []core.Solver {
+	return []core.Solver{
+		core.ConflictFree(),
+		core.Prim(0),
+		baseline.EQCast(),
+		baseline.NFusion(),
+	}
+}
+
+// OptimalityGaps runs the study and returns one Series point per qubit
+// budget; each algorithm's summary is over its per-instance gap (achieved
+// rate / exact optimum, 0 when the heuristic failed on a feasible
+// instance). Instances that are infeasible even for the exact solver, or
+// that exceed the search limits, are skipped.
+func OptimalityGaps(cfg GapConfig) (Series, error) {
+	if cfg.Instances <= 0 {
+		return Series{}, errors.New("sim: gap study needs positive Instances")
+	}
+	if len(cfg.Qubits) == 0 {
+		cfg.Qubits = DefaultGapConfig().Qubits
+	}
+	s := Series{
+		Figure: "gaps",
+		Title:  "Heuristic optimality gap vs exact optimum (small instances)",
+		XLabel: "qubits",
+	}
+	for _, q := range cfg.Qubits {
+		point, err := gapPoint(cfg, q)
+		if err != nil {
+			return Series{}, fmt.Errorf("sim: gap study qubits=%d: %w", q, err)
+		}
+		s.Points = append(s.Points, point)
+	}
+	return s, nil
+}
+
+func gapPoint(cfg GapConfig, qubits int) (PointResult, error) {
+	topo := topology.Default()
+	topo.Users = cfg.Users
+	topo.Switches = cfg.Switches
+	topo.SwitchQubits = qubits
+
+	solvers := gapSolvers()
+	gaps := make(map[string][]float64, len(solvers))
+	skipped := 0
+	for i := 0; i < cfg.Instances; i++ {
+		rng := rand.New(rand.NewSource(networkSeed(cfg.Seed, i)))
+		g, err := topology.Generate(topo, rng)
+		if err != nil {
+			return PointResult{}, err
+		}
+		prob, err := core.AllUsersProblem(g, DefaultConfig().Params)
+		if err != nil {
+			return PointResult{}, err
+		}
+		opt, err := exact.Solve(prob, cfg.Limits)
+		if err != nil {
+			if errors.Is(err, core.ErrInfeasible) ||
+				errors.Is(err, exact.ErrTooLarge) || errors.Is(err, exact.ErrChannelBlowup) {
+				skipped++
+				continue
+			}
+			return PointResult{}, err
+		}
+		for _, solver := range solvers {
+			sol, err := solver.Solve(prob)
+			if err != nil {
+				if errors.Is(err, core.ErrInfeasible) {
+					gaps[solver.Name()] = append(gaps[solver.Name()], 0)
+					continue
+				}
+				return PointResult{}, err
+			}
+			if err := prob.Validate(sol); err != nil {
+				return PointResult{}, fmt.Errorf("%s produced an invalid tree: %w", solver.Name(), err)
+			}
+			gaps[solver.Name()] = append(gaps[solver.Name()], sol.Rate()/opt.Rate())
+		}
+	}
+	point := PointResult{
+		Label:   fmt.Sprintf("qubits=%d (skipped %d)", qubits, skipped),
+		X:       float64(qubits),
+		Summary: make(map[string]stats.Summary, len(solvers)),
+	}
+	for _, solver := range solvers {
+		point.Summary[solver.Name()] = stats.Summarize(gaps[solver.Name()])
+	}
+	return point, nil
+}

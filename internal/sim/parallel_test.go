@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestRunPointParallelMatchesSequential(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Networks = 8
+	seq, err := RunPoint("seq", 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallelism = runtime.GOMAXPROCS(0)
+	par, err := RunPoint("par", 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Trials) != len(par.Trials) {
+		t.Fatalf("trial counts differ: %d vs %d", len(seq.Trials), len(par.Trials))
+	}
+	for i := range seq.Trials {
+		if seq.Trials[i].Network != par.Trials[i].Network {
+			t.Fatalf("trial %d order differs", i)
+		}
+		for alg, rate := range seq.Trials[i].Rates {
+			if par.Trials[i].Rates[alg] != rate {
+				t.Fatalf("trial %d alg %s: sequential %g, parallel %g",
+					i, alg, rate, par.Trials[i].Rates[alg])
+			}
+		}
+	}
+	for _, alg := range AllAlgorithms() {
+		if seq.Summary[alg].Mean != par.Summary[alg].Mean {
+			t.Fatalf("%s: summaries differ: %g vs %g", alg, seq.Summary[alg].Mean, par.Summary[alg].Mean)
+		}
+	}
+}
+
+func TestRunPointParallelPropagatesErrors(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Parallelism = 4
+	cfg.Algorithms = []string{"nonsense"}
+	if _, err := RunPoint("bad", 0, cfg); err == nil {
+		t.Fatal("unknown algorithm accepted in parallel mode")
+	}
+}

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table renders the series as a fixed-width text table with one row per
+// sweep point and one column per algorithm, mirroring the paper's bar
+// charts in numeric form.
+func (s Series) Table() string {
+	if len(s.Points) == 0 {
+		return fmt.Sprintf("%s: no data\n", s.Figure)
+	}
+	algs := sortedAlgorithms(s.Points[0])
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", s.Figure, s.Title)
+	fmt.Fprintf(&b, "%-16s", s.XLabel)
+	for _, a := range algs {
+		fmt.Fprintf(&b, "%14s", a)
+	}
+	b.WriteByte('\n')
+	for _, p := range s.Points {
+		fmt.Fprintf(&b, "%-16s", p.Label)
+		for _, a := range algs {
+			fmt.Fprintf(&b, "%14.4e", p.Summary[a].Mean)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WriteCSV writes the series as CSV: one row per point with mean, standard
+// deviation and infeasible-count columns per algorithm.
+func (s Series) WriteCSV(w io.Writer) error {
+	if len(s.Points) == 0 {
+		return fmt.Errorf("sim: series %s has no points", s.Figure)
+	}
+	algs := sortedAlgorithms(s.Points[0])
+	cw := csv.NewWriter(w)
+	header := []string{"figure", "label", "x"}
+	for _, a := range algs {
+		header = append(header, a+"_mean", a+"_std", a+"_infeasible")
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("sim: write csv header: %w", err)
+	}
+	for _, p := range s.Points {
+		row := []string{s.Figure, p.Label, strconv.FormatFloat(p.X, 'g', -1, 64)}
+		for _, a := range algs {
+			sum := p.Summary[a]
+			row = append(row,
+				strconv.FormatFloat(sum.Mean, 'e', 6, 64),
+				strconv.FormatFloat(sum.StdDev, 'e', 6, 64),
+				strconv.Itoa(sum.Zeros),
+			)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("sim: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("sim: flush csv: %w", err)
+	}
+	return nil
+}
+
+// ImprovementOver returns, per sweep point, the ratio of alg's mean rate to
+// base's mean rate (0 when the base mean is 0). The paper reports these
+// ratios as percentages ("boost the entanglement rate by up to 5347%").
+func (s Series) ImprovementOver(alg, base string) []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		bm := p.Summary[base].Mean
+		if bm > 0 {
+			out[i] = p.Summary[alg].Mean / bm
+		}
+	}
+	return out
+}
+
+// MaxImprovementOver returns the maximum improvement ratio of alg over base
+// across the series' points.
+func (s Series) MaxImprovementOver(alg, base string) float64 {
+	best := 0.0
+	for _, r := range s.ImprovementOver(alg, base) {
+		if r > best {
+			best = r
+		}
+	}
+	return best
+}

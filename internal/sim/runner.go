@@ -1,0 +1,285 @@
+// Package sim is the experiment harness that regenerates the paper's
+// evaluation (§V): it draws batches of random networks, runs the three
+// proposed algorithms and the two baselines on each, validates every
+// solution, and aggregates entanglement rates per the paper's protocol
+// (average over 20 random networks; infeasible runs score 0).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"github.com/muerp/quantumnet/internal/baseline"
+	"github.com/muerp/quantumnet/internal/core"
+	"github.com/muerp/quantumnet/internal/graph"
+	"github.com/muerp/quantumnet/internal/quantum"
+	"github.com/muerp/quantumnet/internal/stats"
+	"github.com/muerp/quantumnet/internal/topology"
+)
+
+// Algorithm names, in the paper's plotting order.
+const (
+	AlgOptimal      = "alg2"
+	AlgConflictFree = "alg3"
+	AlgPrim         = "alg4"
+	AlgEQCast       = "eqcast"
+	AlgNFusion      = "nfusion"
+)
+
+// AllAlgorithms lists every implemented routing scheme in plot order.
+func AllAlgorithms() []string {
+	return []string{AlgOptimal, AlgConflictFree, AlgPrim, AlgEQCast, AlgNFusion}
+}
+
+// Config parameterizes one experiment point: a topology distribution, the
+// physical parameters, and how many independent networks to average over.
+type Config struct {
+	Topology topology.Config
+	Params   quantum.Params
+	// Networks is the number of random networks per point; the paper
+	// uses 20.
+	Networks int
+	// Seed makes the batch reproducible; network i uses a deterministic
+	// stream derived from Seed and i.
+	Seed int64
+	// Algorithms selects the schemes to run (defaults to AllAlgorithms).
+	Algorithms []string
+	// SufficientCapacityForAlg2 runs Algorithm 2 on a copy of each network
+	// whose switches hold max(Q, 2|U|) qubits, the convention the paper
+	// states for its plots ("the switches in Algorithm 2 ha[ve] 2|U| = 20
+	// qubits"). Algorithm 2 is only defined under that condition; disabling
+	// this runs it raw, where its tree may violate capacity.
+	SufficientCapacityForAlg2 bool
+	// Parallelism bounds how many networks of a batch run concurrently.
+	// Values < 2 run sequentially. Results are identical either way: every
+	// network draws from its own seed-derived stream.
+	Parallelism int
+}
+
+// DefaultConfig returns the paper's §V-A experiment defaults.
+func DefaultConfig() Config {
+	return Config{
+		Topology:                  topology.Default(),
+		Params:                    quantum.DefaultParams(),
+		Networks:                  20,
+		Seed:                      1,
+		Algorithms:                AllAlgorithms(),
+		SufficientCapacityForAlg2: true,
+	}
+}
+
+// TrialResult records one network's outcome across algorithms.
+type TrialResult struct {
+	Network int
+	// Rates maps algorithm name to the achieved multi-user entanglement
+	// rate; 0 means the scheme found no feasible tree on this network.
+	Rates map[string]float64
+	// Failures maps algorithm name to the infeasibility reason, when any.
+	Failures map[string]string
+}
+
+// PointResult aggregates all trials at one sweep point.
+type PointResult struct {
+	// Label names the point (e.g. "waxman" or "users=10").
+	Label string
+	// X is the numeric sweep coordinate where the sweep is numeric.
+	X float64
+	// Summary maps algorithm name to the distribution of its rates over
+	// the batch (zeros included, as in the paper).
+	Summary map[string]stats.Summary
+	Trials  []TrialResult
+}
+
+// MeanRate returns the batch-average rate of an algorithm at this point.
+func (p PointResult) MeanRate(alg string) float64 { return p.Summary[alg].Mean }
+
+// networkSeed derives the per-network RNG seed. The multiplier is an odd
+// 64-bit constant (splitmix64's increment) so consecutive networks get
+// well-separated streams.
+func networkSeed(seed int64, i int) int64 {
+	return seed + int64(i)*-7046029254386353131
+}
+
+// RunPoint draws cfg.Networks networks and runs every configured algorithm
+// on each, validating all solutions against the problem they solved.
+func RunPoint(label string, x float64, cfg Config) (PointResult, error) {
+	if cfg.Networks <= 0 {
+		return PointResult{}, errors.New("sim: Networks must be positive")
+	}
+	algs := cfg.Algorithms
+	if len(algs) == 0 {
+		algs = AllAlgorithms()
+	}
+	point := PointResult{Label: label, X: x, Summary: make(map[string]stats.Summary, len(algs))}
+	trials, err := runBatch(cfg, algs)
+	if err != nil {
+		return PointResult{}, err
+	}
+	point.Trials = trials
+	rates := make(map[string][]float64, len(algs))
+	for _, trial := range trials {
+		for _, a := range algs {
+			rates[a] = append(rates[a], trial.Rates[a])
+		}
+	}
+	for _, a := range algs {
+		point.Summary[a] = stats.Summarize(rates[a])
+	}
+	return point, nil
+}
+
+// runBatch executes one network trial per batch slot, sequentially or on a
+// bounded worker pool, returning trials in network order either way.
+func runBatch(cfg Config, algs []string) ([]TrialResult, error) {
+	one := func(i int) (TrialResult, error) {
+		rng := rand.New(rand.NewSource(networkSeed(cfg.Seed, i)))
+		g, err := topology.Generate(cfg.Topology, rng)
+		if err != nil {
+			return TrialResult{}, fmt.Errorf("sim: network %d: %w", i, err)
+		}
+		trial, err := runTrial(g, cfg, algs, rng)
+		if err != nil {
+			return TrialResult{}, fmt.Errorf("sim: network %d: %w", i, err)
+		}
+		trial.Network = i
+		return trial, nil
+	}
+
+	trials := make([]TrialResult, cfg.Networks)
+	if cfg.Parallelism < 2 {
+		for i := range trials {
+			trial, err := one(i)
+			if err != nil {
+				return nil, err
+			}
+			trials[i] = trial
+		}
+		return trials, nil
+	}
+
+	sem := make(chan struct{}, cfg.Parallelism)
+	errs := make([]error, cfg.Networks)
+	var wg sync.WaitGroup
+	for i := range trials {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			trials[i], errs[i] = one(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return trials, nil
+}
+
+// runTrial runs every algorithm on one concrete network. rng drives the
+// only stochastic choice inside the algorithms (Algorithm 4's starting
+// user).
+func runTrial(g *graph.Graph, cfg Config, algs []string, rng *rand.Rand) (TrialResult, error) {
+	trial := TrialResult{
+		Rates:    make(map[string]float64, len(algs)),
+		Failures: make(map[string]string, len(algs)),
+	}
+	for _, a := range algs {
+		sol, prob, err := SolveOn(g, a, cfg, rng)
+		if err != nil {
+			if errors.Is(err, core.ErrInfeasible) {
+				trial.Rates[a] = 0
+				trial.Failures[a] = err.Error()
+				continue
+			}
+			return TrialResult{}, fmt.Errorf("algorithm %s: %w", a, err)
+		}
+		if err := prob.Validate(sol); err != nil {
+			return TrialResult{}, fmt.Errorf("algorithm %s produced an invalid tree: %w", a, err)
+		}
+		trial.Rates[a] = sol.Rate()
+	}
+	return trial, nil
+}
+
+// SolveOn runs one named algorithm on a concrete network under the
+// experiment conventions (Algorithm 2's sufficient-capacity copy,
+// Algorithm 4's random start). It returns the solution together with the
+// exact problem instance it solved, so callers can validate or inspect.
+func SolveOn(g *graph.Graph, alg string, cfg Config, rng *rand.Rand) (*core.Solution, *core.Problem, error) {
+	target := g
+	if alg == AlgOptimal && cfg.SufficientCapacityForAlg2 {
+		need := 2 * len(g.Users())
+		boosted := false
+		for _, s := range g.Switches() {
+			if g.Node(s).Qubits < need {
+				boosted = true
+				break
+			}
+		}
+		if boosted {
+			target = g.Clone()
+			for _, s := range target.Switches() {
+				if q := target.Node(s).Qubits; q < need {
+					target.SetQubits(s, need)
+				}
+			}
+		}
+	}
+	prob, err := core.AllUsersProblem(target, cfg.Params)
+	if err != nil {
+		return nil, nil, err
+	}
+	var sol *core.Solution
+	switch alg {
+	case AlgOptimal:
+		sol, err = core.SolveOptimal(prob)
+	case AlgConflictFree:
+		sol, err = core.SolveConflictFree(prob)
+	case AlgPrim:
+		sol, err = core.SolvePrim(prob, rng)
+	case AlgEQCast:
+		sol, err = baseline.SolveEQCast(prob)
+	case AlgNFusion:
+		sol, err = baseline.SolveNFusion(prob)
+	default:
+		return nil, nil, fmt.Errorf("sim: unknown algorithm %q", alg)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return sol, prob, nil
+}
+
+// sortedAlgorithms returns the point's algorithm names in canonical plot
+// order, restricted to those present.
+func sortedAlgorithms(p PointResult) []string {
+	order := map[string]int{}
+	for i, a := range AllAlgorithms() {
+		order[a] = i
+	}
+	var algs []string
+	for a := range p.Summary {
+		algs = append(algs, a)
+	}
+	sort.Slice(algs, func(i, j int) bool {
+		oi, iOK := order[algs[i]]
+		oj, jOK := order[algs[j]]
+		switch {
+		case iOK && jOK:
+			return oi < oj
+		case iOK:
+			return true
+		case jOK:
+			return false
+		default:
+			return algs[i] < algs[j]
+		}
+	})
+	return algs
+}

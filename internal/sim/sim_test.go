@@ -1,0 +1,276 @@
+package sim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/muerp/quantumnet/internal/topology"
+)
+
+// quickConfig returns a small, fast experiment configuration.
+func quickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Networks = 3
+	cfg.Topology.Switches = 15
+	cfg.Topology.Users = 5
+	return cfg
+}
+
+func TestRunPointBasics(t *testing.T) {
+	cfg := quickConfig()
+	point, err := RunPoint("default", 0, cfg)
+	if err != nil {
+		t.Fatalf("RunPoint: %v", err)
+	}
+	if len(point.Trials) != cfg.Networks {
+		t.Fatalf("%d trials, want %d", len(point.Trials), cfg.Networks)
+	}
+	for _, alg := range AllAlgorithms() {
+		sum, ok := point.Summary[alg]
+		if !ok {
+			t.Fatalf("missing summary for %s", alg)
+		}
+		if sum.N != cfg.Networks {
+			t.Fatalf("%s summarized %d trials, want %d", alg, sum.N, cfg.Networks)
+		}
+		if sum.Mean < 0 || sum.Mean > 1 {
+			t.Fatalf("%s mean rate %g outside [0,1]", alg, sum.Mean)
+		}
+	}
+}
+
+func TestRunPointDeterministicBySeed(t *testing.T) {
+	cfg := quickConfig()
+	a, err := RunPoint("a", 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunPoint("b", 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range AllAlgorithms() {
+		if a.Summary[alg].Mean != b.Summary[alg].Mean {
+			t.Fatalf("%s: same seed, different means %g vs %g", alg, a.Summary[alg].Mean, b.Summary[alg].Mean)
+		}
+	}
+	cfg.Seed = 999
+	c, err := RunPoint("c", 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	different := false
+	for _, alg := range AllAlgorithms() {
+		if a.Summary[alg].Mean != c.Summary[alg].Mean {
+			different = true
+		}
+	}
+	if !different {
+		t.Fatal("changing the seed changed nothing")
+	}
+}
+
+func TestRunPointAlgorithmOrdering(t *testing.T) {
+	// The paper's headline ordering on its default topology: the proposed
+	// algorithms beat both baselines, and alg2 (sufficient capacity) is the
+	// best of all.
+	cfg := DefaultConfig()
+	cfg.Networks = 8
+	point, err := RunPoint("order", 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg2 := point.MeanRate(AlgOptimal)
+	alg3 := point.MeanRate(AlgConflictFree)
+	alg4 := point.MeanRate(AlgPrim)
+	eq := point.MeanRate(AlgEQCast)
+	nf := point.MeanRate(AlgNFusion)
+	if !(alg2 >= alg3 && alg2 >= alg4) {
+		t.Errorf("alg2 %g not the best of the proposed (%g, %g)", alg2, alg3, alg4)
+	}
+	for name, rate := range map[string]float64{"eqcast": eq, "nfusion": nf} {
+		if alg3 <= rate || alg4 <= rate {
+			t.Errorf("baseline %s (%g) not beaten by alg3 %g / alg4 %g", name, rate, alg3, alg4)
+		}
+	}
+}
+
+func TestRunPointSelectedAlgorithms(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Algorithms = []string{AlgConflictFree}
+	point, err := RunPoint("subset", 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(point.Summary) != 1 {
+		t.Fatalf("summaries for %d algorithms, want 1", len(point.Summary))
+	}
+}
+
+func TestRunPointRejects(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Networks = 0
+	if _, err := RunPoint("bad", 0, cfg); err == nil {
+		t.Fatal("zero networks accepted")
+	}
+	cfg = quickConfig()
+	cfg.Algorithms = []string{"nonsense"}
+	if _, err := RunPoint("bad", 0, cfg); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	cfg = quickConfig()
+	cfg.Topology.Users = 0
+	if _, err := RunPoint("bad", 0, cfg); err == nil {
+		t.Fatal("invalid topology accepted")
+	}
+}
+
+func TestSolveOnBoostsOnlyAlg2(t *testing.T) {
+	cfg := quickConfig()
+	rng := rand.New(rand.NewSource(networkSeed(cfg.Seed, 0)))
+	g, err := topology.Generate(cfg.Topology, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// alg2 runs on a boosted copy: the original graph is untouched.
+	before := g.Node(g.Switches()[0]).Qubits
+	sol, prob, err := SolveOn(g, AlgOptimal, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Node(g.Switches()[0]).Qubits != before {
+		t.Fatal("SolveOn mutated the input graph")
+	}
+	if prob.Graph == g {
+		t.Fatal("alg2 should have solved on a boosted copy")
+	}
+	if err := prob.Validate(sol); err != nil {
+		t.Fatal(err)
+	}
+	// alg3 solves the raw graph.
+	_, prob3, err := SolveOn(g, AlgConflictFree, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prob3.Graph != g {
+		t.Fatal("alg3 should solve the original graph")
+	}
+}
+
+func TestFigureDriversSmall(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Networks = 2
+	tests := []struct {
+		name   string
+		run    func() (Series, error)
+		points int
+	}{
+		{"fig5", func() (Series, error) { return Fig5(cfg) }, 3},
+		{"fig6a", func() (Series, error) { return Fig6aUsers(cfg, []int{3, 5}) }, 2},
+		{"fig6b", func() (Series, error) { return Fig6bSwitches(cfg, []int{10, 15}) }, 2},
+		{"fig7a", func() (Series, error) { return Fig7aDegree(cfg, []float64{4, 6}) }, 2},
+		{"fig8a", func() (Series, error) { return Fig8aQubits(cfg, []int{2, 4}) }, 2},
+		{"fig8b", func() (Series, error) { return Fig8bSwapRate(cfg, []float64{0.8, 0.9}) }, 2},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := tc.run()
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			if len(s.Points) != tc.points {
+				t.Fatalf("%s has %d points, want %d", tc.name, len(s.Points), tc.points)
+			}
+			if s.Figure != tc.name {
+				t.Errorf("Figure = %q, want %q", s.Figure, tc.name)
+			}
+		})
+	}
+}
+
+func TestFig7bRemoval(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Networks = 2
+	// Default topology shape for the removal experiment is pinned inside
+	// the driver (600 fibers); use a big step for speed.
+	s, err := Fig7bRemoval(cfg, 200)
+	if err != nil {
+		t.Fatalf("Fig7bRemoval: %v", err)
+	}
+	if len(s.Points) < 2 {
+		t.Fatalf("removal sweep has %d points, want >= 2", len(s.Points))
+	}
+	if s.Points[0].X != 0 {
+		t.Fatalf("first removal ratio = %g, want 0", s.Points[0].X)
+	}
+	// The last recorded step must have every algorithm at rate 0 for at
+	// least one network (the termination condition), and overall mean
+	// rates must not increase from full graph to fully broken.
+	first, last := s.Points[0], s.Points[len(s.Points)-1]
+	for _, alg := range AllAlgorithms() {
+		if last.Summary[alg].Mean > first.Summary[alg].Mean {
+			t.Errorf("%s: mean rate rose from %g to %g as fibers were removed",
+				alg, first.Summary[alg].Mean, last.Summary[alg].Mean)
+		}
+	}
+}
+
+func TestSeriesTableAndCSV(t *testing.T) {
+	cfg := quickConfig()
+	s, err := Fig8bSwapRate(cfg, []float64{0.8, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := s.Table()
+	for _, want := range []string{"fig8b", "alg2", "nfusion", "q=0.80"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	var buf strings.Builder
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	csv := buf.String()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 { // header + 2 points
+		t.Fatalf("CSV has %d lines, want 3:\n%s", len(lines), csv)
+	}
+	if !strings.HasPrefix(lines[0], "figure,label,x,alg2_mean") {
+		t.Errorf("unexpected CSV header %q", lines[0])
+	}
+}
+
+func TestImprovementOver(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Networks = 4
+	s, err := Fig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratios := s.ImprovementOver(AlgConflictFree, AlgNFusion)
+	if len(ratios) != len(s.Points) {
+		t.Fatalf("%d ratios for %d points", len(ratios), len(s.Points))
+	}
+	max := s.MaxImprovementOver(AlgConflictFree, AlgNFusion)
+	for _, r := range ratios {
+		if r > max {
+			t.Fatalf("ratio %g exceeds reported max %g", r, max)
+		}
+	}
+	if max <= 1 {
+		t.Errorf("alg3 shows no improvement over n-fusion (max ratio %g)", max)
+	}
+}
+
+func TestEmptySeriesRendering(t *testing.T) {
+	s := Series{Figure: "empty"}
+	if got := s.Table(); !strings.Contains(got, "no data") {
+		t.Errorf("empty table = %q", got)
+	}
+	var buf strings.Builder
+	if err := s.WriteCSV(&buf); err == nil {
+		t.Error("empty CSV write succeeded")
+	}
+}

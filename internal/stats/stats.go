@@ -1,0 +1,114 @@
+// Package stats provides the small set of descriptive statistics the
+// experiment harness reports: means, deviations, confidence intervals and
+// order statistics over per-network entanglement rates (where infeasible
+// runs count as zero, per the paper's setup).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary aggregates a sample of observations.
+type Summary struct {
+	N        int
+	Mean     float64
+	StdDev   float64 // sample standard deviation (n-1)
+	Min, Max float64
+	Median   float64
+	// GeoMean is the geometric mean of the positive observations; it is 0
+	// when no observation is positive. Entanglement rates span orders of
+	// magnitude, so the geometric mean is the meaningful central tendency
+	// alongside the paper's arithmetic average.
+	GeoMean float64
+	// Zeros counts observations equal to zero (infeasible routing runs).
+	Zeros int
+}
+
+// Summarize computes a Summary over xs. It returns the zero Summary for an
+// empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	logSum, positives := 0.0, 0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+		if x == 0 {
+			s.Zeros++
+		}
+		if x > 0 {
+			logSum += math.Log(x)
+			positives++
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if positives > 0 {
+		s.GeoMean = math.Exp(logSum / float64(positives))
+	}
+	if len(xs) > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	s.Median = Quantile(xs, 0.5)
+	return s
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It returns 0 for an empty sample.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// CI95 returns the half-width of the 95% normal-approximation confidence
+// interval for the mean of the summarized sample (1.96 * stderr). It is 0
+// for samples smaller than 2.
+func (s Summary) CI95() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return 1.96 * s.StdDev / math.Sqrt(float64(s.N))
+}
+
+// Mean returns the arithmetic mean of xs, 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

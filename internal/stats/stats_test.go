@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-12*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.StdDev != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{3})
+	if s.N != 1 || s.Mean != 3 || s.StdDev != 0 || s.Min != 3 || s.Max != 3 || s.Median != 3 {
+		t.Fatalf("single summary = %+v", s)
+	}
+	if s.CI95() != 0 {
+		t.Fatalf("CI95 of single sample = %g, want 0", s.CI95())
+	}
+}
+
+func TestSummarizeKnownSample(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	s := Summarize(xs)
+	if !almost(s.Mean, 5) {
+		t.Errorf("Mean = %g, want 5", s.Mean)
+	}
+	// Sample std dev of this classic sample is sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); !almost(s.StdDev, want) {
+		t.Errorf("StdDev = %g, want %g", s.StdDev, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %g/%g, want 2/9", s.Min, s.Max)
+	}
+	if !almost(s.Median, 4.5) {
+		t.Errorf("Median = %g, want 4.5", s.Median)
+	}
+	if s.Zeros != 0 {
+		t.Errorf("Zeros = %d, want 0", s.Zeros)
+	}
+}
+
+func TestSummarizeZerosAndGeoMean(t *testing.T) {
+	// Entanglement-rate style sample: two infeasible runs score 0.
+	xs := []float64{0, 1e-2, 1e-4, 0}
+	s := Summarize(xs)
+	if s.Zeros != 2 {
+		t.Fatalf("Zeros = %d, want 2", s.Zeros)
+	}
+	// Geometric mean over positives only: sqrt(1e-2 * 1e-4) = 1e-3.
+	if !almost(s.GeoMean, 1e-3) {
+		t.Fatalf("GeoMean = %g, want 1e-3", s.GeoMean)
+	}
+	if !almost(s.Mean, (1e-2+1e-4)/4) {
+		t.Fatalf("Mean = %g", s.Mean)
+	}
+}
+
+func TestSummarizeAllZeros(t *testing.T) {
+	s := Summarize([]float64{0, 0, 0})
+	if s.GeoMean != 0 {
+		t.Fatalf("GeoMean of zeros = %g, want 0", s.GeoMean)
+	}
+	if s.Zeros != 3 {
+		t.Fatalf("Zeros = %d, want 3", s.Zeros)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1},
+		{1, 4},
+		{0.5, 2.5},
+		{0.25, 1.75},
+		{-1, 1},
+		{2, 4},
+	}
+	for _, tc := range tests {
+		if got := Quantile(xs, tc.q); !almost(got, tc.want) {
+			t.Errorf("Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("Quantile(empty) = %g, want 0", got)
+	}
+	// Quantile must not mutate its input.
+	if xs[0] != 4 {
+		t.Error("Quantile sorted the caller's slice")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); !almost(got, 2) {
+		t.Errorf("Mean = %g, want 2", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %g, want 0", got)
+	}
+}
+
+// TestQuickSummaryInvariants checks order and bound invariants over random
+// samples: Min <= GeoMean-over-positives, Median, Mean <= Max; Zeros counts
+// exactly; CI95 shrinks with n.
+func TestQuickSummaryInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		zeros := 0
+		for i := range xs {
+			if rng.Float64() < 0.2 {
+				zeros++
+			} else {
+				xs[i] = rng.Float64()
+			}
+		}
+		s := Summarize(xs)
+		if s.N != n || s.Zeros != zeros {
+			return false
+		}
+		if s.Min > s.Median+1e-12 || s.Median > s.Max+1e-12 {
+			return false
+		}
+		if s.Mean < s.Min-1e-12 || s.Mean > s.Max+1e-12 {
+			return false
+		}
+		if s.GeoMean > 0 && (s.GeoMean > s.Max+1e-12) {
+			return false
+		}
+		return s.StdDev >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,164 @@
+// Package topology generates random quantum-network topologies following
+// the paper's simulation setup (§V-A): users and switches placed uniformly
+// at random in a 10k x 10k km area and wired by one of three generators —
+// Waxman, Watts-Strogatz, or Volchenkov (power-law) — targeted at a given
+// average node degree.
+package topology
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Model selects the random-network generation method.
+type Model int
+
+const (
+	// Waxman is the distance-decay random graph of Waxman (1988), the
+	// paper's default.
+	Waxman Model = iota + 1
+	// WattsStrogatz is the small-world rewired ring lattice of Watts &
+	// Strogatz (1998).
+	WattsStrogatz
+	// Volchenkov is the power-law-degree random graph in the style of
+	// Volchenkov & Blanchard (2002), realized as a Chung-Lu expected-degree
+	// construction with a Zipf weight sequence (see DESIGN.md,
+	// substitution 4).
+	Volchenkov
+	// Grid is a 2D lattice with nodes snapped to grid points and fibers to
+	// 4-neighbors; not part of the paper's sweep, provided for the
+	// lattice-network scenarios of related work.
+	Grid
+)
+
+// String returns the generator's conventional name.
+func (m Model) String() string {
+	switch m {
+	case Waxman:
+		return "waxman"
+	case WattsStrogatz:
+		return "watts-strogatz"
+	case Volchenkov:
+		return "volchenkov"
+	case Grid:
+		return "grid"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// ParseModel maps a generator name to its Model.
+func ParseModel(s string) (Model, error) {
+	switch s {
+	case "waxman":
+		return Waxman, nil
+	case "watts-strogatz", "ws":
+		return WattsStrogatz, nil
+	case "volchenkov", "powerlaw":
+		return Volchenkov, nil
+	case "grid", "lattice":
+		return Grid, nil
+	default:
+		return 0, fmt.Errorf("topology: unknown model %q", s)
+	}
+}
+
+// Config parameterizes one topology draw.
+type Config struct {
+	Model    Model
+	Users    int
+	Switches int
+	// Area is the side of the square placement region in kilometres.
+	Area float64
+	// AvgDegree is the target average node degree D; the generated edge
+	// count is round(D * N / 2). Ignored when ExactEdges > 0.
+	AvgDegree float64
+	// ExactEdges, when positive, fixes the number of fibers exactly (the
+	// Fig. 7b experiment uses 600). Connectivity repair may add a few more.
+	ExactEdges int
+	// SwitchQubits is the uniform qubit budget Q installed on every switch.
+	SwitchQubits int
+	// WaxmanAlpha is the Waxman distance-decay scale as a fraction of the
+	// maximum pairwise distance; larger values make long fibers likelier.
+	WaxmanAlpha float64
+	// RewireProb is the Watts-Strogatz rewiring probability beta.
+	RewireProb float64
+	// PowerLawGamma is the degree-distribution exponent for Volchenkov.
+	PowerLawGamma float64
+	// EnsureConnected adds shortest repair fibers between components until
+	// the graph is connected, so every instance admits at least one
+	// entanglement tree when capacity allows.
+	EnsureConnected bool
+}
+
+// Default returns the paper's §V-A defaults: Waxman, 10 users, 50 switches,
+// a 10k x 10k km area, average degree 6, 4 qubits per switch.
+func Default() Config {
+	return Config{
+		Model:           Waxman,
+		Users:           10,
+		Switches:        50,
+		Area:            10_000,
+		AvgDegree:       6,
+		SwitchQubits:    4,
+		WaxmanAlpha:     0.2,
+		RewireProb:      0.1,
+		PowerLawGamma:   2.5,
+		EnsureConnected: true,
+	}
+}
+
+// Config validation errors.
+var (
+	ErrBadCounts = errors.New("topology: need at least one user and a non-negative switch count")
+	ErrBadArea   = errors.New("topology: area must be positive")
+	ErrBadDegree = errors.New("topology: average degree must be positive (or ExactEdges set)")
+	ErrBadModel  = errors.New("topology: unknown model")
+	ErrBadShape  = errors.New("topology: generator shape parameter out of range")
+)
+
+// Validate checks the configuration for structural soundness.
+func (c Config) Validate() error {
+	if c.Users < 1 || c.Switches < 0 {
+		return fmt.Errorf("%w: users=%d switches=%d", ErrBadCounts, c.Users, c.Switches)
+	}
+	if c.Area <= 0 {
+		return fmt.Errorf("%w: %g", ErrBadArea, c.Area)
+	}
+	if c.AvgDegree <= 0 && c.ExactEdges <= 0 && c.Model != Grid {
+		return fmt.Errorf("%w: degree=%g exact=%d", ErrBadDegree, c.AvgDegree, c.ExactEdges)
+	}
+	switch c.Model {
+	case Waxman:
+		if c.WaxmanAlpha <= 0 {
+			return fmt.Errorf("%w: waxman alpha %g", ErrBadShape, c.WaxmanAlpha)
+		}
+	case WattsStrogatz:
+		if c.RewireProb < 0 || c.RewireProb > 1 {
+			return fmt.Errorf("%w: rewire prob %g", ErrBadShape, c.RewireProb)
+		}
+	case Volchenkov:
+		if c.PowerLawGamma <= 1 {
+			return fmt.Errorf("%w: power-law gamma %g", ErrBadShape, c.PowerLawGamma)
+		}
+	case Grid:
+		// The lattice has no shape parameters; degree settings are ignored.
+	default:
+		return fmt.Errorf("%w: %d", ErrBadModel, int(c.Model))
+	}
+	if c.SwitchQubits < 0 {
+		return fmt.Errorf("topology: negative switch qubits %d", c.SwitchQubits)
+	}
+	return nil
+}
+
+// nodeCount returns the total node count N.
+func (c Config) nodeCount() int { return c.Users + c.Switches }
+
+// targetEdges returns the number of fibers the generator aims for.
+func (c Config) targetEdges() int {
+	if c.ExactEdges > 0 {
+		return c.ExactEdges
+	}
+	return int(c.AvgDegree*float64(c.nodeCount())/2 + 0.5)
+}

@@ -1,0 +1,184 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/muerp/quantumnet/internal/graph"
+)
+
+// Generate draws one random quantum network from the configuration using
+// the supplied RNG. The same (config, seed) pair always yields the same
+// network, which the experiment harness relies on for reproducibility.
+func Generate(cfg Config, rng *rand.Rand) (*graph.Graph, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("topology: nil rng")
+	}
+	g := placeNodes(cfg, rng)
+	var err error
+	switch cfg.Model {
+	case Waxman:
+		err = wireWaxman(g, cfg, rng)
+	case WattsStrogatz:
+		err = wireWattsStrogatz(g, cfg, rng)
+	case Volchenkov:
+		err = wireVolchenkov(g, cfg, rng)
+	case Grid:
+		err = wireGrid(g, cfg, rng)
+	default:
+		err = fmt.Errorf("%w: %d", ErrBadModel, int(cfg.Model))
+	}
+	if err != nil {
+		return nil, err
+	}
+	if cfg.EnsureConnected {
+		repairConnectivity(g)
+	}
+	return g, nil
+}
+
+// placeNodes scatters users and switches uniformly over the area, with the
+// two kinds shuffled across node indices so index-structured generators
+// (the Watts-Strogatz ring) do not cluster users together.
+func placeNodes(cfg Config, rng *rand.Rand) *graph.Graph {
+	n := cfg.nodeCount()
+	kinds := make([]graph.NodeKind, 0, n)
+	for i := 0; i < cfg.Users; i++ {
+		kinds = append(kinds, graph.KindUser)
+	}
+	for i := 0; i < cfg.Switches; i++ {
+		kinds = append(kinds, graph.KindSwitch)
+	}
+	rng.Shuffle(len(kinds), func(i, j int) { kinds[i], kinds[j] = kinds[j], kinds[i] })
+
+	g := graph.New(n, cfg.targetEdges())
+	for i, k := range kinds {
+		node := graph.Node{
+			Kind: k,
+			X:    rng.Float64() * cfg.Area,
+			Y:    rng.Float64() * cfg.Area,
+		}
+		if k == graph.KindSwitch {
+			node.Qubits = cfg.SwitchQubits
+			node.Label = fmt.Sprintf("s%d", i)
+		} else {
+			node.Label = fmt.Sprintf("u%d", i)
+		}
+		g.AddNode(node)
+	}
+	return g
+}
+
+// distance returns the Euclidean distance between two nodes.
+func distance(a, b graph.Node) float64 {
+	return math.Hypot(a.X-b.X, a.Y-b.Y)
+}
+
+// pair is an unordered node pair with a sampling weight.
+type pair struct {
+	a, b   graph.NodeID
+	weight float64
+}
+
+// allPairs enumerates every unordered node pair with the given weight
+// function, skipping pairs weighted <= 0.
+func allPairs(g *graph.Graph, weight func(a, b graph.Node) float64) []pair {
+	nodes := g.Nodes()
+	pairs := make([]pair, 0, len(nodes)*(len(nodes)-1)/2)
+	for i := range nodes {
+		for j := i + 1; j < len(nodes); j++ {
+			if w := weight(nodes[i], nodes[j]); w > 0 {
+				pairs = append(pairs, pair{a: nodes[i].ID, b: nodes[j].ID, weight: w})
+			}
+		}
+	}
+	return pairs
+}
+
+// sampleEdges draws m distinct pairs without replacement, with probability
+// proportional to weight, and adds them as fibers (length = Euclidean
+// distance). When fewer than m positive-weight pairs exist it adds them all.
+func sampleEdges(g *graph.Graph, pairs []pair, m int, rng *rand.Rand) {
+	total := 0.0
+	for _, p := range pairs {
+		total += p.weight
+	}
+	live := len(pairs)
+	for added := 0; added < m && live > 0 && total > 1e-300; added++ {
+		r := rng.Float64() * total
+		chosen := -1
+		for i, p := range pairs {
+			if p.weight <= 0 {
+				continue
+			}
+			r -= p.weight
+			if r <= 0 {
+				chosen = i
+				break
+			}
+		}
+		if chosen < 0 {
+			// Floating-point slack at the tail: take the last live pair.
+			for i := len(pairs) - 1; i >= 0; i-- {
+				if pairs[i].weight > 0 {
+					chosen = i
+					break
+				}
+			}
+		}
+		if chosen < 0 {
+			return
+		}
+		p := pairs[chosen]
+		a, b := g.Node(p.a), g.Node(p.b)
+		g.MustAddEdge(p.a, p.b, distance(a, b))
+		total -= p.weight
+		pairs[chosen].weight = 0
+		live--
+	}
+}
+
+// repairConnectivity joins the graph's components with the geometrically
+// shortest cross-component fibers until the graph is connected. Repair
+// edges are physically plausible (shortest available) and few, so they
+// perturb the degree target only marginally.
+func repairConnectivity(g *graph.Graph) {
+	for {
+		comps := g.Components()
+		if len(comps) <= 1 {
+			return
+		}
+		// Join the main (largest) component to its nearest other component.
+		main := comps[0]
+		for _, c := range comps[1:] {
+			if len(c) > len(main) {
+				main = c
+			}
+		}
+		inMain := make(map[graph.NodeID]bool, len(main))
+		for _, id := range main {
+			inMain[id] = true
+		}
+		bestD := math.Inf(1)
+		var bestA, bestB graph.NodeID
+		for _, id := range main {
+			a := g.Node(id)
+			for _, other := range g.Nodes() {
+				if inMain[other.ID] || g.HasEdge(id, other.ID) {
+					continue
+				}
+				if d := distance(a, other); d < bestD {
+					bestD, bestA, bestB = d, id, other.ID
+				}
+			}
+		}
+		if math.IsInf(bestD, 1) {
+			return // single-node graph or no candidates; nothing to join
+		}
+		g.MustAddEdge(bestA, bestB, bestD)
+	}
+}

@@ -1,0 +1,42 @@
+package topology
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/muerp/quantumnet/internal/graph"
+)
+
+// wireGrid wires the graph as a 2D lattice, the topology used by the
+// lattice-network line of related work (e.g. Li et al., "Effective routing
+// design for remote entanglement generation on quantum networks"). Nodes
+// are re-placed on a ceil(sqrt(N)) x ceil(sqrt(N)) grid spanning the area
+// (kinds stay where placeNodes shuffled them) and joined to their 4
+// orthogonal neighbors. AvgDegree and ExactEdges are ignored: an interior
+// lattice node has degree 4 by construction.
+func wireGrid(g *graph.Graph, cfg Config, _ *rand.Rand) error {
+	n := g.NumNodes()
+	if n < 2 {
+		return nil
+	}
+	side := int(math.Ceil(math.Sqrt(float64(n))))
+	spacing := cfg.Area
+	if side > 1 {
+		spacing = cfg.Area / float64(side-1)
+	}
+	// Snap nodes onto lattice points row by row.
+	for i := 0; i < n; i++ {
+		row, col := i/side, i%side
+		g.SetPosition(graph.NodeID(i), float64(col)*spacing, float64(row)*spacing)
+	}
+	for i := 0; i < n; i++ {
+		row, col := i/side, i%side
+		if col+1 < side && i+1 < n {
+			g.MustAddEdge(graph.NodeID(i), graph.NodeID(i+1), spacing)
+		}
+		if row+1 < side && i+side < n {
+			g.MustAddEdge(graph.NodeID(i), graph.NodeID(i+side), spacing)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package topology
+
+import (
+	"testing"
+
+	"github.com/muerp/quantumnet/internal/graph"
+)
+
+func TestGridPerfectSquare(t *testing.T) {
+	cfg := Default()
+	cfg.Model = Grid
+	cfg.Users = 4
+	cfg.Switches = 12 // 16 nodes = 4x4 lattice
+	g, err := Generate(cfg, testRNG(1))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if g.NumNodes() != 16 {
+		t.Fatalf("nodes = %d, want 16", g.NumNodes())
+	}
+	// A 4x4 lattice has 2*4*3 = 24 edges.
+	if g.NumEdges() != 24 {
+		t.Fatalf("edges = %d, want 24", g.NumEdges())
+	}
+	if !g.Connected() {
+		t.Fatal("lattice disconnected")
+	}
+	// Degrees: corners 2, edges 3, interior 4.
+	counts := map[int]int{}
+	for i := 0; i < g.NumNodes(); i++ {
+		counts[g.Degree(graph.NodeID(i))]++
+	}
+	if counts[2] != 4 || counts[3] != 8 || counts[4] != 4 {
+		t.Fatalf("degree histogram = %v, want 4x2, 8x3, 4x4", counts)
+	}
+}
+
+func TestGridImperfectSquare(t *testing.T) {
+	cfg := Default()
+	cfg.Model = Grid
+	cfg.Users = 3
+	cfg.Switches = 8 // 11 nodes on a 4x4 frame (last row partial)
+	g, err := Generate(cfg, testRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 11 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if !g.Connected() {
+		t.Fatal("partial lattice disconnected")
+	}
+	if len(g.Users()) != 3 || len(g.Switches()) != 8 {
+		t.Fatalf("kind counts wrong: %s", g)
+	}
+}
+
+func TestGridUniformFiberLengths(t *testing.T) {
+	cfg := Default()
+	cfg.Model = Grid
+	cfg.Users = 5
+	cfg.Switches = 20
+	g, err := Generate(cfg, testRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for i, e := range g.Edges() {
+		if i == 0 {
+			want = e.Length
+			continue
+		}
+		if e.Length != want {
+			t.Fatalf("fiber %d length %g != %g (lattice spacing must be uniform)", i, e.Length, want)
+		}
+	}
+}
+
+func TestGridIgnoresDegreeSettings(t *testing.T) {
+	cfg := Default()
+	cfg.Model = Grid
+	cfg.AvgDegree = 0 // would be invalid for other models
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("grid with zero degree rejected: %v", err)
+	}
+	if _, err := Generate(cfg, testRNG(4)); err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+}
+
+func TestGridRoutable(t *testing.T) {
+	cfg := Default()
+	cfg.Model = Grid
+	cfg.Users = 6
+	cfg.Switches = 30
+	g, err := Generate(cfg, testRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.UsersConnected() {
+		t.Fatal("users not connected on lattice")
+	}
+}

@@ -1,0 +1,110 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/muerp/quantumnet/internal/graph"
+)
+
+// This file provides the classic NSFNET T1 backbone as a ready-made
+// fixture: 14 continental-US sites and 21 long-haul links, the standard
+// reference topology of the (quantum-)networking evaluation literature.
+// Sites act as quantum switches; user nodes attach to randomly chosen
+// sites over short metro access fibers.
+
+// nsfSite is one backbone location with approximate continental
+// coordinates in kilometres (x grows eastward, y northward).
+type nsfSite struct {
+	name string
+	x, y float64
+}
+
+// nsfSites lists the 14 NSFNET sites.
+var nsfSites = []nsfSite{
+	{"Seattle", 100, 1400},
+	{"PaloAlto", 150, 700},
+	{"SanDiego", 350, 150},
+	{"SaltLake", 900, 950},
+	{"Boulder", 1300, 850},
+	{"Houston", 2100, 100},
+	{"Lincoln", 1900, 950},
+	{"Champaign", 2500, 950},
+	{"Atlanta", 2900, 350},
+	{"Pittsburgh", 3150, 950},
+	{"AnnArbor", 2900, 1150},
+	{"Ithaca", 3400, 1200},
+	{"Princeton", 3550, 1000},
+	{"CollegePark", 3450, 850},
+}
+
+// nsfLinks lists the 21 backbone fibers by site index.
+var nsfLinks = [][2]int{
+	{0, 1}, {0, 2}, {0, 7},
+	{1, 2}, {1, 3},
+	{2, 5},
+	{3, 4}, {3, 10},
+	{4, 5}, {4, 6},
+	{5, 8}, {5, 13},
+	{6, 7},
+	{7, 9},
+	{8, 9},
+	{9, 11}, {9, 12},
+	{10, 11},
+	{11, 12},
+	{12, 13},
+	{8, 13},
+}
+
+// accessFiberKM is the metro access fiber length attaching a user to its
+// backbone site.
+const accessFiberKM = 50
+
+// NSFNet returns the 14-site NSFNET backbone with every site acting as a
+// quantum switch of the given qubit budget, plus `users` user nodes, each
+// attached to a (rng-chosen) distinct site by a 50 km access fiber. With
+// more than 14 users, sites are reused round-robin over a fresh random
+// order.
+func NSFNet(users, switchQubits int, rng *rand.Rand) (*graph.Graph, error) {
+	if users < 1 {
+		return nil, fmt.Errorf("%w: users=%d", ErrBadCounts, users)
+	}
+	if switchQubits < 0 {
+		return nil, fmt.Errorf("topology: negative switch qubits %d", switchQubits)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("topology: nil rng")
+	}
+	g := graph.New(len(nsfSites)+users, len(nsfLinks)+users)
+	for _, s := range nsfSites {
+		g.AddNode(graph.Node{
+			Kind:   graph.KindSwitch,
+			X:      s.x,
+			Y:      s.y,
+			Qubits: switchQubits,
+			Label:  s.name,
+		})
+	}
+	for _, l := range nsfLinks {
+		a, b := nsfSites[l[0]], nsfSites[l[1]]
+		g.MustAddEdge(graph.NodeID(l[0]), graph.NodeID(l[1]), math.Hypot(a.x-b.x, a.y-b.y))
+	}
+	order := rng.Perm(len(nsfSites))
+	for i := 0; i < users; i++ {
+		site := order[i%len(order)]
+		s := nsfSites[site]
+		// Offset users slightly from their site for readable rendering.
+		u := g.AddNode(graph.Node{
+			Kind:  graph.KindUser,
+			X:     s.x + 30,
+			Y:     s.y + 30,
+			Label: fmt.Sprintf("u-%s", s.name),
+		})
+		g.MustAddEdge(u, graph.NodeID(site), accessFiberKM)
+	}
+	return g, nil
+}
+
+// NSFNetSiteCount returns the number of backbone sites (14).
+func NSFNetSiteCount() int { return len(nsfSites) }

@@ -1,0 +1,96 @@
+package topology
+
+import (
+	"testing"
+
+	"github.com/muerp/quantumnet/internal/graph"
+)
+
+func TestNSFNetShape(t *testing.T) {
+	g, err := NSFNet(6, 4, testRNG(1))
+	if err != nil {
+		t.Fatalf("NSFNet: %v", err)
+	}
+	if got := len(g.Switches()); got != 14 {
+		t.Fatalf("switches = %d, want 14", got)
+	}
+	if got := len(g.Users()); got != 6 {
+		t.Fatalf("users = %d, want 6", got)
+	}
+	// 21 backbone fibers + one access fiber per user.
+	if got := g.NumEdges(); got != 21+6 {
+		t.Fatalf("edges = %d, want 27", got)
+	}
+	if !g.Connected() {
+		t.Fatal("NSFNET disconnected")
+	}
+	for _, s := range g.Switches() {
+		n := g.Node(s)
+		if n.Qubits != 4 {
+			t.Fatalf("site %s has %d qubits", n.Label, n.Qubits)
+		}
+		if n.Label == "" {
+			t.Fatalf("site %d unnamed", s)
+		}
+	}
+}
+
+func TestNSFNetDistinctSitesForFewUsers(t *testing.T) {
+	g, err := NSFNet(14, 4, testRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With exactly 14 users every site hosts exactly one.
+	hosts := map[graph.NodeID]int{}
+	for _, u := range g.Users() {
+		for _, nb := range g.NeighborIDs(u) {
+			hosts[nb]++
+		}
+	}
+	for site, count := range hosts {
+		if count != 1 {
+			t.Fatalf("site %d hosts %d users, want 1", site, count)
+		}
+	}
+}
+
+func TestNSFNetManyUsersReuseSites(t *testing.T) {
+	g, err := NSFNet(20, 4, testRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.Users()); got != 20 {
+		t.Fatalf("users = %d", got)
+	}
+	if !g.UsersConnected() {
+		t.Fatal("users not connected")
+	}
+}
+
+func TestNSFNetRoutable(t *testing.T) {
+	g, err := NSFNet(5, 4, testRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every backbone fiber length is the geometric site distance.
+	for _, e := range g.Edges() {
+		if e.Length <= 0 {
+			t.Fatalf("fiber %v has non-positive length", e)
+		}
+	}
+	if NSFNetSiteCount() != 14 {
+		t.Fatalf("NSFNetSiteCount = %d", NSFNetSiteCount())
+	}
+}
+
+func TestNSFNetRejects(t *testing.T) {
+	if _, err := NSFNet(0, 4, testRNG(1)); err == nil {
+		t.Error("zero users accepted")
+	}
+	if _, err := NSFNet(3, -1, testRNG(1)); err == nil {
+		t.Error("negative qubits accepted")
+	}
+	if _, err := NSFNet(3, 4, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}

@@ -1,0 +1,330 @@
+package topology
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/muerp/quantumnet/internal/graph"
+)
+
+func testRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	c := Default()
+	if c.Model != Waxman {
+		t.Errorf("Model = %v, want Waxman", c.Model)
+	}
+	if c.Users != 10 || c.Switches != 50 {
+		t.Errorf("Users/Switches = %d/%d, want 10/50", c.Users, c.Switches)
+	}
+	if c.Area != 10000 {
+		t.Errorf("Area = %g, want 10000", c.Area)
+	}
+	if c.AvgDegree != 6 {
+		t.Errorf("AvgDegree = %g, want 6", c.AvgDegree)
+	}
+	if c.SwitchQubits != 4 {
+		t.Errorf("SwitchQubits = %d, want 4", c.SwitchQubits)
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	mod := func(f func(*Config)) Config {
+		c := Default()
+		f(&c)
+		return c
+	}
+	tests := []struct {
+		name    string
+		cfg     Config
+		wantErr error
+	}{
+		{"no users", mod(func(c *Config) { c.Users = 0 }), ErrBadCounts},
+		{"negative switches", mod(func(c *Config) { c.Switches = -1 }), ErrBadCounts},
+		{"zero area", mod(func(c *Config) { c.Area = 0 }), ErrBadArea},
+		{"zero degree", mod(func(c *Config) { c.AvgDegree = 0 }), ErrBadDegree},
+		{"exact edges substitute degree", mod(func(c *Config) { c.AvgDegree = 0; c.ExactEdges = 100 }), nil},
+		{"unknown model", mod(func(c *Config) { c.Model = Model(99) }), ErrBadModel},
+		{"bad waxman alpha", mod(func(c *Config) { c.WaxmanAlpha = 0 }), ErrBadShape},
+		{"bad rewire", mod(func(c *Config) { c.Model = WattsStrogatz; c.RewireProb = 1.5 }), ErrBadShape},
+		{"bad gamma", mod(func(c *Config) { c.Model = Volchenkov; c.PowerLawGamma = 1 }), ErrBadShape},
+		{"negative qubits", mod(func(c *Config) { c.SwitchQubits = -1 }), nil},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.name == "exact edges substitute degree" {
+				if err != nil {
+					t.Fatalf("Validate: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("invalid config accepted")
+			}
+			if tc.wantErr != nil && !errors.Is(err, tc.wantErr) {
+				t.Fatalf("error = %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseModel(t *testing.T) {
+	tests := []struct {
+		in   string
+		want Model
+		ok   bool
+	}{
+		{"waxman", Waxman, true},
+		{"watts-strogatz", WattsStrogatz, true},
+		{"ws", WattsStrogatz, true},
+		{"volchenkov", Volchenkov, true},
+		{"powerlaw", Volchenkov, true},
+		{"erdos", 0, false},
+	}
+	for _, tc := range tests {
+		got, err := ParseModel(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseModel(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	for _, m := range []Model{Waxman, WattsStrogatz, Volchenkov} {
+		back, err := ParseModel(m.String())
+		if err != nil || back != m {
+			t.Errorf("round trip %v failed: %v, %v", m, back, err)
+		}
+	}
+}
+
+func TestGenerateCountsAndKinds(t *testing.T) {
+	for _, model := range []Model{Waxman, WattsStrogatz, Volchenkov} {
+		t.Run(model.String(), func(t *testing.T) {
+			cfg := Default()
+			cfg.Model = model
+			g, err := Generate(cfg, testRNG(1))
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+			if got := len(g.Users()); got != cfg.Users {
+				t.Errorf("users = %d, want %d", got, cfg.Users)
+			}
+			if got := len(g.Switches()); got != cfg.Switches {
+				t.Errorf("switches = %d, want %d", got, cfg.Switches)
+			}
+			for _, s := range g.Switches() {
+				if q := g.Node(s).Qubits; q != cfg.SwitchQubits {
+					t.Fatalf("switch %d has %d qubits, want %d", s, q, cfg.SwitchQubits)
+				}
+			}
+			if !g.Connected() {
+				t.Error("EnsureConnected graph is disconnected")
+			}
+		})
+	}
+}
+
+func TestGenerateDegreeTarget(t *testing.T) {
+	for _, model := range []Model{Waxman, WattsStrogatz, Volchenkov} {
+		t.Run(model.String(), func(t *testing.T) {
+			cfg := Default()
+			cfg.Model = model
+			g, err := Generate(cfg, testRNG(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Repair edges may push slightly above target; allow 25% slack.
+			got := g.AverageDegree()
+			if got < cfg.AvgDegree*0.75 || got > cfg.AvgDegree*1.25 {
+				t.Errorf("average degree = %g, want about %g", got, cfg.AvgDegree)
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Default()
+	a, err := Generate(cfg, testRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg, testRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("same seed, different shape: %s vs %s", a, b)
+	}
+	for i := 0; i < a.NumEdges(); i++ {
+		if a.Edge(graph.EdgeID(i)) != b.Edge(graph.EdgeID(i)) {
+			t.Fatalf("edge %d differs between same-seed draws", i)
+		}
+	}
+	c, err := Generate(cfg, testRNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := a.NumEdges() == c.NumEdges()
+	if same {
+		identical := true
+		for i := 0; i < a.NumEdges(); i++ {
+			if a.Edge(graph.EdgeID(i)) != c.Edge(graph.EdgeID(i)) {
+				identical = false
+				break
+			}
+		}
+		if identical {
+			t.Fatal("different seeds produced identical networks")
+		}
+	}
+}
+
+func TestGenerateExactEdges(t *testing.T) {
+	cfg := Default()
+	cfg.ExactEdges = 600
+	cfg.EnsureConnected = false
+	g, err := Generate(cfg, testRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.NumEdges(); got != 600 {
+		t.Fatalf("NumEdges = %d, want exactly 600", got)
+	}
+}
+
+func TestGenerateWaxmanPrefersShortFibers(t *testing.T) {
+	cfg := Default()
+	cfg.EnsureConnected = false
+	g, err := Generate(cfg, testRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := 0.0
+	for _, e := range g.Edges() {
+		mean += e.Length
+	}
+	mean /= float64(g.NumEdges())
+	// Uniform random pairs in a 10k square average ~5214 km apart; Waxman
+	// sampling must pull the mean fiber length well below that.
+	if mean >= 4000 {
+		t.Fatalf("mean fiber length %g km shows no distance bias", mean)
+	}
+}
+
+func TestGenerateWattsStrogatzLatticeDegree(t *testing.T) {
+	cfg := Default()
+	cfg.Model = WattsStrogatz
+	cfg.RewireProb = 0
+	cfg.EnsureConnected = false
+	g, err := Generate(cfg, testRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pure ring lattice: every node has exactly K = 6 neighbors.
+	for i := 0; i < g.NumNodes(); i++ {
+		if d := g.Degree(graph.NodeID(i)); d != 6 {
+			t.Fatalf("lattice node %d degree = %d, want 6", i, d)
+		}
+	}
+	if !g.Connected() {
+		t.Fatal("ring lattice disconnected")
+	}
+}
+
+func TestGenerateVolchenkovSkewsDegrees(t *testing.T) {
+	cfg := Default()
+	cfg.Model = Volchenkov
+	cfg.EnsureConnected = false
+	cfg.Switches = 100
+	g, err := Generate(cfg, testRNG(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDeg, sum := 0, 0
+	for i := 0; i < g.NumNodes(); i++ {
+		d := g.Degree(graph.NodeID(i))
+		sum += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	meanDeg := float64(sum) / float64(g.NumNodes())
+	// A power-law net has hubs several times the mean degree.
+	if float64(maxDeg) < 2.5*meanDeg {
+		t.Fatalf("max degree %d vs mean %.1f: no heavy tail", maxDeg, meanDeg)
+	}
+}
+
+func TestGenerateRejects(t *testing.T) {
+	cfg := Default()
+	if _, err := Generate(cfg, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+	cfg.Users = 0
+	if _, err := Generate(cfg, testRNG(1)); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestRepairConnectivity(t *testing.T) {
+	g := graph.New(4, 0)
+	g.AddUser(0, 0)
+	g.AddUser(1, 0)
+	g.AddUser(10, 10)
+	g.AddUser(11, 10)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(2, 3, 1)
+	repairConnectivity(g)
+	if !g.Connected() {
+		t.Fatal("repair left the graph disconnected")
+	}
+	// The repair edge should be the geometrically shortest cross pair (1-2).
+	if !g.HasEdge(1, 2) {
+		t.Errorf("expected shortest repair fiber 1-2; edges: %v", g.Edges())
+	}
+}
+
+// TestQuickGeneratedGraphsAreSound: for all models and seeds, generated
+// networks have the right node counts, no self-loops/duplicates (guaranteed
+// by graph.AddEdge), positive finite lengths consistent with endpoint
+// geometry, and connectivity when requested.
+func TestQuickGeneratedGraphsAreSound(t *testing.T) {
+	f := func(seed int64, modelRaw uint8) bool {
+		model := []Model{Waxman, WattsStrogatz, Volchenkov}[int(modelRaw)%3]
+		rng := testRNG(seed)
+		cfg := Default()
+		cfg.Model = model
+		cfg.Users = 2 + rng.Intn(8)
+		cfg.Switches = rng.Intn(30)
+		cfg.AvgDegree = 2 + rng.Float64()*6
+		g, err := Generate(cfg, rng)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if len(g.Users()) != cfg.Users || len(g.Switches()) != cfg.Switches {
+			return false
+		}
+		if !g.Connected() {
+			t.Logf("model %v seed %d: disconnected", model, seed)
+			return false
+		}
+		for _, e := range g.Edges() {
+			a, b := g.Node(e.A), g.Node(e.B)
+			want := math.Hypot(a.X-b.X, a.Y-b.Y)
+			if e.Length <= 0 || math.Abs(e.Length-want) > 1e-6 {
+				t.Logf("edge %v length %g, geometric %g", e, e.Length, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

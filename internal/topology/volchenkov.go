@@ -1,0 +1,39 @@
+package topology
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/muerp/quantumnet/internal/graph"
+)
+
+// wireVolchenkov wires the graph with a power-law degree distribution in the
+// spirit of Volchenkov & Blanchard (2002), "An algorithm generating random
+// graphs with power law degree distributions".
+//
+// Realization (DESIGN.md substitution 4): each node i gets an expected-
+// degree weight w_i ∝ (i+1)^(-1/(gamma-1)) — the Zipf sequence whose degree
+// distribution follows P(k) ∝ k^(-gamma) — assigned to nodes in random
+// order; pairs are then sampled without replacement with probability
+// proportional to w_i*w_j (Chung-Lu) until the degree-target edge count is
+// reached. Fiber lengths are the Euclidean endpoint distances.
+func wireVolchenkov(g *graph.Graph, cfg Config, rng *rand.Rand) error {
+	n := g.NumNodes()
+	if n < 2 {
+		return nil
+	}
+	exponent := -1.0 / (cfg.PowerLawGamma - 1)
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = math.Pow(float64(i+1), exponent)
+	}
+	// Detach hub identity from node index (and therefore from kind
+	// placement) by shuffling the weight sequence.
+	rng.Shuffle(n, func(i, j int) { weights[i], weights[j] = weights[j], weights[i] })
+
+	pairs := allPairs(g, func(a, b graph.Node) float64 {
+		return weights[a.ID] * weights[b.ID]
+	})
+	sampleEdges(g, pairs, cfg.targetEdges(), rng)
+	return nil
+}

@@ -1,0 +1,90 @@
+package topology
+
+import (
+	"math/rand"
+
+	"github.com/muerp/quantumnet/internal/graph"
+)
+
+// wireWattsStrogatz wires the graph following Watts & Strogatz (1998):
+// start from a ring lattice where every node connects to its K nearest ring
+// neighbors (K = round(AvgDegree), forced even and >= 2), then rewire each
+// edge's far endpoint with probability RewireProb to a uniform random node,
+// avoiding self-loops and duplicates. Ring order is node-index order; since
+// placeNodes shuffles kinds and positions are random, the ring carries no
+// geometric meaning — fiber lengths are still the Euclidean distances
+// between the endpoints, which is what makes rewired "shortcuts" long and
+// lossy, the small-world effect the paper's Fig. 5 exposes.
+//
+// ExactEdges is not supported for this model: the lattice structure fixes
+// the edge count at N*K/2.
+func wireWattsStrogatz(g *graph.Graph, cfg Config, rng *rand.Rand) error {
+	n := g.NumNodes()
+	if n < 3 {
+		if n == 2 {
+			a, b := g.Node(0), g.Node(1)
+			g.MustAddEdge(0, 1, distance(a, b))
+		}
+		return nil
+	}
+	k := int(cfg.AvgDegree + 0.5)
+	if k < 2 {
+		k = 2
+	}
+	if k%2 == 1 {
+		k++
+	}
+	if k > n-1 {
+		k = n - 1
+		if k%2 == 1 {
+			k--
+		}
+	}
+
+	// Ring lattice: node i connects to i+1 .. i+k/2 (mod n).
+	type ringEdge struct{ a, b graph.NodeID }
+	var edges []ringEdge
+	for i := 0; i < n; i++ {
+		for off := 1; off <= k/2; off++ {
+			j := (i + off) % n
+			edges = append(edges, ringEdge{a: graph.NodeID(i), b: graph.NodeID(j)})
+		}
+	}
+
+	// Rewire pass. Track adjacency in a set first so rewiring can check
+	// duplicates before the graph is materialized.
+	adj := make(map[[2]graph.NodeID]bool, len(edges))
+	key := func(a, b graph.NodeID) [2]graph.NodeID {
+		if a > b {
+			a, b = b, a
+		}
+		return [2]graph.NodeID{a, b}
+	}
+	for _, e := range edges {
+		adj[key(e.a, e.b)] = true
+	}
+	for i := range edges {
+		if rng.Float64() >= cfg.RewireProb {
+			continue
+		}
+		e := edges[i]
+		// Try a handful of random targets; keep the original edge if the
+		// node is saturated (all non-self targets already linked).
+		for attempt := 0; attempt < 32; attempt++ {
+			t := graph.NodeID(rng.Intn(n))
+			if t == e.a || t == e.b || adj[key(e.a, t)] {
+				continue
+			}
+			delete(adj, key(e.a, e.b))
+			adj[key(e.a, t)] = true
+			edges[i].b = t
+			break
+		}
+	}
+
+	for _, e := range edges {
+		a, b := g.Node(e.a), g.Node(e.b)
+		g.MustAddEdge(e.a, e.b, distance(a, b))
+	}
+	return nil
+}

@@ -1,0 +1,42 @@
+package topology
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/muerp/quantumnet/internal/graph"
+)
+
+// wireWaxman wires the graph following Waxman (1988): the probability of a
+// fiber between two nodes decays exponentially with their distance,
+// P(u,v) ∝ exp(-d(u,v) / (alpha * L)), where L is the maximum pairwise
+// distance. Instead of per-pair Bernoulli draws (which only hit the degree
+// target in expectation), we sample exactly targetEdges() pairs without
+// replacement with Waxman weights — same distance bias, deterministic edge
+// count.
+func wireWaxman(g *graph.Graph, cfg Config, rng *rand.Rand) error {
+	maxD := maxPairDistance(g)
+	if maxD == 0 {
+		maxD = 1 // all nodes coincide; weights degenerate to uniform
+	}
+	scale := cfg.WaxmanAlpha * maxD
+	pairs := allPairs(g, func(a, b graph.Node) float64 {
+		return math.Exp(-distance(a, b) / scale)
+	})
+	sampleEdges(g, pairs, cfg.targetEdges(), rng)
+	return nil
+}
+
+// maxPairDistance returns the largest pairwise Euclidean distance.
+func maxPairDistance(g *graph.Graph) float64 {
+	nodes := g.Nodes()
+	maxD := 0.0
+	for i := range nodes {
+		for j := i + 1; j < len(nodes); j++ {
+			if d := distance(nodes[i], nodes[j]); d > maxD {
+				maxD = d
+			}
+		}
+	}
+	return maxD
+}

@@ -1,0 +1,152 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// inMemoryQueueSize bounds each endpoint's pending-message queue. The
+// runtime's request/response protocol keeps queues shallow; a full queue
+// indicates a stuck receiver and is surfaced as an error rather than a
+// silent deadlock.
+const inMemoryQueueSize = 1024
+
+// InMemory is an in-process Network backed by per-endpoint channels.
+// It is safe for concurrent use.
+type InMemory struct {
+	mu     sync.Mutex
+	peers  map[string]*inMemoryConn
+	closed bool
+}
+
+var _ Network = (*InMemory)(nil)
+
+// NewInMemory returns an empty in-process message plane.
+func NewInMemory() *InMemory {
+	return &InMemory{peers: make(map[string]*inMemoryConn)}
+}
+
+// Join implements Network.
+func (n *InMemory) Join(name string) (Conn, error) {
+	if name == "" {
+		return nil, ErrEmptyName
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, errShuttingDown
+	}
+	if _, ok := n.peers[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrNameTaken, name)
+	}
+	c := &inMemoryConn{
+		name: name,
+		net:  n,
+		in:   make(chan Message, inMemoryQueueSize),
+		done: make(chan struct{}),
+	}
+	n.peers[name] = c
+	return c, nil
+}
+
+// Close implements Network.
+func (n *InMemory) Close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil
+	}
+	n.closed = true
+	for name, c := range n.peers {
+		c.closeLocked()
+		delete(n.peers, name)
+	}
+	return nil
+}
+
+// deliver routes a message to the named endpoint.
+func (n *InMemory) deliver(msg Message) error {
+	n.mu.Lock()
+	peer, ok := n.peers[msg.To]
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return errShuttingDown
+	}
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownPeer, msg.To)
+	}
+	select {
+	case peer.in <- msg:
+		return nil
+	case <-peer.done:
+		return fmt.Errorf("%w: peer %q closed", ErrUndelivered, msg.To)
+	default:
+		return fmt.Errorf("%w: peer %q", ErrQueueFull, msg.To)
+	}
+}
+
+func (n *InMemory) leave(name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.peers, name)
+}
+
+type inMemoryConn struct {
+	name string
+	net  *InMemory
+	in   chan Message
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+var _ Conn = (*inMemoryConn)(nil)
+
+func (c *inMemoryConn) Name() string { return c.name }
+
+func (c *inMemoryConn) Send(to, kind string, payload []byte) error {
+	select {
+	case <-c.done:
+		return fmt.Errorf("%w: conn %q", ErrClosed, c.name)
+	default:
+	}
+	return c.net.deliver(Message{From: c.name, To: to, Kind: kind, Payload: payload})
+}
+
+func (c *inMemoryConn) Recv(ctx context.Context) (Message, error) {
+	select {
+	case msg := <-c.in:
+		return msg, nil
+	default:
+	}
+	select {
+	case msg := <-c.in:
+		return msg, nil
+	case <-ctx.Done():
+		return Message{}, ctx.Err()
+	case <-c.done:
+		// Drain anything that raced with Close so no message is lost.
+		select {
+		case msg := <-c.in:
+			return msg, nil
+		default:
+			return Message{}, fmt.Errorf("%w: conn %q", ErrClosed, c.name)
+		}
+	}
+}
+
+func (c *inMemoryConn) Close() error {
+	c.closeOnce.Do(func() {
+		close(c.done)
+		c.net.leave(c.name)
+	})
+	return nil
+}
+
+// closeLocked is Close for use under the network's lock (it must not call
+// back into the network).
+func (c *inMemoryConn) closeLocked() {
+	c.closeOnce.Do(func() { close(c.done) })
+}

@@ -1,0 +1,346 @@
+package transport
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// This file implements the TCP transport: a hub process that relays
+// messages among named endpoints over real sockets, with gob-framed
+// encoding. It demonstrates the runtime protocol over an actual network
+// stack; semantics match the in-memory transport except that a message to
+// an endpoint that disconnects mid-flight is dropped (counted by the hub)
+// rather than reported to the sender.
+
+// tcpHello is the first frame a client sends after connecting.
+type tcpHello struct{ Name string }
+
+// tcpHelloAck is the hub's response to a hello.
+type tcpHelloAck struct{ Err string }
+
+// TCPHub relays messages among connected endpoints.
+type TCPHub struct {
+	listener net.Listener
+
+	mu      sync.Mutex
+	conns   map[string]*hubConn
+	dropped int
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+type hubConn struct {
+	name string
+	conn net.Conn
+	enc  *gob.Encoder
+	wmu  sync.Mutex
+}
+
+func (h *hubConn) send(msg Message) error {
+	h.wmu.Lock()
+	defer h.wmu.Unlock()
+	return h.enc.Encode(msg)
+}
+
+// NewTCPHub starts a hub listening on addr (e.g. "127.0.0.1:0" for an
+// ephemeral port). Call Close to stop it and disconnect all endpoints.
+func NewTCPHub(addr string) (*TCPHub, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	h := &TCPHub{listener: ln, conns: make(map[string]*hubConn)}
+	h.wg.Add(1)
+	go h.acceptLoop()
+	return h, nil
+}
+
+// Addr returns the hub's listen address, including the resolved port.
+func (h *TCPHub) Addr() string { return h.listener.Addr().String() }
+
+// Dropped returns the number of messages the hub could not deliver because
+// the destination was unknown or disconnected.
+func (h *TCPHub) Dropped() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dropped
+}
+
+// Close stops the hub and closes every endpoint connection, then waits for
+// the hub's goroutines to finish.
+func (h *TCPHub) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		h.wg.Wait()
+		return nil
+	}
+	h.closed = true
+	err := h.listener.Close()
+	for name, c := range h.conns {
+		_ = c.conn.Close()
+		delete(h.conns, name)
+	}
+	h.mu.Unlock()
+	h.wg.Wait()
+	return err
+}
+
+func (h *TCPHub) acceptLoop() {
+	defer h.wg.Done()
+	for {
+		conn, err := h.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		h.wg.Add(1)
+		go h.serve(conn)
+	}
+}
+
+// serve registers one client and routes its messages until it disconnects.
+func (h *TCPHub) serve(conn net.Conn) {
+	defer h.wg.Done()
+	dec := gob.NewDecoder(conn)
+	hc := &hubConn{conn: conn, enc: gob.NewEncoder(conn)}
+
+	var hello tcpHello
+	if err := dec.Decode(&hello); err != nil {
+		_ = conn.Close()
+		return
+	}
+	if err := h.register(hello.Name, hc); err != nil {
+		_ = hc.send(Message{Kind: kindHelloAck, Payload: encodeAck(err.Error())})
+		_ = conn.Close()
+		return
+	}
+	hc.name = hello.Name
+	if err := hc.send(Message{Kind: kindHelloAck, Payload: encodeAck("")}); err != nil {
+		h.unregister(hello.Name)
+		_ = conn.Close()
+		return
+	}
+
+	defer func() {
+		h.unregister(hello.Name)
+		_ = conn.Close()
+	}()
+	for {
+		var msg Message
+		if err := dec.Decode(&msg); err != nil {
+			return
+		}
+		msg.From = hello.Name // never trust the client's claimed identity
+		h.route(msg)
+	}
+}
+
+func (h *TCPHub) register(name string, c *hubConn) error {
+	if name == "" {
+		return ErrEmptyName
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return errShuttingDown
+	}
+	if _, ok := h.conns[name]; ok {
+		return fmt.Errorf("%w: %q", ErrNameTaken, name)
+	}
+	h.conns[name] = c
+	return nil
+}
+
+func (h *TCPHub) unregister(name string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.conns, name)
+}
+
+func (h *TCPHub) route(msg Message) {
+	h.mu.Lock()
+	dst, ok := h.conns[msg.To]
+	h.mu.Unlock()
+	if !ok {
+		h.mu.Lock()
+		h.dropped++
+		h.mu.Unlock()
+		return
+	}
+	if err := dst.send(msg); err != nil {
+		h.mu.Lock()
+		h.dropped++
+		h.mu.Unlock()
+	}
+}
+
+// kindHelloAck is the reserved message kind for registration handshakes.
+const kindHelloAck = "_hello_ack"
+
+func encodeAck(errStr string) []byte {
+	if errStr == "" {
+		return nil
+	}
+	return []byte(errStr)
+}
+
+// TCPNetwork is the client-side Network for a running hub.
+type TCPNetwork struct {
+	addr string
+
+	mu    sync.Mutex
+	conns []*tcpConn
+}
+
+var _ Network = (*TCPNetwork)(nil)
+
+// NewTCPNetwork returns a Network whose Join dials the hub at addr.
+func NewTCPNetwork(addr string) *TCPNetwork {
+	return &TCPNetwork{addr: addr}
+}
+
+// Join implements Network: it dials the hub and registers the name.
+func (n *TCPNetwork) Join(name string) (Conn, error) {
+	if name == "" {
+		return nil, ErrEmptyName
+	}
+	sock, err := net.Dial("tcp", n.addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial hub %s: %w", n.addr, err)
+	}
+	c := &tcpConn{
+		name: name,
+		sock: sock,
+		enc:  gob.NewEncoder(sock),
+		in:   make(chan Message, inMemoryQueueSize),
+		done: make(chan struct{}),
+	}
+	if err := c.enc.Encode(tcpHello{Name: name}); err != nil {
+		_ = sock.Close()
+		return nil, fmt.Errorf("transport: hello: %w", err)
+	}
+	dec := gob.NewDecoder(sock)
+	var ack Message
+	if err := dec.Decode(&ack); err != nil {
+		_ = sock.Close()
+		return nil, fmt.Errorf("transport: hello ack: %w", err)
+	}
+	if ack.Kind != kindHelloAck {
+		_ = sock.Close()
+		return nil, fmt.Errorf("transport: unexpected first frame %q", ack.Kind)
+	}
+	if len(ack.Payload) > 0 {
+		_ = sock.Close()
+		return nil, fmt.Errorf("transport: join rejected: %s", ack.Payload)
+	}
+	c.wg.Add(1)
+	go c.readLoop(dec)
+	n.mu.Lock()
+	n.conns = append(n.conns, c)
+	n.mu.Unlock()
+	return c, nil
+}
+
+// Close closes every connection this client-side network has opened. The
+// hub itself is owned and closed by its creator.
+func (n *TCPNetwork) Close() error {
+	n.mu.Lock()
+	conns := n.conns
+	n.conns = nil
+	n.mu.Unlock()
+	var firstErr error
+	for _, c := range conns {
+		if err := c.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+type tcpConn struct {
+	name string
+	sock net.Conn
+	enc  *gob.Encoder
+	wmu  sync.Mutex
+	in   chan Message
+
+	closeOnce sync.Once
+	done      chan struct{}
+	wg        sync.WaitGroup
+}
+
+var _ Conn = (*tcpConn)(nil)
+
+func (c *tcpConn) readLoop(dec *gob.Decoder) {
+	defer c.wg.Done()
+	for {
+		var msg Message
+		if err := dec.Decode(&msg); err != nil {
+			c.closeOnce.Do(func() {
+				close(c.done)
+				_ = c.sock.Close()
+			})
+			return
+		}
+		select {
+		case c.in <- msg:
+		case <-c.done:
+			return
+		}
+	}
+}
+
+func (c *tcpConn) Name() string { return c.name }
+
+func (c *tcpConn) Send(to, kind string, payload []byte) error {
+	select {
+	case <-c.done:
+		return fmt.Errorf("%w: conn %q", ErrClosed, c.name)
+	default:
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := c.enc.Encode(Message{From: c.name, To: to, Kind: kind, Payload: payload}); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+			return fmt.Errorf("%w: conn %q", ErrClosed, c.name)
+		}
+		return fmt.Errorf("transport: send: %w", err)
+	}
+	return nil
+}
+
+func (c *tcpConn) Recv(ctx context.Context) (Message, error) {
+	select {
+	case msg := <-c.in:
+		return msg, nil
+	default:
+	}
+	select {
+	case msg := <-c.in:
+		return msg, nil
+	case <-ctx.Done():
+		return Message{}, ctx.Err()
+	case <-c.done:
+		select {
+		case msg := <-c.in:
+			return msg, nil
+		default:
+			return Message{}, fmt.Errorf("%w: conn %q", ErrClosed, c.name)
+		}
+	}
+}
+
+func (c *tcpConn) Close() error {
+	c.closeOnce.Do(func() {
+		close(c.done)
+		_ = c.sock.Close()
+	})
+	c.wg.Wait()
+	return nil
+}

@@ -1,0 +1,101 @@
+// Package unionfind provides a disjoint-set (union-find) data structure
+// with path compression and union by rank.
+//
+// It is the connectivity substrate used by the MUERP routing algorithms
+// (Algorithms 2 and 3 of the paper) to track which quantum users are already
+// joined by committed quantum channels.
+package unionfind
+
+import "fmt"
+
+// UnionFind maintains a partition of the integers [0, n) into disjoint sets.
+//
+// The zero value is not usable; construct with New. All methods panic when
+// given an element outside [0, n): indices are internal identifiers produced
+// by the caller, so an out-of-range element is a programming error, not a
+// runtime condition to handle.
+type UnionFind struct {
+	parent []int
+	rank   []byte
+	sets   int
+}
+
+// New returns a UnionFind over n singleton sets {0}, {1}, ..., {n-1}.
+func New(n int) *UnionFind {
+	if n < 0 {
+		panic(fmt.Sprintf("unionfind: negative size %d", n))
+	}
+	u := &UnionFind{
+		parent: make([]int, n),
+		rank:   make([]byte, n),
+		sets:   n,
+	}
+	for i := range u.parent {
+		u.parent[i] = i
+	}
+	return u
+}
+
+// Len returns the number of elements the structure was built over.
+func (u *UnionFind) Len() int { return len(u.parent) }
+
+// Sets returns the current number of disjoint sets.
+func (u *UnionFind) Sets() int { return u.sets }
+
+// Find returns the canonical representative of x's set, compressing paths
+// along the way.
+func (u *UnionFind) Find(x int) int {
+	u.check(x)
+	root := x
+	for u.parent[root] != root {
+		root = u.parent[root]
+	}
+	for u.parent[x] != root {
+		u.parent[x], x = root, u.parent[x]
+	}
+	return root
+}
+
+// Union merges the sets containing x and y. It reports whether a merge
+// happened (false when x and y were already in the same set).
+func (u *UnionFind) Union(x, y int) bool {
+	rx, ry := u.Find(x), u.Find(y)
+	if rx == ry {
+		return false
+	}
+	if u.rank[rx] < u.rank[ry] {
+		rx, ry = ry, rx
+	}
+	u.parent[ry] = rx
+	if u.rank[rx] == u.rank[ry] {
+		u.rank[rx]++
+	}
+	u.sets--
+	return true
+}
+
+// Connected reports whether x and y are in the same set.
+func (u *UnionFind) Connected(x, y int) bool {
+	return u.Find(x) == u.Find(y)
+}
+
+// SameSet reports whether every element of xs is in one set. It is true for
+// empty and single-element inputs.
+func (u *UnionFind) SameSet(xs ...int) bool {
+	if len(xs) <= 1 {
+		return true
+	}
+	root := u.Find(xs[0])
+	for _, x := range xs[1:] {
+		if u.Find(x) != root {
+			return false
+		}
+	}
+	return true
+}
+
+func (u *UnionFind) check(x int) {
+	if x < 0 || x >= len(u.parent) {
+		panic(fmt.Sprintf("unionfind: element %d out of range [0, %d)", x, len(u.parent)))
+	}
+}

@@ -1,0 +1,195 @@
+package unionfind
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSingletons(t *testing.T) {
+	u := New(5)
+	if got := u.Len(); got != 5 {
+		t.Fatalf("Len() = %d, want 5", got)
+	}
+	if got := u.Sets(); got != 5 {
+		t.Fatalf("Sets() = %d, want 5", got)
+	}
+	for i := 0; i < 5; i++ {
+		if got := u.Find(i); got != i {
+			t.Errorf("Find(%d) = %d, want %d", i, got, i)
+		}
+	}
+}
+
+func TestNewEmpty(t *testing.T) {
+	u := New(0)
+	if u.Len() != 0 || u.Sets() != 0 {
+		t.Fatalf("empty structure: Len=%d Sets=%d", u.Len(), u.Sets())
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestUnionMergesAndReports(t *testing.T) {
+	u := New(4)
+	if !u.Union(0, 1) {
+		t.Fatal("first Union(0,1) = false, want true")
+	}
+	if u.Union(0, 1) {
+		t.Fatal("repeated Union(0,1) = true, want false")
+	}
+	if u.Union(1, 0) {
+		t.Fatal("Union(1,0) after Union(0,1) = true, want false")
+	}
+	if got := u.Sets(); got != 3 {
+		t.Fatalf("Sets() = %d, want 3", got)
+	}
+}
+
+func TestConnectedTransitivity(t *testing.T) {
+	u := New(6)
+	u.Union(0, 1)
+	u.Union(2, 3)
+	if u.Connected(0, 2) {
+		t.Fatal("disjoint unions reported connected")
+	}
+	u.Union(1, 2)
+	for _, pair := range [][2]int{{0, 2}, {0, 3}, {1, 3}} {
+		if !u.Connected(pair[0], pair[1]) {
+			t.Errorf("Connected(%d,%d) = false after chain unions", pair[0], pair[1])
+		}
+	}
+	if u.Connected(0, 4) {
+		t.Fatal("untouched element connected to a union")
+	}
+}
+
+func TestSameSet(t *testing.T) {
+	u := New(5)
+	u.Union(0, 1)
+	u.Union(1, 2)
+	tests := []struct {
+		name string
+		xs   []int
+		want bool
+	}{
+		{"empty", nil, true},
+		{"single", []int{3}, true},
+		{"whole union", []int{0, 1, 2}, true},
+		{"mixed", []int{0, 1, 3}, false},
+		{"two singletons", []int{3, 4}, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := u.SameSet(tc.xs...); got != tc.want {
+				t.Errorf("SameSet(%v) = %v, want %v", tc.xs, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestFindOutOfRangePanics(t *testing.T) {
+	u := New(3)
+	for _, x := range []int{-1, 3, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Find(%d) did not panic", x)
+				}
+			}()
+			u.Find(x)
+		}()
+	}
+}
+
+func TestSetsCountsMatchesComponents(t *testing.T) {
+	u := New(10)
+	// Build {0..4} and {5,6}; leave 7,8,9 singletons.
+	for i := 0; i < 4; i++ {
+		u.Union(i, i+1)
+	}
+	u.Union(5, 6)
+	// {0..4}, {5,6} and the three singletons 7, 8, 9.
+	if got := u.Sets(); got != 5 {
+		t.Fatalf("Sets() = %d, want 5", got)
+	}
+}
+
+// naiveUF is an O(n) reference implementation used by the property test.
+type naiveUF struct{ label []int }
+
+func newNaive(n int) *naiveUF {
+	l := make([]int, n)
+	for i := range l {
+		l[i] = i
+	}
+	return &naiveUF{label: l}
+}
+
+func (n *naiveUF) union(a, b int) {
+	la, lb := n.label[a], n.label[b]
+	if la == lb {
+		return
+	}
+	for i, l := range n.label {
+		if l == lb {
+			n.label[i] = la
+		}
+	}
+}
+
+func (n *naiveUF) connected(a, b int) bool { return n.label[a] == n.label[b] }
+
+func (n *naiveUF) sets() int {
+	seen := map[int]bool{}
+	for _, l := range n.label {
+		seen[l] = true
+	}
+	return len(seen)
+}
+
+// TestQuickAgainstNaive drives random union sequences through both the real
+// structure and a brute-force labeling, checking that connectivity and set
+// counts agree everywhere.
+func TestQuickAgainstNaive(t *testing.T) {
+	f := func(seed int64, opsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		ops := int(opsRaw%64) + 1
+		u := New(n)
+		ref := newNaive(n)
+		for i := 0; i < ops; i++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			merged := u.Union(a, b)
+			wasConnected := ref.connected(a, b)
+			ref.union(a, b)
+			if merged == wasConnected {
+				t.Logf("Union(%d,%d) merged=%v but naive connected=%v", a, b, merged, wasConnected)
+				return false
+			}
+		}
+		if u.Sets() != ref.sets() {
+			t.Logf("Sets %d != naive %d", u.Sets(), ref.sets())
+			return false
+		}
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if u.Connected(a, b) != ref.connected(a, b) {
+					t.Logf("Connected(%d,%d) disagrees with naive", a, b)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+// Package viz renders quantum networks and routed entanglement trees as
+// Graphviz DOT, for inspection and documentation of routing decisions.
+package viz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/muerp/quantumnet/internal/core"
+	"github.com/muerp/quantumnet/internal/graph"
+)
+
+// palette colors routed channels; channels beyond its length cycle.
+var palette = []string{
+	"crimson", "royalblue", "forestgreen", "darkorange",
+	"purple", "teal", "goldenrod", "deeppink",
+}
+
+// DOT renders the network as an undirected Graphviz graph. When sol is
+// non-nil, fibers carrying one of its quantum channels are drawn bold in
+// the channel's color; idle fibers stay light gray. Users are doubled
+// circles, switches are boxes labeled with their qubit budget.
+func DOT(g *graph.Graph, sol *core.Solution) string {
+	var b strings.Builder
+	b.WriteString("graph quantumnet {\n")
+	b.WriteString("  layout=neato;\n  overlap=false;\n  splines=true;\n")
+
+	for _, n := range g.Nodes() {
+		label := n.Label
+		switch n.Kind {
+		case graph.KindUser:
+			if label == "" {
+				label = fmt.Sprintf("u%d", n.ID)
+			}
+			fmt.Fprintf(&b, "  n%d [shape=doublecircle, style=filled, fillcolor=lightyellow, label=%q];\n",
+				n.ID, label)
+		case graph.KindSwitch:
+			if label == "" {
+				label = fmt.Sprintf("s%d", n.ID)
+			}
+			fmt.Fprintf(&b, "  n%d [shape=box, style=filled, fillcolor=lightblue, label=\"%s\\nQ=%d\"];\n",
+				n.ID, label, n.Qubits)
+		}
+	}
+
+	// Map each fiber to the channels crossing it.
+	type hop struct{ a, b graph.NodeID }
+	key := func(a, b graph.NodeID) hop {
+		if a > b {
+			a, b = b, a
+		}
+		return hop{a, b}
+	}
+	carried := map[hop][]int{}
+	if sol != nil {
+		for ci, ch := range sol.Tree.Channels {
+			for i := 0; i+1 < len(ch.Nodes); i++ {
+				k := key(ch.Nodes[i], ch.Nodes[i+1])
+				carried[k] = append(carried[k], ci)
+			}
+		}
+	}
+
+	for _, e := range g.Edges() {
+		k := key(e.A, e.B)
+		if chans, ok := carried[k]; ok {
+			sort.Ints(chans)
+			colors := make([]string, len(chans))
+			for i, c := range chans {
+				colors[i] = palette[c%len(palette)]
+			}
+			fmt.Fprintf(&b, "  n%d -- n%d [color=%q, penwidth=2.5, label=\"%.0f km\"];\n",
+				e.A, e.B, strings.Join(colors, ":"), e.Length)
+			continue
+		}
+		fmt.Fprintf(&b, "  n%d -- n%d [color=gray80, label=\"%.0f km\", fontcolor=gray60];\n",
+			e.A, e.B, e.Length)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

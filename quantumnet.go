@@ -1,0 +1,362 @@
+// Package quantumnet is the public API of the MUERP reproduction: routing
+// multi-user entanglement over a quantum Internet, after "Multi-user
+// Entanglement Routing Design over Quantum Internets" (ICDCS 2024).
+//
+// The package re-exports the library's building blocks — network graphs,
+// topology generators, the physical rate model, the paper's routing
+// algorithms (Algorithms 2-4), the two evaluation baselines, the Monte
+// Carlo validator and the distributed §II-B execution runtime — behind one
+// import:
+//
+//	g, _ := quantumnet.Generate(quantumnet.DefaultTopology(), 7)
+//	prob, _ := quantumnet.NewProblem(g, g.Users(), quantumnet.DefaultParams())
+//	sol, _ := quantumnet.SolveConflictFree(prob)
+//	fmt.Println(sol.Rate())
+package quantumnet
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"github.com/muerp/quantumnet/internal/analysis"
+	"github.com/muerp/quantumnet/internal/baseline"
+	"github.com/muerp/quantumnet/internal/core"
+	"github.com/muerp/quantumnet/internal/exact"
+	"github.com/muerp/quantumnet/internal/fidelity"
+	"github.com/muerp/quantumnet/internal/graph"
+	"github.com/muerp/quantumnet/internal/montecarlo"
+	"github.com/muerp/quantumnet/internal/multigroup"
+	"github.com/muerp/quantumnet/internal/purify"
+	"github.com/muerp/quantumnet/internal/quantum"
+	"github.com/muerp/quantumnet/internal/redundant"
+	"github.com/muerp/quantumnet/internal/repair"
+	"github.com/muerp/quantumnet/internal/runtime"
+	"github.com/muerp/quantumnet/internal/sched"
+	"github.com/muerp/quantumnet/internal/sim"
+	"github.com/muerp/quantumnet/internal/topology"
+	"github.com/muerp/quantumnet/internal/transport"
+	"github.com/muerp/quantumnet/internal/viz"
+)
+
+// Graph types.
+type (
+	// Graph is an undirected quantum network of users, switches and fibers.
+	Graph = graph.Graph
+	// Node is one vertex of the network.
+	Node = graph.Node
+	// NodeID identifies a node within a Graph.
+	NodeID = graph.NodeID
+	// Edge is one optical fiber.
+	Edge = graph.Edge
+	// EdgeID identifies an edge within a Graph.
+	EdgeID = graph.EdgeID
+	// NodeKind distinguishes users from switches.
+	NodeKind = graph.NodeKind
+)
+
+// Node kinds.
+const (
+	KindUser   = graph.KindUser
+	KindSwitch = graph.KindSwitch
+)
+
+// NewGraph returns an empty graph with the given capacity hints.
+func NewGraph(nodes, edges int) *Graph { return graph.New(nodes, edges) }
+
+// Topology generation.
+type (
+	// TopologyConfig parameterizes the random-network generators.
+	TopologyConfig = topology.Config
+	// TopologyModel selects Waxman, Watts-Strogatz or Volchenkov.
+	TopologyModel = topology.Model
+)
+
+// Topology models.
+const (
+	Waxman        = topology.Waxman
+	WattsStrogatz = topology.WattsStrogatz
+	Volchenkov    = topology.Volchenkov
+	Grid          = topology.Grid
+)
+
+// DefaultTopology returns the paper's §V-A network defaults.
+func DefaultTopology() TopologyConfig { return topology.Default() }
+
+// Generate draws one random network from the configuration and seed.
+func Generate(cfg TopologyConfig, seed int64) (*Graph, error) {
+	return topology.Generate(cfg, rand.New(rand.NewSource(seed)))
+}
+
+// NSFNet returns the classic 14-site NSFNET backbone (sites as switches
+// with the given qubit budget) with `users` user nodes attached to random
+// sites over short access fibers.
+func NSFNet(users, switchQubits int, seed int64) (*Graph, error) {
+	return topology.NSFNet(users, switchQubits, rand.New(rand.NewSource(seed)))
+}
+
+// Physical model.
+type (
+	// Params holds the physical constants (attenuation alpha, swap
+	// probability q).
+	Params = quantum.Params
+	// Channel is one routed quantum channel with its Eq. 1 rate.
+	Channel = quantum.Channel
+	// Tree is an entanglement tree with its Eq. 2 value.
+	Tree = quantum.Tree
+)
+
+// DefaultParams returns the paper's physical defaults (alpha=1e-4, q=0.9).
+func DefaultParams() Params { return quantum.DefaultParams() }
+
+// Problems and solutions.
+type (
+	// Problem is one MUERP instance.
+	Problem = core.Problem
+	// Solution is a routed entanglement tree.
+	Solution = core.Solution
+	// Solver is any routing scheme.
+	Solver = core.Solver
+)
+
+// ErrInfeasible reports that no entanglement tree exists under the
+// problem's constraints. Test with errors.Is.
+var ErrInfeasible = core.ErrInfeasible
+
+// NewProblem builds a MUERP instance for the given users.
+func NewProblem(g *Graph, users []NodeID, p Params) (*Problem, error) {
+	return core.NewProblem(g, users, p)
+}
+
+// AllUsersProblem builds a MUERP instance over every user in the graph.
+func AllUsersProblem(g *Graph, p Params) (*Problem, error) {
+	return core.AllUsersProblem(g, p)
+}
+
+// SolveOptimal runs the paper's Algorithm 2 (optimal when every switch has
+// at least 2|U| qubits).
+func SolveOptimal(p *Problem) (*Solution, error) { return core.SolveOptimal(p) }
+
+// SolveConflictFree runs the paper's Algorithm 3.
+func SolveConflictFree(p *Problem) (*Solution, error) { return core.SolveConflictFree(p) }
+
+// SolvePrim runs the paper's Algorithm 4; rng picks the random starting
+// user (nil starts from the first user deterministically).
+func SolvePrim(p *Problem, rng *rand.Rand) (*Solution, error) { return core.SolvePrim(p, rng) }
+
+// SolveEQCast runs the E-Q-CAST evaluation baseline.
+func SolveEQCast(p *Problem) (*Solution, error) { return baseline.SolveEQCast(p) }
+
+// SolveNFusion runs the N-FUSION evaluation baseline.
+func SolveNFusion(p *Problem) (*Solution, error) { return baseline.SolveNFusion(p) }
+
+// ExactLimits bounds the exhaustive solver's search size.
+type ExactLimits = exact.Limits
+
+// SolveExact returns the provably optimal MUERP solution of a *small*
+// instance by branch-and-bound exhaustive search (MUERP is NP-hard; the
+// limits guard against accidental exponential blowups). Use it as ground
+// truth when assessing the heuristics.
+func SolveExact(p *Problem, lim ExactLimits) (*Solution, error) { return exact.Solve(p, lim) }
+
+// OptimalityGap returns solver's achieved rate as a fraction of the exact
+// optimum on a small instance (1 = optimal).
+func OptimalityGap(p *Problem, solver Solver, lim ExactLimits) (float64, error) {
+	return exact.OptimalityGap(p, solver, lim)
+}
+
+// Solvers returns every routing scheme in the paper's plot order.
+func Solvers() []Solver {
+	return []Solver{
+		core.Optimal(),
+		core.ConflictFree(),
+		core.Prim(0),
+		baseline.EQCast(),
+		baseline.NFusion(),
+	}
+}
+
+// Monte Carlo validation.
+
+// MonteCarloResult is an empirical rate estimate with its analytic
+// prediction and confidence interval.
+type MonteCarloResult = montecarlo.Result
+
+// Simulate estimates a solution's entanglement rate empirically over the
+// given number of stochastic rounds.
+func Simulate(g *Graph, sol *Solution, p Params, trials int, seed int64) (MonteCarloResult, error) {
+	return montecarlo.SimulateSolution(g, sol, p, trials, rand.New(rand.NewSource(seed)))
+}
+
+// Experiments.
+type (
+	// ExperimentConfig parameterizes one evaluation sweep point.
+	ExperimentConfig = sim.Config
+	// ExperimentSeries is one regenerated figure.
+	ExperimentSeries = sim.Series
+)
+
+// DefaultExperiment returns the paper's evaluation defaults (20 networks
+// per point, all five algorithms).
+func DefaultExperiment() ExperimentConfig { return sim.DefaultConfig() }
+
+// RunAllFigures regenerates every figure of the paper's evaluation.
+func RunAllFigures(cfg ExperimentConfig) ([]ExperimentSeries, error) { return sim.AllFigures(cfg) }
+
+// Fidelity-aware routing (the paper's first future-work extension).
+type (
+	// FidelityModel holds the Werner-state fidelity-decay constants.
+	FidelityModel = fidelity.Model
+	// FidelityRouter bundles rate params, fidelity model and the minimum
+	// acceptable end-to-end channel fidelity.
+	FidelityRouter = fidelity.Router
+)
+
+// DefaultFidelityModel returns the default Werner decay constants.
+func DefaultFidelityModel() FidelityModel { return fidelity.DefaultModel() }
+
+// SolveWithFidelity routes the fidelity-constrained MUERP: every channel of
+// the returned tree meets the router's fidelity floor.
+func SolveWithFidelity(p *Problem, r FidelityRouter) (*Solution, error) {
+	return fidelity.Solve(p, r)
+}
+
+// Concurrent multi-group routing (the paper's second future-work
+// extension).
+type (
+	// EntanglementGroup is one independent multi-user request.
+	EntanglementGroup = multigroup.Group
+	// GroupStrategy selects how groups share switch capacity.
+	GroupStrategy = multigroup.Strategy
+	// GroupResult reports per-group outcomes.
+	GroupResult = multigroup.Result
+)
+
+// Group strategies.
+const (
+	SequentialGroups = multigroup.Sequential
+	RoundRobinGroups = multigroup.RoundRobin
+)
+
+// RouteGroups routes several independent entanglement groups over one
+// shared switch-qubit budget.
+func RouteGroups(g *Graph, groups []EntanglementGroup, p Params, strategy GroupStrategy) (GroupResult, error) {
+	return multigroup.Route(g, groups, p, strategy)
+}
+
+// Entanglement purification (BBPSSW recurrence over Werner states).
+
+// PurifyResult summarizes one purification schedule: output fidelity and
+// the expected raw-pair cost per distilled pair.
+type PurifyResult = purify.Result
+
+// PurifyStep applies one BBPSSW round to two pairs of fidelity f.
+func PurifyStep(f float64) (fOut, pSucc float64, err error) { return purify.Step(f) }
+
+// PurifyToReach returns the smallest recurrence schedule raising fidelity f
+// to at least target.
+func PurifyToReach(f, target float64) (PurifyResult, error) { return purify.RoundsToReach(f, target) }
+
+// PlanPurifiedChannel returns the purification schedule that lifts a routed
+// channel (raw fidelity, raw rate) over the floor, and the channel's
+// effective distilled rate.
+func PlanPurifiedChannel(rawFidelity, rawRate, floor float64) (PurifyResult, float64, error) {
+	return purify.PlanChannel(rawFidelity, rawRate, floor)
+}
+
+// Dynamic admission (the network as a service).
+type (
+	// SessionRequest is one timed entanglement-session request.
+	SessionRequest = sched.Request
+	// SessionOutcome is one request's admission decision.
+	SessionOutcome = sched.Outcome
+	// ScheduleReport aggregates an admission simulation.
+	ScheduleReport = sched.Report
+	// SessionWorkload parameterizes a random request stream.
+	SessionWorkload = sched.Workload
+)
+
+// DefaultWorkload returns a moderate-load random session stream.
+func DefaultWorkload() SessionWorkload { return sched.DefaultWorkload() }
+
+// SimulateSessions runs the dynamic admission simulation: sessions arrive
+// over time, hold their routed trees' qubits, and depart; requests that do
+// not fit the residual capacity are rejected (blocked calls cleared).
+func SimulateSessions(g *Graph, requests []SessionRequest, p Params) (ScheduleReport, error) {
+	return sched.Simulate(g, requests, p)
+}
+
+// Tree repair after fiber failures.
+
+// RepairOutcome reports a local repair: the fixed tree plus how many
+// channels were kept vs. rerouted.
+type RepairOutcome = repair.Outcome
+
+// RepairAfterFailures keeps the surviving channels of a committed tree and
+// reconnects only the pairs whose channels crossed a failed fiber, under
+// the degraded network's residual capacity. degraded must already have the
+// failed fibers removed (Graph.WithoutEdges).
+func RepairAfterFailures(degraded *Graph, users []NodeID, sol *Solution, failed []Edge, p Params) (RepairOutcome, error) {
+	return repair.AfterEdgeFailures(degraded, users, sol, failed, p)
+}
+
+// Redundant (width > 1) channels.
+
+// RedundantSolution is an entanglement tree whose pairs may hold several
+// parallel channels (the pair succeeds when any of them does).
+type RedundantSolution = redundant.Solution
+
+// BoostRedundancy converts a routed width-1 tree into a redundant one by
+// greedily spending leftover switch capacity on backup channels, up to
+// maxWidth channels per user pair.
+func BoostRedundancy(p *Problem, base *Solution, maxWidth int) (*RedundantSolution, error) {
+	return redundant.Boost(p, base, maxWidth)
+}
+
+// ValidateRedundant checks a redundant solution against the problem.
+func ValidateRedundant(p *Problem, s *RedundantSolution) error { return redundant.Validate(p, s) }
+
+// Visualization.
+
+// DOT renders the network (and, when sol is non-nil, its routed channels)
+// as Graphviz DOT.
+func DOT(g *Graph, sol *Solution) string { return viz.DOT(g, sol) }
+
+// Structural analysis.
+
+// EdgeCriticalityReport is a full single-fiber-cut study of one network.
+type EdgeCriticalityReport = analysis.Report
+
+// AnalyzeEdgeCriticality measures, for every fiber, how the achieved
+// entanglement rate changes when that fiber alone is cut (the paper's
+// Fig. 7b "critical edges" observation, made per-edge).
+func AnalyzeEdgeCriticality(g *Graph, solver Solver, p Params) (EdgeCriticalityReport, error) {
+	return analysis.EdgeCriticality(g, solver, p)
+}
+
+// Distributed execution.
+type (
+	// RuntimeConfig parameterizes a distributed §II-B execution.
+	RuntimeConfig = runtime.Config
+	// RuntimeReport is its outcome.
+	RuntimeReport = runtime.Report
+)
+
+// RunDistributed executes the request → plan → synchronized-rounds protocol
+// of the paper's §II-B on an in-process message plane, with every network
+// node running as its own goroutine. It routes with the given solver and
+// executes the given number of entanglement rounds.
+func RunDistributed(ctx context.Context, g *Graph, solver Solver, rounds int, seed int64) (RuntimeReport, error) {
+	net := transport.NewInMemory()
+	defer func() { _ = net.Close() }()
+	report, err := runtime.Run(ctx, net, g, runtime.Config{
+		Solver: solver,
+		Params: quantum.DefaultParams(),
+		Rounds: rounds,
+		Seed:   seed,
+	})
+	if err != nil {
+		return RuntimeReport{}, fmt.Errorf("quantumnet: distributed run: %w", err)
+	}
+	return report, nil
+}
