@@ -1,0 +1,42 @@
+# Quantumnet build/test/bench entry points. `make tier1` is the gate every
+# change must pass; `make bench` refreshes the committed benchmark results.
+
+GO ?= go
+BENCH_OUT ?= BENCH_kernel.json
+BENCH_LABEL ?= current
+BENCH_TMP := $(shell mktemp -d 2>/dev/null || echo /tmp/quantumnet-bench)
+
+.PHONY: build test vet race tier1 bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the data-race detector over the packages with internal
+# concurrency: core's parallel all-pairs fan-out and sim's batch pool.
+race:
+	$(GO) test -race ./internal/core ./internal/sim
+
+# tier1 is the repo's merge gate: build, full tests, vet, race.
+tier1: build test vet race
+
+# bench refreshes BENCH_kernel.json's "$(BENCH_LABEL)" run: the channel
+# search kernel + solver microbenches (with allocation counts) and the two
+# headline figure benches. Compare runs with `benchstat` on the raw text
+# outputs left in $(BENCH_TMP). See EXPERIMENTS.md for the protocol.
+bench:
+	mkdir -p $(BENCH_TMP)
+	$(GO) test -run '^$$' -bench 'BenchmarkAlgorithm1ChannelSearch|BenchmarkSolvers' \
+		-benchmem -benchtime 2s . | tee $(BENCH_TMP)/kernel.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkFig5Topology|BenchmarkFig6aUsers' \
+		-benchmem -benchtime 2x . | tee $(BENCH_TMP)/figs.txt
+	$(GO) run ./cmd/benchreport -label $(BENCH_LABEL) -o $(BENCH_OUT) \
+		$(BENCH_TMP)/kernel.txt $(BENCH_TMP)/figs.txt
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,63 @@
+// Command benchreport folds `go test -bench` text output into the repo's
+// committed benchmark-results file (BENCH_kernel.json by default).
+//
+// Usage:
+//
+//	go test -bench Kernel -benchmem ./... > bench.txt
+//	go run ./cmd/benchreport -label current -o BENCH_kernel.json bench.txt [more.txt...]
+//
+// All input files are concatenated into one labeled run; a run with the
+// same label already in the output file is replaced, so `make bench` can
+// refresh "current" idempotently while "seed" stays untouched.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"github.com/muerp/quantumnet/internal/benchio"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchreport: ")
+	label := flag.String("label", "current", "label for this run in the results file")
+	out := flag.String("o", "BENCH_kernel.json", "results file to update")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		log.Fatal("usage: benchreport [-label NAME] [-o FILE] bench-output.txt...")
+	}
+
+	var merged benchio.Report
+	for i, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := benchio.Parse(f, *label)
+		f.Close()
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		if i == 0 {
+			merged = rep
+		} else {
+			merged.Results = append(merged.Results, rep.Results...)
+		}
+	}
+	if len(merged.Results) == 0 {
+		log.Fatal("no benchmark results found in input")
+	}
+
+	file, err := benchio.Load(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	file.Upsert(merged)
+	if err := file.Save(*out); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d results as %q to %s (%d runs total)",
+		len(merged.Results), *label, *out, len(file.Runs))
+}

@@ -99,20 +99,17 @@ func solveStar(p *core.Problem, hub graph.NodeID) (*core.Solution, error) {
 	}
 	tree := quantum.Tree{}
 	for len(pending) > 0 {
-		chans := p.MaxRateChannels(hub, led)
 		var bestCh quantum.Channel
 		var bestUser graph.NodeID
 		found := false
-		for _, u := range p.Users { // iterate in stable order for determinism
-			if !pending[u] {
+		// MaxRateChannels yields ascending user order, so ties resolve
+		// deterministically, as the old stable-order scan did.
+		for _, uc := range p.MaxRateChannels(hub, led) {
+			if !pending[uc.Dst] {
 				continue
 			}
-			ch, ok := chans[u]
-			if !ok {
-				continue
-			}
-			if !found || ch.Rate > bestCh.Rate {
-				bestCh, bestUser, found = ch, u, true
+			if !found || uc.Ch.Rate > bestCh.Rate {
+				bestCh, bestUser, found = uc.Ch, uc.Dst, true
 			}
 		}
 		if !found {

@@ -1,0 +1,160 @@
+// Package benchio parses `go test -bench` text output into structured
+// records and maintains BENCH_kernel.json, the repo's committed
+// benchmark-results file. The file holds labeled runs (e.g. "seed" for the
+// pre-optimization baseline and "current" for the tree as committed) so
+// perf changes ship with their own before/after evidence; `benchstat`
+// remains the tool of choice for statistically sound comparisons of raw
+// bench output, this file is the committed summary.
+package benchio
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line: name, iteration count, and the per-op
+// metrics emitted under -benchmem. BytesPerOp/AllocsPerOp are -1 when the
+// line carried no -benchmem columns.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report is one labeled benchmark run: the environment header `go test`
+// prints plus every benchmark line parsed from the output.
+type Report struct {
+	Label   string   `json:"label"`
+	GoOS    string   `json:"goos,omitempty"`
+	GoArch  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// File is the BENCH_kernel.json document: an append-only list of runs.
+type File struct {
+	Runs []Report `json:"runs"`
+}
+
+// Parse reads `go test -bench` output and returns the environment header
+// plus one Result per benchmark line. Non-benchmark lines (PASS, ok,
+// test log output) are skipped.
+func Parse(r io.Reader, label string) (Report, error) {
+	rep := Report{Label: label}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok, err := parseLine(line)
+			if err != nil {
+				return Report{}, err
+			}
+			if ok {
+				rep.Results = append(rep.Results, res)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Report{}, err
+	}
+	return rep, nil
+}
+
+// parseLine decodes one benchmark result line of the form
+//
+//	BenchmarkName-8   1000  1234 ns/op  56 B/op  7 allocs/op
+//
+// ok is false for Benchmark* lines that are not result lines (e.g. the
+// bare name `go test -v` prints before running one).
+func parseLine(line string) (Result, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || fields[2] != "ns/op" && !isMetric(fields) {
+		return Result{}, false, nil
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false, nil // "BenchmarkX" alone or malformed: skip
+	}
+	res := Result{Name: fields[0], Iterations: iters, BytesPerOp: -1, AllocsPerOp: -1}
+	// Metrics come as value/unit pairs after the iteration count.
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			if res.NsPerOp, err = strconv.ParseFloat(val, 64); err != nil {
+				return Result{}, false, fmt.Errorf("benchio: bad ns/op in %q: %w", line, err)
+			}
+		case "B/op":
+			if res.BytesPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return Result{}, false, fmt.Errorf("benchio: bad B/op in %q: %w", line, err)
+			}
+		case "allocs/op":
+			if res.AllocsPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return Result{}, false, fmt.Errorf("benchio: bad allocs/op in %q: %w", line, err)
+			}
+		}
+	}
+	return res, true, nil
+}
+
+// isMetric reports whether the fields after the iteration count look like
+// value/unit metric pairs.
+func isMetric(fields []string) bool {
+	for _, f := range fields[2:] {
+		if strings.HasSuffix(f, "/op") {
+			return true
+		}
+	}
+	return false
+}
+
+// Load reads a BENCH file; a missing file is an empty one.
+func Load(path string) (File, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return File{}, nil
+	}
+	if err != nil {
+		return File{}, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return File{}, fmt.Errorf("benchio: %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// Upsert replaces the run with rep's label, or appends it when the label
+// is new, so regenerating "current" does not grow the file unboundedly.
+func (f *File) Upsert(rep Report) {
+	for i := range f.Runs {
+		if f.Runs[i].Label == rep.Label {
+			f.Runs[i] = rep
+			return
+		}
+	}
+	f.Runs = append(f.Runs, rep)
+}
+
+// Save writes the file as indented JSON with a trailing newline.
+func (f File) Save(path string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,87 @@
+package benchio
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: github.com/muerp/quantumnet
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkAlgorithm1ChannelSearch 	  294673	      7449 ns/op	    4464 B/op	      58 allocs/op
+BenchmarkSolvers/alg2            	   29424	     81643 ns/op	   40472 B/op	     330 allocs/op
+BenchmarkFig5Topology 	       2	  17527500 ns/op	 8378352 B/op	   69675 allocs/op
+BenchmarkNoMem 	    1000	      1234 ns/op
+PASS
+ok  	github.com/muerp/quantumnet	16.464s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleOutput), "seed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Label != "seed" || rep.GoOS != "linux" || rep.GoArch != "amd64" {
+		t.Fatalf("bad header: %+v", rep)
+	}
+	if !strings.Contains(rep.CPU, "Xeon") {
+		t.Fatalf("cpu not parsed: %q", rep.CPU)
+	}
+	if len(rep.Results) != 4 {
+		t.Fatalf("parsed %d results, want 4: %+v", len(rep.Results), rep.Results)
+	}
+	first := rep.Results[0]
+	if first.Name != "BenchmarkAlgorithm1ChannelSearch" || first.Iterations != 294673 ||
+		first.NsPerOp != 7449 || first.BytesPerOp != 4464 || first.AllocsPerOp != 58 {
+		t.Fatalf("first result wrong: %+v", first)
+	}
+	if got := rep.Results[1].Name; got != "BenchmarkSolvers/alg2" {
+		t.Fatalf("sub-benchmark name: %q", got)
+	}
+	noMem := rep.Results[3]
+	if noMem.BytesPerOp != -1 || noMem.AllocsPerOp != -1 || noMem.NsPerOp != 1234 {
+		t.Fatalf("benchmem-less line wrong: %+v", noMem)
+	}
+}
+
+func TestParseSkipsNonResultBenchmarkLines(t *testing.T) {
+	rep, err := Parse(strings.NewReader("BenchmarkFoo\nBenchmarkBar-8   100   5 ns/op\n"), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 1 || rep.Results[0].Name != "BenchmarkBar-8" {
+		t.Fatalf("want only BenchmarkBar-8, got %+v", rep.Results)
+	}
+}
+
+func TestLoadUpsertSaveRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	f, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Runs) != 0 {
+		t.Fatalf("missing file should load empty, got %+v", f)
+	}
+	f.Upsert(Report{Label: "seed", Results: []Result{{Name: "B", Iterations: 1, NsPerOp: 2}}})
+	f.Upsert(Report{Label: "current", Results: []Result{{Name: "B", Iterations: 1, NsPerOp: 1}}})
+	if err := f.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	again, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Runs) != 2 || again.Runs[0].Label != "seed" || again.Runs[1].Label != "current" {
+		t.Fatalf("round trip lost runs: %+v", again.Runs)
+	}
+
+	// Upserting an existing label replaces in place, preserving order.
+	again.Upsert(Report{Label: "current", Results: []Result{{Name: "B", Iterations: 5, NsPerOp: 0.5}}})
+	if len(again.Runs) != 2 || again.Runs[1].Results[0].Iterations != 5 {
+		t.Fatalf("upsert did not replace: %+v", again.Runs)
+	}
+}

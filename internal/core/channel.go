@@ -15,44 +15,89 @@ import (
 // alpha*sum(L) + l*(-ln q), and the channel rate is recovered as
 // exp(ln q - dist) = q^(l-1) * exp(-alpha*sum(L)). Minimizing the
 // transformed weight with Dijkstra therefore maximizes the rate.
+//
+// Every routing algorithm (2-4 and the baselines) reduces to repeated runs
+// of this kernel, so it is engineered to allocate nothing per search: the
+// edge weights are computed once per Problem (not once per relaxation), and
+// each searching goroutine checks a searchCtx out of the Problem's pool,
+// reusing the Dijkstra arrays, the heap and the path-reconstruction buffer
+// across runs. Only the transit filter stays dynamic, because ledger-gated
+// capacity changes between searches.
+
+// searchCtx is the per-goroutine scratch of the channel-search kernel: a
+// reusable single-source engine plus a path buffer for channel extraction.
+// The ShortestPaths a ctx produces aliases its engine and dies at its next
+// search, so a ctx must stay checked out while results are being read.
+type searchCtx struct {
+	s    *graph.Searcher
+	path []graph.NodeID
+}
+
+// engineInit lazily builds the Problem's search engine: the precomputed
+// Algorithm 1 edge weights and the searchCtx pool.
+func (p *Problem) engineInit() {
+	p.engineOnce.Do(func() {
+		w := make([]float64, p.Graph.NumEdges())
+		for e := range w {
+			w[e] = p.Params.EdgeWeight(p.Graph.Edge(graph.EdgeID(e)).Length)
+		}
+		p.edgeWeights = w
+		p.searchers.New = func() any {
+			return &searchCtx{s: graph.NewSearcher(p.Graph), path: make([]graph.NodeID, 0, 16)}
+		}
+	})
+}
+
+// acquireCtx checks a search context out of the pool. Callers must return
+// it with releaseCtx once no ShortestPaths produced through it is needed.
+func (p *Problem) acquireCtx() *searchCtx {
+	p.engineInit()
+	return p.searchers.Get().(*searchCtx)
+}
+
+func (p *Problem) releaseCtx(sc *searchCtx) { p.searchers.Put(sc) }
+
+// staticTransit is the ledger-free interior-vertex rule: switches with >= 2
+// installed qubits (the static Q >= 2 check on line 11 of the paper's
+// Algorithm 1). Package-level so ledger-free searches allocate no closure.
+func staticTransit(n graph.Node) bool {
+	return n.Kind == graph.KindSwitch && n.Qubits >= 2
+}
 
 // transitFunc returns the interior-vertex admission rule for channel
 // searches. With a ledger it admits switches with >= 2 free qubits (the
 // live-capacity rule of Algorithms 3 and 4); without one it admits switches
-// with >= 2 total qubits (the static Q >= 2 check on line 11 of the paper's
-// Algorithm 1). Users are never admitted as interior vertices
+// with >= 2 total qubits. Users are never admitted as interior vertices
 // (Definition 2: channels run through vertices in R).
 func (p *Problem) transitFunc(led *quantum.Ledger) graph.TransitFunc {
 	if led != nil {
 		return led.CanRelay
 	}
-	return func(n graph.Node) bool {
-		return n.Kind == graph.KindSwitch && n.Qubits >= 2
-	}
+	return staticTransit
 }
 
 // channelSearch runs the single-source variant of Algorithm 1 from src,
-// under the given ledger (nil = static capacity check only). The returned
-// ShortestPaths recovers max-rate channels to every destination through its
-// Prev array, exactly as the paper's complexity discussion prescribes.
-func (p *Problem) channelSearch(src graph.NodeID, led *quantum.Ledger) *graph.ShortestPaths {
-	weight := func(e graph.Edge) (float64, bool) {
-		return p.Params.EdgeWeight(e.Length), true
-	}
-	return p.Graph.Dijkstra(src, weight, p.transitFunc(led))
+// under the given ledger (nil = static capacity check only), on sc's
+// engine. The returned ShortestPaths recovers max-rate channels to every
+// destination through its Prev array, exactly as the paper's complexity
+// discussion prescribes; it is valid until sc's next search.
+func (p *Problem) channelSearch(sc *searchCtx, src graph.NodeID, led *quantum.Ledger) *graph.ShortestPaths {
+	return sc.s.SearchWeights(src, p.edgeWeights, p.transitFunc(led))
 }
 
 // channelFromSearch converts the shortest path from sp's source to dst into
-// a quantum.Channel with its Eq. 1 rate. ok is false when dst is
-// unreachable under the search's constraints.
-func (p *Problem) channelFromSearch(sp *graph.ShortestPaths, dst graph.NodeID) (quantum.Channel, bool) {
+// a quantum.Channel with its Eq. 1 rate, reconstructing the path through
+// sc's reusable buffer. ok is false when dst is unreachable under the
+// search's constraints.
+func (p *Problem) channelFromSearch(sc *searchCtx, sp *graph.ShortestPaths, dst graph.NodeID) (quantum.Channel, bool) {
 	if dst == sp.Source {
 		return quantum.Channel{}, false
 	}
-	path, ok := sp.PathTo(dst)
+	path, ok := sp.AppendPathTo(sc.path[:0], dst)
 	if !ok {
 		return quantum.Channel{}, false
 	}
+	sc.path = path[:0] // keep the (possibly grown) buffer for the next call
 	// The rate could equivalently be recovered from the path distance as
 	// exp(ln q - dist); NewChannel recomputes it directly from Eq. 1, which
 	// is also what ValidateTree later checks against.
@@ -73,21 +118,34 @@ func (p *Problem) MaxRateChannel(src, dst graph.NodeID, led *quantum.Ledger) (qu
 	if src == dst {
 		return quantum.Channel{}, false
 	}
-	return p.channelFromSearch(p.channelSearch(src, led), dst)
+	sc := p.acquireCtx()
+	defer p.releaseCtx(sc)
+	return p.channelFromSearch(sc, p.channelSearch(sc, src, led), dst)
+}
+
+// UserChannel pairs a destination user with its max-rate channel, the
+// per-destination record of a single-source Algorithm 1 run.
+type UserChannel struct {
+	Dst graph.NodeID
+	Ch  quantum.Channel
 }
 
 // MaxRateChannels runs one single-source search from src and returns the
-// max-rate channel to every other user reachable under the constraints,
-// keyed by destination.
-func (p *Problem) MaxRateChannels(src graph.NodeID, led *quantum.Ledger) map[graph.NodeID]quantum.Channel {
-	sp := p.channelSearch(src, led)
-	out := make(map[graph.NodeID]quantum.Channel, len(p.Users)-1)
+// max-rate channel to every other user reachable under the constraints, in
+// ascending Problem.Users order. (It used to return a map; the slice is
+// cheaper and gives callers a deterministic iteration order, so rate ties
+// resolve the same way on every run.)
+func (p *Problem) MaxRateChannels(src graph.NodeID, led *quantum.Ledger) []UserChannel {
+	sc := p.acquireCtx()
+	defer p.releaseCtx(sc)
+	sp := p.channelSearch(sc, src, led)
+	out := make([]UserChannel, 0, len(p.Users)-1)
 	for _, u := range p.Users {
 		if u == src {
 			continue
 		}
-		if ch, ok := p.channelFromSearch(sp, u); ok {
-			out[u] = ch
+		if ch, ok := p.channelFromSearch(sc, sp, u); ok {
+			out = append(out, UserChannel{Dst: u, Ch: ch})
 		}
 	}
 	return out

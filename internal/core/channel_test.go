@@ -136,7 +136,10 @@ func TestMaxRateChannelsMatchesPairwise(t *testing.T) {
 	g := randomNet(rng, 4, 6, 4)
 	p := mustProblem(t, g, quantum.DefaultParams())
 	src := p.Users[0]
-	batch := p.MaxRateChannels(src, nil)
+	batch := make(map[graph.NodeID]quantum.Channel)
+	for _, uc := range p.MaxRateChannels(src, nil) {
+		batch[uc.Dst] = uc.Ch
+	}
 	for _, dst := range p.Users[1:] {
 		single, okSingle := p.MaxRateChannel(src, dst, nil)
 		got, okBatch := batch[dst]

@@ -103,15 +103,17 @@ func (p *Problem) connectUnions(led *quantum.Ledger, uf *unionfind.UnionFind, tr
 // single-source Algorithm-1 run per user, as in the paper's complexity
 // analysis. Ties are broken by user-set index for determinism.
 func (p *Problem) bestCrossUnionChannel(led *quantum.Ledger, uf *unionfind.UnionFind) (candidate, bool) {
+	sc := p.acquireCtx()
+	defer p.releaseCtx(sc)
 	var best candidate
 	found := false
 	for i, src := range p.Users {
-		sp := p.channelSearch(src, led)
+		sp := p.channelSearch(sc, src, led)
 		for j := i + 1; j < len(p.Users); j++ {
 			if uf.Connected(i, j) {
 				continue
 			}
-			ch, ok := p.channelFromSearch(sp, p.Users[j])
+			ch, ok := p.channelFromSearch(sc, sp, p.Users[j])
 			if !ok {
 				continue
 			}

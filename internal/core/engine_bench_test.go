@@ -1,0 +1,153 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/muerp/quantumnet/internal/graph"
+	"github.com/muerp/quantumnet/internal/quantum"
+)
+
+// benchProblem draws one paper-sized network (10 users, 100 switches) the
+// way the figure sweeps do, sized like topology.Default but without the
+// import cycle a topology dependency would create here.
+func benchEngineProblem(b *testing.B) *Problem {
+	b.Helper()
+	g := randomNetB(rand.New(rand.NewSource(1)), 10, 100, 12)
+	p, err := AllUsersProblem(g, quantum.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// randomNetB is randomNet for benchmarks (testing.B instead of testing.T).
+func randomNetB(rng *rand.Rand, users, switches, qubits int) *graph.Graph {
+	n := users + switches
+	g := graph.New(n, 2*n)
+	for i := 0; i < users; i++ {
+		g.AddUser(rng.Float64()*5000, rng.Float64()*5000)
+	}
+	for i := 0; i < switches; i++ {
+		g.AddSwitch(rng.Float64()*5000, rng.Float64()*5000, qubits)
+	}
+	length := func(a, b graph.NodeID) float64 {
+		na, nb := g.Node(a), g.Node(b)
+		dx, dy := na.X-nb.X, na.Y-nb.Y
+		l := dx*dx + dy*dy
+		if l < 1 {
+			return 1
+		}
+		return l
+	}
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		a := graph.NodeID(perm[i])
+		c := graph.NodeID(perm[rng.Intn(i)])
+		g.MustAddEdge(a, c, length(a, c))
+	}
+	for i := 0; i < 3*n; i++ {
+		a := graph.NodeID(rng.Intn(n))
+		c := graph.NodeID(rng.Intn(n))
+		if a == c || g.HasEdge(a, c) {
+			continue
+		}
+		g.MustAddEdge(a, c, length(a, c))
+	}
+	return g
+}
+
+// BenchmarkChannelSearch times one single-source Algorithm 1 run plus
+// channel extraction to every destination user — the kernel every routing
+// scheme reduces to.
+//
+// "legacy" reconstructs the pre-engine implementation (fresh Dijkstra
+// arrays and heap per search, closure-evaluated weights, append-grown
+// paths); "pooled" is the production kernel (per-problem weight slice,
+// reused scratch). The gap between the two is the PR's headline number,
+// tracked in BENCH_kernel.json.
+func BenchmarkChannelSearch(b *testing.B) {
+	p := benchEngineProblem(b)
+	src := p.Users[0]
+
+	b.Run("legacy", func(b *testing.B) {
+		weight := func(e graph.Edge) (float64, bool) {
+			return p.Params.EdgeWeight(e.Length), true
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sp := p.Graph.Dijkstra(src, weight, staticTransit)
+			found := 0
+			for _, u := range p.Users {
+				if u == src {
+					continue
+				}
+				if path, ok := sp.PathTo(u); ok {
+					if _, err := quantum.NewChannel(p.Graph, path, p.Params); err != nil {
+						b.Fatal(err)
+					}
+					found++
+				}
+			}
+			if found == 0 {
+				b.Fatal("no channels found")
+			}
+		}
+	})
+
+	b.Run("pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sc := p.acquireCtx()
+			sp := p.channelSearch(sc, src, nil)
+			found := 0
+			for _, u := range p.Users {
+				if u == src {
+					continue
+				}
+				if _, ok := p.channelFromSearch(sc, sp, u); ok {
+					found++
+				}
+			}
+			p.releaseCtx(sc)
+			if found == 0 {
+				b.Fatal("no channels found")
+			}
+		}
+	})
+
+	// The bare search, no channel extraction: the zero-allocation floor.
+	b.Run("kernel", func(b *testing.B) {
+		sc := p.acquireCtx()
+		defer p.releaseCtx(sc)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sp := p.channelSearch(sc, src, nil)
+			if _, ok := sp.DistTo(p.Users[1]); !ok {
+				b.Fatal("user 1 unreachable")
+			}
+		}
+	})
+}
+
+// BenchmarkAllPairsChannels times Algorithm 2 step 1 sequentially and with
+// the parallel fan-out.
+func BenchmarkAllPairsChannels(b *testing.B) {
+	p := benchEngineProblem(b)
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if cands := p.allPairsChannelsParallel(1); len(cands) == 0 {
+				b.Fatal("no candidates")
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if cands := p.allPairsChannels(); len(cands) == 0 {
+				b.Fatal("no candidates")
+			}
+		}
+	})
+}

@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
-	"github.com/muerp/quantumnet/internal/graph"
 	"github.com/muerp/quantumnet/internal/quantum"
 	"github.com/muerp/quantumnet/internal/unionfind"
 )
@@ -26,21 +28,72 @@ type candidate struct {
 }
 
 // allPairsChannels returns the max-rate channel for every user pair that is
-// connected under the static capacity rule, as Algorithm 2 step 1.
+// connected under the static capacity rule, as Algorithm 2 step 1. The
+// single-source searches are independent by construction, so they fan out
+// across the machine; see allPairsChannelsParallel for the determinism
+// argument.
 func (p *Problem) allPairsChannels() []candidate {
-	idx := make(map[graph.NodeID]int, len(p.Users))
-	for i, u := range p.Users {
-		idx[u] = i
-	}
-	var cands []candidate
-	for i, src := range p.Users {
-		sp := p.channelSearch(src, nil)
-		for j := i + 1; j < len(p.Users); j++ {
-			dst := p.Users[j]
-			if ch, ok := p.channelFromSearch(sp, dst); ok {
-				cands = append(cands, candidate{ch: ch, ia: idx[src], ib: idx[dst]})
+	return p.allPairsChannelsParallel(runtime.GOMAXPROCS(0))
+}
+
+// allPairsChannelsParallel runs Algorithm 2 step 1 on up to workers
+// goroutines. Each user's single-source search writes only its own slot of
+// perSrc and searches on its own pooled scratch, and slots are merged in
+// ascending user order afterwards — so the candidate list (order, channels,
+// rates, bit-for-bit) is identical for every worker count, including the
+// sequential workers <= 1 path.
+func (p *Problem) allPairsChannelsParallel(workers int) []candidate {
+	n := len(p.Users)
+	perSrc := make([][]candidate, n)
+	collect := func(sc *searchCtx, i int) {
+		sp := p.channelSearch(sc, p.Users[i], nil)
+		var out []candidate
+		for j := i + 1; j < n; j++ {
+			if ch, ok := p.channelFromSearch(sc, sp, p.Users[j]); ok {
+				out = append(out, candidate{ch: ch, ia: i, ib: j})
 			}
 		}
+		perSrc[i] = out
+	}
+
+	// The last user is only ever a destination (j > i), so n-1 sources.
+	if workers > n-1 {
+		workers = n - 1
+	}
+	if workers <= 1 {
+		sc := p.acquireCtx()
+		for i := 0; i < n-1; i++ {
+			collect(sc, i)
+		}
+		p.releaseCtx(sc)
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				sc := p.acquireCtx()
+				defer p.releaseCtx(sc)
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n-1 {
+						return
+					}
+					collect(sc, i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	total := 0
+	for _, out := range perSrc {
+		total += len(out)
+	}
+	cands := make([]candidate, 0, total)
+	for _, out := range perSrc {
+		cands = append(cands, out...)
 	}
 	return cands
 }

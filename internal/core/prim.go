@@ -53,18 +53,20 @@ func solvePrimFrom(p *Problem, start int) (*Solution, error) {
 // (inTree) to any user in U2, under residual capacity. The candidate's ia is
 // the in-tree endpoint's index and ib the out-set endpoint's.
 func (p *Problem) bestFrontierChannel(led *quantum.Ledger, inTree []bool) (candidate, bool) {
+	sc := p.acquireCtx()
+	defer p.releaseCtx(sc)
 	var best candidate
 	found := false
 	for i, src := range p.Users {
 		if !inTree[i] {
 			continue
 		}
-		sp := p.channelSearch(src, led)
+		sp := p.channelSearch(sc, src, led)
 		for j, dst := range p.Users {
 			if inTree[j] {
 				continue
 			}
-			ch, ok := p.channelFromSearch(sp, dst)
+			ch, ok := p.channelFromSearch(sc, sp, dst)
 			if !ok {
 				continue
 			}

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"github.com/muerp/quantumnet/internal/graph"
 	"github.com/muerp/quantumnet/internal/quantum"
@@ -16,10 +17,21 @@ import (
 
 // Problem is one MUERP instance: a quantum network, the set of users to
 // entangle, and the physical parameters that define link and swap rates.
+//
+// A Problem also owns the search engine its algorithms run on: the
+// Algorithm 1 edge weights (alpha*L - ln q) precomputed once per instance,
+// and a pool of reusable Dijkstra scratch buffers shared by every search
+// the instance performs (see channel.go). Both are built lazily on first
+// search, so a zero-extra-field construction stays valid; the graph's
+// topology and edge lengths must not change after the first search.
 type Problem struct {
 	Graph  *graph.Graph
 	Users  []graph.NodeID
 	Params quantum.Params
+
+	engineOnce  sync.Once
+	edgeWeights []float64 // weight of edge e under the Algorithm 1 metric
+	searchers   sync.Pool // of *searchCtx, one per concurrently searching goroutine
 }
 
 // Problem construction and solving errors.

@@ -2,6 +2,8 @@ package graph
 
 import (
 	"bytes"
+	"math"
+	"math/rand"
 	"strings"
 	"testing"
 )
@@ -65,6 +67,57 @@ func FuzzParseAndTraverse(f *testing.F) {
 		for i := 0; i < g.NumNodes(); i++ {
 			if path, ok := sp.PathTo(NodeID(i)); ok && len(path) == 0 {
 				t.Fatal("reachable node with empty path")
+			}
+		}
+	})
+}
+
+// FuzzSearcherWeightParity is the property check behind the zero-allocation
+// kernel: on any accepted topology, with any (seeded) weight assignment and
+// unusable-edge pattern, a reused Searcher running the precomputed-weight
+// form must match the closure-weight Dijkstra bit-for-bit — distances,
+// predecessors and reconstructed paths.
+func FuzzSearcherWeightParity(f *testing.F) {
+	f.Add([]byte(`{"nodes":[{"kind":"user","x":0,"y":0},{"kind":"switch","x":1,"y":1,"qubits":2},
+		{"kind":"user","x":2,"y":0}],
+		"edges":[{"a":0,"b":1,"length":1},{"a":1,"b":2,"length":1}]}`), int64(1))
+	f.Add([]byte(`{"nodes":[{"kind":"user","x":0,"y":0},{"kind":"user","x":1,"y":0},
+		{"kind":"switch","x":0,"y":1,"qubits":4},{"kind":"switch","x":1,"y":1,"qubits":4}],
+		"edges":[{"a":0,"b":2,"length":3},{"a":2,"b":3,"length":1},{"a":3,"b":1,"length":2},
+		{"a":0,"b":3,"length":9}]}`), int64(7))
+	f.Fuzz(func(t *testing.T, data []byte, seed int64) {
+		g, err := ReadJSON(bytes.NewReader(data))
+		if err != nil || g.NumNodes() == 0 {
+			return
+		}
+		rng := rand.New(rand.NewSource(seed))
+		weights := make([]float64, g.NumEdges())
+		for e := range weights {
+			if rng.Intn(8) == 0 {
+				weights[e] = Unusable
+			} else {
+				weights[e] = 1e-4*g.Edge(EdgeID(e)).Length + 0.105
+			}
+		}
+		closure := func(e Edge) (float64, bool) {
+			w := weights[e.ID]
+			return w, !math.IsInf(w, 1)
+		}
+		transit := func(n Node) bool { return n.Kind == KindSwitch && n.Qubits >= 2 }
+		s := NewSearcher(g)
+		for src := 0; src < g.NumNodes(); src++ {
+			want := g.Dijkstra(NodeID(src), closure, transit)
+			got := s.SearchWeights(NodeID(src), weights, transit)
+			for v := 0; v < g.NumNodes(); v++ {
+				id := NodeID(v)
+				wd, wok := want.DistTo(id)
+				gd, gok := got.DistTo(id)
+				if wok != gok || (wok && math.Float64bits(wd) != math.Float64bits(gd)) {
+					t.Fatalf("src %d node %d: dist (%g, %v) vs (%g, %v)", src, v, wd, wok, gd, gok)
+				}
+				if want.Prev(id) != got.Prev(id) {
+					t.Fatalf("src %d node %d: prev %d vs %d", src, v, want.Prev(id), got.Prev(id))
+				}
 			}
 		}
 	})

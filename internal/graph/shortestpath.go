@@ -3,8 +3,7 @@ package graph
 import (
 	"fmt"
 	"math"
-
-	"github.com/muerp/quantumnet/internal/pq"
+	"slices"
 )
 
 // WeightFunc gives the traversal cost of an edge. Returning ok=false marks
@@ -24,6 +23,10 @@ type TransitFunc func(n Node) bool
 // ShortestPaths holds the result of a single-source Dijkstra run: the
 // shortest distance and predecessor for every node, under the weight and
 // transit constraints supplied to the run.
+//
+// A ShortestPaths produced by a Searcher aliases that Searcher's scratch
+// and is valid only until its next run; one produced by Graph.Dijkstra is
+// independent and lives forever.
 type ShortestPaths struct {
 	Source NodeID
 	g      *Graph
@@ -39,60 +42,12 @@ type ShortestPaths struct {
 // The run never relaxes out of a non-source node rejected by transit, so
 // every returned path's interior vertices satisfy the filter. Destination
 // vertices are not filtered: a path may *end* at any node.
+//
+// Dijkstra is the convenience form: it builds a one-shot Searcher per call,
+// so the result is independent of any scratch state. Callers that run many
+// searches reuse a Searcher (and precomputed weights) instead.
 func (g *Graph) Dijkstra(src NodeID, weight WeightFunc, transit TransitFunc) *ShortestPaths {
-	if !g.HasNode(src) {
-		panic(fmt.Sprintf("graph: Dijkstra from unknown node %d", src))
-	}
-	if weight == nil {
-		panic("graph: Dijkstra needs a weight function")
-	}
-	n := len(g.nodes)
-	sp := &ShortestPaths{
-		Source: src,
-		g:      g,
-		dist:   make([]float64, n),
-		prev:   make([]NodeID, n),
-	}
-	for i := range sp.dist {
-		sp.dist[i] = math.Inf(1)
-		sp.prev[i] = None
-	}
-	sp.dist[src] = 0
-
-	heap := pq.NewIndexedMinHeap(n)
-	heap.Push(int(src), 0)
-	settled := make([]bool, n)
-	for {
-		item, d, ok := heap.Pop()
-		if !ok {
-			break
-		}
-		v := NodeID(item)
-		settled[v] = true
-		// A settled non-source node that may not relay still keeps its
-		// distance (it is a valid destination) but must not expand.
-		if v != src && transit != nil && !transit(g.nodes[v]) {
-			continue
-		}
-		for _, h := range g.adj[v] {
-			if settled[h.to] {
-				continue
-			}
-			w, usable := weight(g.edges[h.edge])
-			if !usable {
-				continue
-			}
-			if w < 0 || math.IsNaN(w) {
-				panic(fmt.Sprintf("graph: negative or NaN edge weight %g on edge %d", w, h.edge))
-			}
-			if nd := d + w; nd < sp.dist[h.to] {
-				sp.dist[h.to] = nd
-				sp.prev[h.to] = v
-				heap.PushOrDecrease(int(h.to), nd)
-			}
-		}
-	}
-	return sp
+	return NewSearcher(g).Search(src, weight, transit)
 }
 
 // Reachable reports whether dst was reached from the source.
@@ -107,30 +62,75 @@ func (sp *ShortestPaths) DistTo(dst NodeID) (float64, bool) {
 	return d, !math.IsInf(d, 1)
 }
 
+// Prev returns the predecessor of dst in the shortest-path tree, or None
+// for the source and unreachable nodes.
+func (sp *ShortestPaths) Prev(dst NodeID) NodeID {
+	if !sp.g.HasNode(dst) {
+		panic(fmt.Sprintf("graph: Prev unknown node %d", dst))
+	}
+	return sp.prev[dst]
+}
+
 // PathTo reconstructs the shortest path from the source to dst as a node
 // sequence beginning with the source and ending with dst; ok is false when
 // dst is unreachable. For dst == source it returns a single-node path.
+//
+// The returned slice is freshly allocated at its exact length (hops are
+// counted with one prev walk before allocating), so callers may keep it.
 func (sp *ShortestPaths) PathTo(dst NodeID) (path []NodeID, ok bool) {
+	n, ok := sp.pathLen(dst)
+	if !ok {
+		return nil, false
+	}
+	return sp.appendPath(make([]NodeID, 0, n), dst), true
+}
+
+// AppendPathTo appends the shortest path from the source to dst onto buf
+// and returns the extended slice, letting callers amortize one scratch
+// buffer across many reconstructions (append semantics, like strconv's
+// Append* family). ok is false when dst is unreachable, in which case buf
+// is returned unchanged.
+func (sp *ShortestPaths) AppendPathTo(buf []NodeID, dst NodeID) (path []NodeID, ok bool) {
+	n, ok := sp.pathLen(dst)
+	if !ok {
+		return buf, false
+	}
+	if free := cap(buf) - len(buf); free < n {
+		grown := make([]NodeID, len(buf), len(buf)+n)
+		copy(grown, buf)
+		buf = grown
+	}
+	return sp.appendPath(buf, dst), true
+}
+
+// pathLen walks the predecessor chain once to count the nodes of the path
+// to dst; ok is false when dst is unreachable.
+func (sp *ShortestPaths) pathLen(dst NodeID) (n int, ok bool) {
 	if !sp.g.HasNode(dst) {
 		panic(fmt.Sprintf("graph: PathTo unknown node %d", dst))
 	}
 	if !sp.Reachable(dst) {
-		return nil, false
+		return 0, false
 	}
 	for v := dst; v != None; v = sp.prev[v] {
-		path = append(path, v)
-		if len(path) > sp.g.NumNodes() {
+		n++
+		if n > sp.g.NumNodes() {
 			panic("graph: predecessor cycle in shortest-path tree")
 		}
 	}
-	reverse(path)
-	return path, true
+	return n, true
 }
 
-func reverse(p []NodeID) {
-	for i, j := 0, len(p)-1; i < j; i, j = i+1, j-1 {
-		p[i], p[j] = p[j], p[i]
+// appendPath appends the source->dst path onto buf, which must have enough
+// spare capacity (the appends below must not reallocate, or the in-place
+// reverse would miss the caller's prefix).
+func (sp *ShortestPaths) appendPath(buf []NodeID, dst NodeID) []NodeID {
+	start := len(buf)
+	for v := dst; v != None; v = sp.prev[v] {
+		buf = append(buf, v)
 	}
+	slices.Reverse(buf[start:])
+	return buf
 }
 
 // LengthWeight is a WeightFunc using the raw fiber length, for plain

@@ -251,12 +251,12 @@ func (b *treeBuilder) tryStep(led *quantum.Ledger) bool {
 		if !b.inTree[src] {
 			continue
 		}
-		for dst, ch := range b.prob.MaxRateChannels(src, led) {
-			if b.inTree[dst] {
+		for _, uc := range b.prob.MaxRateChannels(src, led) {
+			if b.inTree[uc.Dst] {
 				continue
 			}
-			if !found || ch.Rate > best.Rate {
-				best, found = ch, true
+			if !found || uc.Ch.Rate > best.Rate {
+				best, found = uc.Ch, true
 			}
 		}
 	}

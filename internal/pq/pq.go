@@ -37,6 +37,16 @@ func NewIndexedMinHeap(n int) *IndexedMinHeap {
 // Len returns the number of items currently in the heap.
 func (h *IndexedMinHeap) Len() int { return len(h.heap) }
 
+// Reset empties the heap while keeping its backing arrays, so one heap can
+// serve many runs without reallocating. It costs O(Len), touching only the
+// position entries of items still queued.
+func (h *IndexedMinHeap) Reset() {
+	for _, item := range h.heap {
+		h.pos[item] = -1
+	}
+	h.heap = h.heap[:0]
+}
+
 // Contains reports whether item is currently in the heap.
 func (h *IndexedMinHeap) Contains(item int) bool {
 	h.check(item)

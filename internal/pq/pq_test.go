@@ -83,6 +83,70 @@ func TestPushOrDecrease(t *testing.T) {
 	}
 }
 
+func TestResetAfterPartialDrain(t *testing.T) {
+	h := NewIndexedMinHeap(8)
+	for item, p := range []float64{5, 1, 3, 7, 2} {
+		h.Push(item, p)
+	}
+	// Drain only part of the heap, leaving items 0, 2 and 3 queued.
+	h.Pop() // item 1, priority 1
+	h.Pop() // item 4, priority 2
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d after partial drain, want 3", h.Len())
+	}
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatalf("Len = %d after Reset, want 0", h.Len())
+	}
+	for item := 0; item < 8; item++ {
+		if h.Contains(item) {
+			t.Fatalf("Contains(%d) = true after Reset", item)
+		}
+	}
+	if _, _, ok := h.Pop(); ok {
+		t.Fatal("Pop after Reset reported ok")
+	}
+
+	// The reset heap must behave exactly like a fresh one, including for
+	// items that were mid-heap when Reset hit.
+	prios := []float64{4, 0, 6, 2, 8, 1}
+	for item, p := range prios {
+		h.Push(item, p)
+	}
+	h.DecreaseKey(2, 0.5)
+	prios[2] = 0.5
+	want := append([]float64(nil), prios...)
+	sort.Float64s(want)
+	for _, w := range want {
+		_, p, ok := h.Pop()
+		if !ok || p != w {
+			t.Fatalf("reused heap popped %g (ok=%v), want %g", p, ok, w)
+		}
+	}
+}
+
+func TestResetRepeatedReuse(t *testing.T) {
+	h := NewIndexedMinHeap(16)
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 50; round++ {
+		n := 1 + rng.Intn(16)
+		prios := make([]float64, n)
+		for i := range prios {
+			prios[i] = rng.Float64()
+			h.Push(i, prios[i])
+		}
+		drain := rng.Intn(n + 1)
+		sort.Float64s(prios)
+		for k := 0; k < drain; k++ {
+			_, p, ok := h.Pop()
+			if !ok || p != prios[k] {
+				t.Fatalf("round %d: pop %d = %g (ok=%v), want %g", round, k, p, ok, prios[k])
+			}
+		}
+		h.Reset()
+	}
+}
+
 func TestPanics(t *testing.T) {
 	tests := []struct {
 		name string

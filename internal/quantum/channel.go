@@ -38,15 +38,17 @@ func NewChannel(g *graph.Graph, path []graph.NodeID, p Params) (Channel, error) 
 	if len(path) < 2 {
 		return Channel{}, fmt.Errorf("%w: got %d", ErrShortPath, len(path))
 	}
-	seen := make(map[graph.NodeID]bool, len(path))
 	for i, id := range path {
 		if !g.HasNode(id) {
 			return Channel{}, fmt.Errorf("quantum: channel node %d: %w", id, graph.ErrUnknownNode)
 		}
-		if seen[id] {
-			return Channel{}, fmt.Errorf("%w: node %d", ErrRepeatedNode, id)
+		// Channels are a handful of hops; a prefix scan beats a map here
+		// and keeps construction on the routing hot path allocation-lean.
+		for _, prior := range path[:i] {
+			if prior == id {
+				return Channel{}, fmt.Errorf("%w: node %d", ErrRepeatedNode, id)
+			}
 		}
-		seen[id] = true
 		n := g.Node(id)
 		interior := i > 0 && i < len(path)-1
 		switch {
@@ -58,17 +60,17 @@ func NewChannel(g *graph.Graph, path []graph.NodeID, p Params) (Channel, error) 
 			return Channel{}, fmt.Errorf("%w: switch %d has %d", ErrInteriorQubits, id, n.Qubits)
 		}
 	}
-	lengths := make([]float64, 0, len(path)-1)
+	total := 0.0
 	for i := 0; i+1 < len(path); i++ {
 		e, ok := g.EdgeBetween(path[i], path[i+1])
 		if !ok {
 			return Channel{}, fmt.Errorf("%w: %d-%d", ErrMissingEdge, path[i], path[i+1])
 		}
-		lengths = append(lengths, e.Length)
+		total += e.Length
 	}
 	nodes := make([]graph.NodeID, len(path))
 	copy(nodes, path)
-	return Channel{Nodes: nodes, Rate: p.ChannelRate(lengths)}, nil
+	return Channel{Nodes: nodes, Rate: p.rate(total, len(path)-1)}, nil
 }
 
 // Endpoints returns the two user endpoints of the channel.

@@ -76,5 +76,12 @@ func (p Params) ChannelRate(lengths []float64) float64 {
 	for _, l := range lengths {
 		total += l
 	}
-	return math.Pow(p.SwapProb, float64(len(lengths)-1)) * math.Exp(-p.Alpha*total)
+	return p.rate(total, len(lengths))
+}
+
+// rate is the shared Eq. 1 evaluation, q^(links-1) * exp(-alpha*total).
+// Every construction path funnels through it so rates stay bit-identical
+// regardless of whether link lengths were summed here or by the caller.
+func (p Params) rate(total float64, links int) float64 {
+	return math.Pow(p.SwapProb, float64(links-1)) * math.Exp(-p.Alpha*total)
 }

@@ -184,13 +184,39 @@ func runBatch(cfg Config, algs []string) ([]TrialResult, error) {
 // runTrial runs every algorithm on one concrete network. rng drives the
 // only stochastic choice inside the algorithms (Algorithm 4's starting
 // user).
+//
+// Problems are built once per trial and shared across the algorithms that
+// solve the same network view — one for the raw network and, when needed,
+// one for Algorithm 2's sufficient-capacity copy — so the pooled search
+// engine (precomputed edge weights, Dijkstra scratch) is amortized over
+// every solver in the trial instead of being rebuilt per algorithm.
 func runTrial(g *graph.Graph, cfg Config, algs []string, rng *rand.Rand) (TrialResult, error) {
 	trial := TrialResult{
 		Rates:    make(map[string]float64, len(algs)),
 		Failures: make(map[string]string, len(algs)),
 	}
+	probs := make(map[string]*core.Problem, 2)
+	problem := func(alg string) (*core.Problem, error) {
+		key := "base"
+		if alg == AlgOptimal {
+			key = alg
+		}
+		if p, ok := probs[key]; ok {
+			return p, nil
+		}
+		p, err := problemFor(g, alg, cfg)
+		if err != nil {
+			return nil, err
+		}
+		probs[key] = p
+		return p, nil
+	}
 	for _, a := range algs {
-		sol, prob, err := SolveOn(g, a, cfg, rng)
+		prob, err := problem(a)
+		if err != nil {
+			return TrialResult{}, fmt.Errorf("algorithm %s: %w", a, err)
+		}
+		sol, err := solveProblem(prob, a, rng)
 		if err != nil {
 			if errors.Is(err, core.ErrInfeasible) {
 				trial.Rates[a] = 0
@@ -207,11 +233,11 @@ func runTrial(g *graph.Graph, cfg Config, algs []string, rng *rand.Rand) (TrialR
 	return trial, nil
 }
 
-// SolveOn runs one named algorithm on a concrete network under the
-// experiment conventions (Algorithm 2's sufficient-capacity copy,
-// Algorithm 4's random start). It returns the solution together with the
-// exact problem instance it solved, so callers can validate or inspect.
-func SolveOn(g *graph.Graph, alg string, cfg Config, rng *rand.Rand) (*core.Solution, *core.Problem, error) {
+// problemFor builds the problem instance a named algorithm solves on g
+// under the experiment conventions: Algorithm 2 gets the paper's
+// sufficient-capacity copy (switches raised to 2|U| qubits) when
+// cfg.SufficientCapacityForAlg2 is set, everything else solves g as drawn.
+func problemFor(g *graph.Graph, alg string, cfg Config) (*core.Problem, error) {
 	target := g
 	if alg == AlgOptimal && cfg.SufficientCapacityForAlg2 {
 		need := 2 * len(g.Users())
@@ -231,25 +257,38 @@ func SolveOn(g *graph.Graph, alg string, cfg Config, rng *rand.Rand) (*core.Solu
 			}
 		}
 	}
-	prob, err := core.AllUsersProblem(target, cfg.Params)
+	return core.AllUsersProblem(target, cfg.Params)
+}
+
+// solveProblem dispatches a prepared problem to the named algorithm. rng
+// is consumed only by Algorithm 4's random starting user.
+func solveProblem(prob *core.Problem, alg string, rng *rand.Rand) (*core.Solution, error) {
+	switch alg {
+	case AlgOptimal:
+		return core.SolveOptimal(prob)
+	case AlgConflictFree:
+		return core.SolveConflictFree(prob)
+	case AlgPrim:
+		return core.SolvePrim(prob, rng)
+	case AlgEQCast:
+		return baseline.SolveEQCast(prob)
+	case AlgNFusion:
+		return baseline.SolveNFusion(prob)
+	default:
+		return nil, fmt.Errorf("sim: unknown algorithm %q", alg)
+	}
+}
+
+// SolveOn runs one named algorithm on a concrete network under the
+// experiment conventions (Algorithm 2's sufficient-capacity copy,
+// Algorithm 4's random start). It returns the solution together with the
+// exact problem instance it solved, so callers can validate or inspect.
+func SolveOn(g *graph.Graph, alg string, cfg Config, rng *rand.Rand) (*core.Solution, *core.Problem, error) {
+	prob, err := problemFor(g, alg, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	var sol *core.Solution
-	switch alg {
-	case AlgOptimal:
-		sol, err = core.SolveOptimal(prob)
-	case AlgConflictFree:
-		sol, err = core.SolveConflictFree(prob)
-	case AlgPrim:
-		sol, err = core.SolvePrim(prob, rng)
-	case AlgEQCast:
-		sol, err = baseline.SolveEQCast(prob)
-	case AlgNFusion:
-		sol, err = baseline.SolveNFusion(prob)
-	default:
-		return nil, nil, fmt.Errorf("sim: unknown algorithm %q", alg)
-	}
+	sol, err := solveProblem(prob, alg, rng)
 	if err != nil {
 		return nil, nil, err
 	}
