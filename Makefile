@@ -6,7 +6,7 @@ BENCH_OUT ?= BENCH_kernel.json
 BENCH_LABEL ?= current
 BENCH_TMP := $(shell mktemp -d 2>/dev/null || echo /tmp/quantumnet-bench)
 
-.PHONY: build test vet race tier1 bench clean
+.PHONY: build test vet race tier1 bench list-solvers clean
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,11 @@ bench:
 		-benchmem -benchtime 2x . | tee $(BENCH_TMP)/figs.txt
 	$(GO) run ./cmd/benchreport -label $(BENCH_LABEL) -o $(BENCH_OUT) \
 		$(BENCH_TMP)/kernel.txt $(BENCH_TMP)/figs.txt
+
+# list-solvers prints every routing scheme in the registry, with labels and
+# per-scheme assumptions (sufficient capacity, randomness).
+list-solvers:
+	$(GO) run ./cmd/muerp -alg list
 
 clean:
 	$(GO) clean ./...

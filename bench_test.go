@@ -199,7 +199,7 @@ func BenchmarkAlgorithm1ChannelSearch(b *testing.B) {
 	src := p.Users[0]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if got := p.MaxRateChannels(src, nil); len(got) == 0 {
+		if got := p.MaxRateChannels(src, nil, nil); len(got) == 0 {
 			b.Fatal("no channels found")
 		}
 	}
@@ -226,7 +226,7 @@ func BenchmarkSolvers(b *testing.B) {
 			p := benchProblem(b, tc.g)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := tc.s.Solve(p); err != nil {
+				if _, err := tc.s.Solve(context.Background(), p, nil); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -11,6 +11,7 @@
 //	-networks random networks per sweep point (default 20, as in the paper)
 //	-seed     base RNG seed (default 1)
 //	-out      directory for CSV output (default: none)
+//	-stats    also print per-algorithm solve work counters
 package main
 
 import (
@@ -40,6 +41,7 @@ func run(args []string, out io.Writer) error {
 		outDir    = fs.String("out", "", "directory for CSV output")
 		ablations = fs.Bool("ablations", false, "also run the ablation studies")
 		gaps      = fs.Bool("gaps", false, "also run the exact-optimality gap study")
+		workStats = fs.Bool("stats", false, "also print per-algorithm solve work counters")
 		parallel  = fs.Int("parallel", runtime.GOMAXPROCS(0), "networks solved concurrently per sweep point")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -79,6 +81,9 @@ func run(args []string, out io.Writer) error {
 		}
 		all = append(all, series)
 		fmt.Fprintln(out, series.Table())
+		if *workStats {
+			fmt.Fprintln(out, series.WorkTable())
+		}
 		if *outDir != "" {
 			if err := writeCSV(*outDir, series); err != nil {
 				return err
@@ -95,6 +100,9 @@ func run(args []string, out io.Writer) error {
 		}
 		for _, s := range series {
 			fmt.Fprintln(out, s.Table())
+			if *workStats {
+				fmt.Fprintln(out, s.WorkTable())
+			}
 			if *outDir != "" {
 				if err := writeCSV(*outDir, s); err != nil {
 					return err

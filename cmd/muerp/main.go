@@ -18,7 +18,7 @@
 //	-q        BSM swap success probability            (default 0.9)
 //	-alpha    fiber attenuation per km                (default 1e-4)
 //	-seed     RNG seed                                (default 1)
-//	-alg      alg2 | alg3 | alg4 | eqcast | nfusion   (default alg3)
+//	-alg      routing scheme, or "list" to enumerate  (default alg3)
 //	-in       load topology JSON instead of generating
 //	-trials   Monte Carlo rounds (0 = skip)
 //	-v        print every channel
@@ -37,6 +37,7 @@ import (
 	"github.com/muerp/quantumnet/internal/montecarlo"
 	"github.com/muerp/quantumnet/internal/quantum"
 	"github.com/muerp/quantumnet/internal/sim"
+	"github.com/muerp/quantumnet/internal/solver"
 	"github.com/muerp/quantumnet/internal/topology"
 	"github.com/muerp/quantumnet/internal/viz"
 )
@@ -59,7 +60,7 @@ func run(args []string, out io.Writer) error {
 		swapProb = fs.Float64("q", 0.9, "BSM swap success probability")
 		alpha    = fs.Float64("alpha", 1e-4, "fiber attenuation per km")
 		seed     = fs.Int64("seed", 1, "RNG seed")
-		alg      = fs.String("alg", "alg3", "algorithm: alg2, alg3, alg4, eqcast, nfusion")
+		alg      = fs.String("alg", "alg3", `routing scheme (see -alg list)`)
 		inFile   = fs.String("in", "", "load topology JSON instead of generating")
 		trials   = fs.Int("trials", 0, "Monte Carlo validation rounds (0 = skip)")
 		verbose  = fs.Bool("v", false, "print every channel")
@@ -67,6 +68,11 @@ func run(args []string, out io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *alg == "list" {
+		listSolvers(out)
+		return nil
 	}
 
 	g, err := loadOrGenerate(*inFile, *model, *users, *switches, *degree, *qubits, *seed)
@@ -120,6 +126,36 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "dot written to:     %s\n", *dotFile)
 	}
 	return nil
+}
+
+// listSolvers prints every registered routing scheme in canonical order,
+// flagging variants and the assumptions each scheme carries.
+func listSolvers(out io.Writer) {
+	fmt.Fprintln(out, "registered routing schemes:")
+	for _, e := range solver.List() {
+		var notes []string
+		if e.NeedsSufficientCapacity {
+			notes = append(notes, "assumes sufficient switch capacity")
+		}
+		if e.ConsumesRNG {
+			notes = append(notes, "randomized (uses -seed)")
+		}
+		if !e.Default {
+			notes = append(notes, "not in the default suite")
+		}
+		line := fmt.Sprintf("  %-18s %s", e.Name, e.Label)
+		for i, n := range notes {
+			if i == 0 {
+				line += "  [" + n
+			} else {
+				line += "; " + n
+			}
+		}
+		if len(notes) > 0 {
+			line += "]"
+		}
+		fmt.Fprintln(out, line)
+	}
 }
 
 func loadOrGenerate(inFile, model string, users, switches int, degree float64, qubits int, seed int64) (*graph.Graph, error) {

@@ -93,6 +93,33 @@ func TestRunLoadsTopologyJSON(t *testing.T) {
 	}
 }
 
+func TestRunListSolvers(t *testing.T) {
+	out, err := capture(t, "-alg", "list")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"alg2", "alg3", "alg4", "eqcast", "nfusion", "exact", "Algorithm 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("solver listing missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "graph(") {
+		t.Errorf("-alg list should not generate a network:\n%s", out)
+	}
+}
+
+func TestRunUnknownAlgorithmNamesKnownOnes(t *testing.T) {
+	_, err := capture(t, "-alg", "dijkstra", "-users", "4", "-switches", "10")
+	if err == nil {
+		t.Fatal("run with unknown algorithm succeeded, want error")
+	}
+	for _, want := range []string{"dijkstra", "alg3"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
 func TestRunRejects(t *testing.T) {
 	tests := [][]string{
 		{"-model", "erdos"},

@@ -24,10 +24,10 @@ import (
 	"os"
 	"time"
 
-	"github.com/muerp/quantumnet/internal/baseline"
 	"github.com/muerp/quantumnet/internal/core"
 	"github.com/muerp/quantumnet/internal/quantum"
 	"github.com/muerp/quantumnet/internal/runtime"
+	"github.com/muerp/quantumnet/internal/solver"
 	"github.com/muerp/quantumnet/internal/topology"
 	"github.com/muerp/quantumnet/internal/transport"
 )
@@ -129,21 +129,22 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// pickSolver maps the CLI name to a solver, seeding Algorithm 4's random
-// start from the run seed.
+// pickSolver resolves the CLI name through the solver registry. Schemes
+// that consume randomness (Algorithm 4's random start) draw from a stream
+// seeded with the run seed; seed 0 leaves them deterministic.
 func pickSolver(alg string, seed int64) (core.Solver, error) {
-	switch alg {
-	case "alg2":
-		return core.Optimal(), nil
-	case "alg3":
-		return core.ConflictFree(), nil
-	case "alg4":
-		return core.Prim(seed), nil
-	case "eqcast":
-		return baseline.EQCast(), nil
-	case "nfusion":
-		return baseline.NFusion(), nil
-	default:
-		return nil, fmt.Errorf("unknown algorithm %q", alg)
+	entry, err := solver.Get(alg)
+	if err != nil {
+		return nil, err
 	}
+	if !entry.ConsumesRNG || seed == 0 {
+		return entry.Solver(), nil
+	}
+	stream := rand.New(rand.NewSource(seed))
+	return core.SolverFunc{ID: entry.Name, Fn: func(ctx context.Context, p *core.Problem, opts *core.SolveOptions) (*core.Solution, error) {
+		if opts.Rand() == nil {
+			opts = &core.SolveOptions{RNG: stream, Stats: opts.StatsSink()}
+		}
+		return entry.Solve(ctx, p, opts)
+	}}, nil
 }

@@ -44,7 +44,7 @@ func main() {
 	var best quantumnet.Solver
 	bestRate := -1.0
 	for _, solver := range quantumnet.Solvers() {
-		sol, err := solver.Solve(prob)
+		sol, err := solver.Solve(context.Background(), prob, nil)
 		if err != nil {
 			if errors.Is(err, quantumnet.ErrInfeasible) {
 				fmt.Printf("  %-8s infeasible under switch capacity\n", solver.Name())

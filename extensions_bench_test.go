@@ -5,6 +5,7 @@ package quantumnet_test
 // rendering). These complement bench_test.go's per-figure benches.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -100,7 +101,7 @@ func BenchmarkExactSolve(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exact.Solve(p, exact.DefaultLimits()); err != nil {
+		if _, err := exact.Solve(context.Background(), p, exact.DefaultLimits(), nil); err != nil {
 			b.Fatal(err)
 		}
 	}

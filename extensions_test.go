@@ -1,6 +1,7 @@
 package quantumnet_test
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -181,7 +182,7 @@ func TestFacadeExactSolver(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gap, err := quantumnet.OptimalityGap(prob, quantumnet.Solvers()[1], quantumnet.ExactLimits{})
+	gap, err := quantumnet.OptimalityGap(context.Background(), prob, quantumnet.Solvers()[1], quantumnet.ExactLimits{})
 	if err != nil {
 		t.Fatalf("OptimalityGap: %v", err)
 	}

@@ -6,6 +6,7 @@
 package analysis
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -107,7 +108,7 @@ func rateOn(g *graph.Graph, solver core.Solver, params quantum.Params) (float64,
 	if err != nil {
 		return 0, err
 	}
-	sol, err := solver.Solve(prob)
+	sol, err := solver.Solve(context.Background(), prob, nil)
 	if err != nil {
 		if errors.Is(err, core.ErrInfeasible) {
 			return 0, nil

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -9,11 +10,18 @@ import (
 )
 
 // SolveNFusionFixedHub is the N-FUSION baseline with the fusion hub pinned
-// to one user instead of searching all users for the best one. It exists
-// for the ablation benches, which quantify how much of N-FUSION's score
-// comes from our charitable best-hub search (the paper does not specify hub
-// selection; see DESIGN.md substitution 3).
+// to one user instead of searching all users for the best one; background
+// context, see SolveNFusionFixedHubContext.
 func SolveNFusionFixedHub(p *core.Problem, hub graph.NodeID) (*core.Solution, error) {
+	return SolveNFusionFixedHubContext(context.Background(), p, hub, nil)
+}
+
+// SolveNFusionFixedHubContext is the N-FUSION baseline with the fusion hub
+// pinned to one user instead of searching all users for the best one. It
+// exists for the ablation benches, which quantify how much of N-FUSION's
+// score comes from our charitable best-hub search (the paper does not
+// specify hub selection; see DESIGN.md substitution 3).
+func SolveNFusionFixedHubContext(ctx context.Context, p *core.Problem, hub graph.NodeID, opts *core.SolveOptions) (*core.Solution, error) {
 	found := false
 	for _, u := range p.Users {
 		if u == hub {
@@ -24,7 +32,10 @@ func SolveNFusionFixedHub(p *core.Problem, hub graph.NodeID) (*core.Solution, er
 	if !found {
 		return nil, fmt.Errorf("baseline: hub %d is not in the user set", hub)
 	}
-	sol, err := solveStar(p, hub)
+	if ctx != nil && ctx.Err() != nil {
+		return nil, fmt.Errorf("n-fusion: %w", ctx.Err())
+	}
+	sol, err := solveStar(p, hub, opts.StatsSink())
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -199,7 +200,7 @@ func TestSolverAdapters(t *testing.T) {
 	g := meshNet(t, 8)
 	p := mustProblem(t, g)
 	for _, s := range []core.Solver{EQCast(), NFusion()} {
-		sol, err := s.Solve(p)
+		sol, err := s.Solve(context.Background(), p, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}

@@ -5,6 +5,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -13,7 +14,14 @@ import (
 	"github.com/muerp/quantumnet/internal/quantum"
 )
 
-// SolveEQCast implements the E-Q-CAST baseline.
+// SolveEQCast runs the E-Q-CAST baseline with background context and no
+// options; see SolveEQCastContext for the scheme.
+func SolveEQCast(p *core.Problem) (*core.Solution, error) {
+	return SolveEQCastContext(context.Background(), p, nil)
+}
+
+// SolveEQCastContext implements the E-Q-CAST baseline under the core
+// SolveFunc contract.
 //
 // Q-CAST (Shi & Qian, SIGCOMM 2020) routes one user pair at a time; the
 // paper extends it to multiple users by requesting the chain of consecutive
@@ -24,12 +32,16 @@ import (
 // scheme's handicap relative to the paper's algorithms is structural: the
 // chain's pairings are fixed in advance rather than chosen to maximize the
 // tree value.
-func SolveEQCast(p *core.Problem) (*core.Solution, error) {
+func SolveEQCastContext(ctx context.Context, p *core.Problem, opts *core.SolveOptions) (*core.Solution, error) {
+	st := opts.StatsSink()
 	led := quantum.NewLedger(p.Graph)
 	tree := quantum.Tree{}
 	for i := 0; i+1 < len(p.Users); i++ {
+		if ctx != nil && ctx.Err() != nil {
+			return nil, fmt.Errorf("e-q-cast: %w", ctx.Err())
+		}
 		src, dst := p.Users[i], p.Users[i+1]
-		ch, ok := p.MaxRateChannel(src, dst, led)
+		ch, ok := p.MaxRateChannel(src, dst, led, st)
 		if !ok {
 			return nil, fmt.Errorf("%w: no channel for chain pair %d-%d (e-q-cast)",
 				core.ErrInfeasible, src, dst)
@@ -37,17 +49,26 @@ func SolveEQCast(p *core.Problem) (*core.Solution, error) {
 		if err := led.Reserve(ch.Nodes); err != nil {
 			return nil, fmt.Errorf("e-q-cast: %w", err)
 		}
+		st.AddReservations(1)
 		tree.Channels = append(tree.Channels, ch)
+		st.AddCommitted(1)
 	}
 	return &core.Solution{Tree: tree, Algorithm: "eqcast", MeasurementFactor: 1}, nil
 }
 
 // EQCast returns the baseline as a core.Solver.
 func EQCast() core.Solver {
-	return core.SolverFunc{ID: "eqcast", Fn: SolveEQCast}
+	return core.SolverFunc{ID: "eqcast", Fn: SolveEQCastContext}
 }
 
-// SolveNFusion implements the N-FUSION baseline.
+// SolveNFusion runs the N-FUSION baseline with background context and no
+// options; see SolveNFusionContext for the scheme.
+func SolveNFusion(p *core.Problem) (*core.Solution, error) {
+	return SolveNFusionContext(context.Background(), p, nil)
+}
+
+// SolveNFusionContext implements the N-FUSION baseline under the core
+// SolveFunc contract.
 //
 // Following the paper's description of the MP-P scheme ("a central user
 // connecting all users"), one user acts as the hub of a star: every other
@@ -64,14 +85,18 @@ func EQCast() core.Solver {
 // Every user is tried as the hub; the best resulting rate wins. Channels to
 // the hub are committed greedily in descending rate order, recomputing
 // residual-capacity routes after each commitment.
-func SolveNFusion(p *core.Problem) (*core.Solution, error) {
+func SolveNFusionContext(ctx context.Context, p *core.Problem, opts *core.SolveOptions) (*core.Solution, error) {
 	if len(p.Users) == 1 {
 		return &core.Solution{Tree: quantum.Tree{}, Algorithm: "nfusion", MeasurementFactor: 1}, nil
 	}
+	st := opts.StatsSink()
 	fusion := math.Pow(p.Params.SwapProb, float64(len(p.Users)-1))
 	var best *core.Solution
 	for _, hub := range p.Users {
-		sol, err := solveStar(p, hub)
+		if ctx != nil && ctx.Err() != nil {
+			return nil, fmt.Errorf("n-fusion: %w", ctx.Err())
+		}
+		sol, err := solveStar(p, hub, st)
 		if err != nil {
 			continue
 		}
@@ -89,7 +114,7 @@ func SolveNFusion(p *core.Problem) (*core.Solution, error) {
 // solveStar routes a channel from every non-hub user to hub, committing the
 // currently best-rated spoke first and rerouting the rest under the
 // remaining capacity.
-func solveStar(p *core.Problem, hub graph.NodeID) (*core.Solution, error) {
+func solveStar(p *core.Problem, hub graph.NodeID, st *core.SolveStats) (*core.Solution, error) {
 	led := quantum.NewLedger(p.Graph)
 	pending := make(map[graph.NodeID]bool, len(p.Users)-1)
 	for _, u := range p.Users {
@@ -104,7 +129,7 @@ func solveStar(p *core.Problem, hub graph.NodeID) (*core.Solution, error) {
 		found := false
 		// MaxRateChannels yields ascending user order, so ties resolve
 		// deterministically, as the old stable-order scan did.
-		for _, uc := range p.MaxRateChannels(hub, led) {
+		for _, uc := range p.MaxRateChannels(hub, led, st) {
 			if !pending[uc.Dst] {
 				continue
 			}
@@ -118,13 +143,15 @@ func solveStar(p *core.Problem, hub graph.NodeID) (*core.Solution, error) {
 		if err := led.Reserve(bestCh.Nodes); err != nil {
 			return nil, fmt.Errorf("n-fusion: %w", err)
 		}
+		st.AddReservations(1)
 		delete(pending, bestUser)
 		tree.Channels = append(tree.Channels, bestCh)
+		st.AddCommitted(1)
 	}
 	return &core.Solution{Tree: tree, Algorithm: "nfusion"}, nil
 }
 
 // NFusion returns the baseline as a core.Solver.
 func NFusion() core.Solver {
-	return core.SolverFunc{ID: "nfusion", Fn: SolveNFusion}
+	return core.SolverFunc{ID: "nfusion", Fn: SolveNFusionContext}
 }

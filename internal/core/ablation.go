@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -43,11 +44,19 @@ func (o ReplayOrder) String() string {
 	}
 }
 
-// SolveConflictFreeOrdered is Algorithm 3 with a configurable phase-1
-// replay order (rng is only used by ReplayRandom; nil falls back to a fixed
-// permutation seed). With ReplayDescending it is exactly SolveConflictFree.
+// SolveConflictFreeOrdered is Algorithm 3 with a configurable phase-1 replay
+// order, background context; see SolveConflictFreeOrderedContext.
 func SolveConflictFreeOrdered(p *Problem, order ReplayOrder, rng *rand.Rand) (*Solution, error) {
-	base, err := SolveOptimal(p)
+	return SolveConflictFreeOrderedContext(context.Background(), p, order, &SolveOptions{RNG: rng})
+}
+
+// SolveConflictFreeOrderedContext is Algorithm 3 with a configurable phase-1
+// replay order under the SolveFunc contract (opts.RNG is only used by
+// ReplayRandom; nil falls back to a fixed permutation seed). With
+// ReplayDescending it is exactly SolveConflictFreeContext.
+func SolveConflictFreeOrderedContext(ctx context.Context, p *Problem, order ReplayOrder, opts *SolveOptions) (*Solution, error) {
+	st := opts.StatsSink()
+	base, err := SolveOptimalContext(ctx, p, opts)
 	if err != nil {
 		return nil, fmt.Errorf("algorithm 3 (%s ablation): %w", order, err)
 	}
@@ -70,6 +79,7 @@ func SolveConflictFreeOrdered(p *Problem, order ReplayOrder, rng *rand.Rand) (*S
 			cands[i], cands[j] = cands[j], cands[i]
 		}
 	case ReplayRandom:
+		rng := opts.Rand()
 		if rng == nil {
 			rng = rand.New(rand.NewSource(1))
 		}
@@ -90,25 +100,38 @@ func SolveConflictFreeOrdered(p *Problem, order ReplayOrder, rng *rand.Rand) (*S
 		if err := led.Reserve(c.ch.Nodes); err != nil {
 			panic(fmt.Sprintf("core: reserve after CanCarry: %v", err))
 		}
+		st.AddReservations(1)
 		uf.Union(c.ia, c.ib)
 		tree.Channels = append(tree.Channels, c.ch)
+		st.AddCommitted(1)
 	}
-	if err := p.connectUnions(led, uf, &tree, fmt.Sprintf("algorithm 3, %s replay", order)); err != nil {
+	if err := p.connectUnions(ctx, led, uf, &tree, fmt.Sprintf("algorithm 3, %s replay", order), st); err != nil {
 		return nil, err
 	}
 	return &Solution{Tree: tree, Algorithm: "alg3-" + order.String(), MeasurementFactor: 1}, nil
 }
 
 // SolvePrimBestOfAllStarts runs Algorithm 4 once per possible starting user
-// and keeps the best tree — the natural upper bound on what the random
-// start can achieve, used to measure how much Algorithm 4 leaves on the
-// table by starting randomly.
+// and keeps the best tree, background context; see
+// SolvePrimBestOfAllStartsContext.
 func SolvePrimBestOfAllStarts(p *Problem) (*Solution, error) {
+	return SolvePrimBestOfAllStartsContext(context.Background(), p, nil)
+}
+
+// SolvePrimBestOfAllStartsContext runs Algorithm 4 once per possible
+// starting user and keeps the best tree — the natural upper bound on what
+// the random start can achieve, used to measure how much Algorithm 4 leaves
+// on the table by starting randomly.
+func SolvePrimBestOfAllStartsContext(ctx context.Context, p *Problem, opts *SolveOptions) (*Solution, error) {
+	st := opts.StatsSink()
 	var best *Solution
 	var firstErr error
 	for start := range p.Users {
-		sol, err := solvePrimFrom(p, start)
+		sol, err := solvePrimFrom(ctx, p, start, st)
 		if err != nil {
+			if ctxErr(ctx) != nil {
+				return nil, err
+			}
 			if firstErr == nil {
 				firstErr = err
 			}

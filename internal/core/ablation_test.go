@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -82,7 +83,7 @@ func TestSolvePrimBestOfAllStartsDominatesAnyStart(t *testing.T) {
 			t.Fatalf("net %d: invalid: %v", i, err)
 		}
 		for start := range p.Users {
-			sol, err := solvePrimFrom(p, start)
+			sol, err := solvePrimFrom(context.Background(), p, start, nil)
 			if err != nil {
 				continue
 			}

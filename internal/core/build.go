@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/muerp/quantumnet/internal/quantum"
@@ -10,15 +11,18 @@ import (
 // against an externally owned qubit ledger — the Algorithm 4 greedy step
 // applied to *shared* capacity, used by callers that route several requests
 // over one network (the multigroup extension, the admission scheduler).
+// A nil ctx never cancels; opts follows the SolveFunc contract (its RNG is
+// unused — the tree always grows from the first user).
 //
 // On success the tree's reservations remain charged to the ledger (the
 // caller owns their lifetime and can Release them later). On infeasibility
-// every reservation made during the attempt is rolled back and the ledger
-// is exactly as before the call.
-func BuildGreedyTree(p *Problem, led *quantum.Ledger) (quantum.Tree, error) {
+// or cancellation every reservation made during the attempt is rolled back
+// and the ledger is exactly as before the call.
+func BuildGreedyTree(ctx context.Context, p *Problem, led *quantum.Ledger, opts *SolveOptions) (quantum.Tree, error) {
 	if led == nil {
 		return quantum.Tree{}, fmt.Errorf("core: BuildGreedyTree needs a ledger")
 	}
+	st := opts.StatsSink()
 	inTree := make([]bool, len(p.Users))
 	inTree[0] = true
 	tree := quantum.Tree{}
@@ -29,7 +33,11 @@ func BuildGreedyTree(p *Problem, led *quantum.Ledger) (quantum.Tree, error) {
 		}
 	}
 	for committed := 0; committed < len(p.Users)-1; committed++ {
-		best, ok := p.bestFrontierChannel(led, inTree)
+		best, ok, err := p.bestFrontierChannel(ctx, led, inTree, st)
+		if err != nil {
+			rollback()
+			return quantum.Tree{}, fmt.Errorf("core: BuildGreedyTree: %w", err)
+		}
 		if !ok {
 			rollback()
 			return quantum.Tree{}, fmt.Errorf("%w: %d users unreachable under shared capacity",
@@ -39,8 +47,10 @@ func BuildGreedyTree(p *Problem, led *quantum.Ledger) (quantum.Tree, error) {
 			rollback()
 			return quantum.Tree{}, fmt.Errorf("core: BuildGreedyTree reserve: %w", err)
 		}
+		st.AddReservations(1)
 		inTree[best.ib] = true
 		tree.Channels = append(tree.Channels, best.ch)
+		st.AddCommitted(1)
 	}
 	return tree, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -15,8 +16,8 @@ func TestBuildGreedyTreeMatchesPrim(t *testing.T) {
 		g := randomNet(rng, 3+rng.Intn(3), 3+rng.Intn(4), 4)
 		p := mustProblem(t, g, quantum.DefaultParams())
 		led := quantum.NewLedger(g)
-		tree, err := BuildGreedyTree(p, led)
-		prim, primErr := solvePrimFrom(p, 0)
+		tree, err := BuildGreedyTree(context.Background(), p, led, nil)
+		prim, primErr := solvePrimFrom(context.Background(), p, 0, nil)
 		if (err == nil) != (primErr == nil) {
 			t.Fatalf("net %d: BuildGreedyTree err=%v, prim err=%v", i, err, primErr)
 		}
@@ -48,7 +49,7 @@ func TestBuildGreedyTreeRollsBackOnInfeasibility(t *testing.T) {
 	g := quantumGraphWithIsolatedUser(t)
 	p := mustProblem(t, g, quantum.DefaultParams())
 	led := quantum.NewLedger(g)
-	_, err := BuildGreedyTree(p, led)
+	_, err := BuildGreedyTree(context.Background(), p, led, nil)
 	if !errors.Is(err, ErrInfeasible) {
 		t.Fatalf("error = %v, want ErrInfeasible", err)
 	}
@@ -75,13 +76,13 @@ func TestBuildGreedyTreeSharedLedger(t *testing.T) {
 	g := bottleneckNet(t, 2)
 	p := mustProblem(t, g, quantum.DefaultParams())
 	led := quantum.NewLedger(g)
-	first, err := BuildGreedyTree(p, led)
+	first, err := BuildGreedyTree(context.Background(), p, led, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// The central switch is exhausted by the first tree (or the detour
 	// absorbed it) — a second identical build must still respect capacity.
-	second, err := BuildGreedyTree(p, led)
+	second, err := BuildGreedyTree(context.Background(), p, led, nil)
 	if err == nil {
 		load := map[int64]int{}
 		for _, tr := range []quantum.Tree{first, second} {
@@ -100,7 +101,7 @@ func TestBuildGreedyTreeSharedLedger(t *testing.T) {
 func TestBuildGreedyTreeNilLedger(t *testing.T) {
 	g := fourUserNet(t)
 	p := mustProblem(t, g, quantum.DefaultParams())
-	if _, err := BuildGreedyTree(p, nil); err == nil {
+	if _, err := BuildGreedyTree(context.Background(), p, nil, nil); err == nil {
 		t.Fatal("nil ledger accepted")
 	}
 }

@@ -31,6 +31,9 @@ import (
 type searchCtx struct {
 	s    *graph.Searcher
 	path []graph.NodeID
+	// fresh marks a ctx that was just allocated by the pool's New (a pool
+	// miss); acquireCtx clears it, so subsequent checkouts count as hits.
+	fresh bool
 }
 
 // engineInit lazily builds the Problem's search engine: the precomputed
@@ -43,16 +46,20 @@ func (p *Problem) engineInit() {
 		}
 		p.edgeWeights = w
 		p.searchers.New = func() any {
-			return &searchCtx{s: graph.NewSearcher(p.Graph), path: make([]graph.NodeID, 0, 16)}
+			return &searchCtx{s: graph.NewSearcher(p.Graph), path: make([]graph.NodeID, 0, 16), fresh: true}
 		}
 	})
 }
 
-// acquireCtx checks a search context out of the pool. Callers must return
-// it with releaseCtx once no ShortestPaths produced through it is needed.
-func (p *Problem) acquireCtx() *searchCtx {
+// acquireCtx checks a search context out of the pool, recording the
+// hit/miss in st. Callers must return it with releaseCtx once no
+// ShortestPaths produced through it is needed.
+func (p *Problem) acquireCtx(st *SolveStats) *searchCtx {
 	p.engineInit()
-	return p.searchers.Get().(*searchCtx)
+	sc := p.searchers.Get().(*searchCtx)
+	st.AddPool(!sc.fresh)
+	sc.fresh = false
+	return sc
 }
 
 func (p *Problem) releaseCtx(sc *searchCtx) { p.searchers.Put(sc) }
@@ -78,18 +85,21 @@ func (p *Problem) transitFunc(led *quantum.Ledger) graph.TransitFunc {
 
 // channelSearch runs the single-source variant of Algorithm 1 from src,
 // under the given ledger (nil = static capacity check only), on sc's
-// engine. The returned ShortestPaths recovers max-rate channels to every
-// destination through its Prev array, exactly as the paper's complexity
-// discussion prescribes; it is valid until sc's next search.
-func (p *Problem) channelSearch(sc *searchCtx, src graph.NodeID, led *quantum.Ledger) *graph.ShortestPaths {
-	return sc.s.SearchWeights(src, p.edgeWeights, p.transitFunc(led))
+// engine, counting the run and its relaxations into st. The returned
+// ShortestPaths recovers max-rate channels to every destination through its
+// Prev array, exactly as the paper's complexity discussion prescribes; it
+// is valid until sc's next search.
+func (p *Problem) channelSearch(sc *searchCtx, src graph.NodeID, led *quantum.Ledger, st *SolveStats) *graph.ShortestPaths {
+	sp := sc.s.SearchWeights(src, p.edgeWeights, p.transitFunc(led))
+	st.AddSearch(sc.s.LastRelaxed())
+	return sp
 }
 
 // channelFromSearch converts the shortest path from sp's source to dst into
 // a quantum.Channel with its Eq. 1 rate, reconstructing the path through
-// sc's reusable buffer. ok is false when dst is unreachable under the
-// search's constraints.
-func (p *Problem) channelFromSearch(sc *searchCtx, sp *graph.ShortestPaths, dst graph.NodeID) (quantum.Channel, bool) {
+// sc's reusable buffer, counting the extracted candidate into st. ok is
+// false when dst is unreachable under the search's constraints.
+func (p *Problem) channelFromSearch(sc *searchCtx, sp *graph.ShortestPaths, dst graph.NodeID, st *SolveStats) (quantum.Channel, bool) {
 	if dst == sp.Source {
 		return quantum.Channel{}, false
 	}
@@ -107,20 +117,22 @@ func (p *Problem) channelFromSearch(sc *searchCtx, sp *graph.ShortestPaths, dst 
 		// paths; a failure here is an internal invariant violation.
 		panic(fmt.Sprintf("core: Algorithm 1 produced an invalid channel: %v", err))
 	}
+	st.AddConsidered(1)
 	return ch, true
 }
 
 // MaxRateChannel implements Algorithm 1: the maximum-entanglement-rate
 // channel between the users src and dst. When led is non-nil, interior
-// switches must currently have 2 free qubits in it. ok is false when no
-// channel exists under the constraints.
-func (p *Problem) MaxRateChannel(src, dst graph.NodeID, led *quantum.Ledger) (quantum.Channel, bool) {
+// switches must currently have 2 free qubits in it. st (nil = discard)
+// collects the search work. ok is false when no channel exists under the
+// constraints.
+func (p *Problem) MaxRateChannel(src, dst graph.NodeID, led *quantum.Ledger, st *SolveStats) (quantum.Channel, bool) {
 	if src == dst {
 		return quantum.Channel{}, false
 	}
-	sc := p.acquireCtx()
+	sc := p.acquireCtx(st)
 	defer p.releaseCtx(sc)
-	return p.channelFromSearch(sc, p.channelSearch(sc, src, led), dst)
+	return p.channelFromSearch(sc, p.channelSearch(sc, src, led, st), dst, st)
 }
 
 // UserChannel pairs a destination user with its max-rate channel, the
@@ -132,19 +144,20 @@ type UserChannel struct {
 
 // MaxRateChannels runs one single-source search from src and returns the
 // max-rate channel to every other user reachable under the constraints, in
-// ascending Problem.Users order. (It used to return a map; the slice is
-// cheaper and gives callers a deterministic iteration order, so rate ties
-// resolve the same way on every run.)
-func (p *Problem) MaxRateChannels(src graph.NodeID, led *quantum.Ledger) []UserChannel {
-	sc := p.acquireCtx()
+// ascending Problem.Users order. st (nil = discard) collects the search
+// work. (It used to return a map; the slice is cheaper and gives callers a
+// deterministic iteration order, so rate ties resolve the same way on every
+// run.)
+func (p *Problem) MaxRateChannels(src graph.NodeID, led *quantum.Ledger, st *SolveStats) []UserChannel {
+	sc := p.acquireCtx(st)
 	defer p.releaseCtx(sc)
-	sp := p.channelSearch(sc, src, led)
+	sp := p.channelSearch(sc, src, led, st)
 	out := make([]UserChannel, 0, len(p.Users)-1)
 	for _, u := range p.Users {
 		if u == src {
 			continue
 		}
-		if ch, ok := p.channelFromSearch(sc, sp, u); ok {
+		if ch, ok := p.channelFromSearch(sc, sp, u, st); ok {
 			out = append(out, UserChannel{Dst: u, Ch: ch})
 		}
 	}

@@ -33,7 +33,7 @@ func TestMaxRateChannelPrefersRelayWhenWorthIt(t *testing.T) {
 	// Relay: 0.9 * exp(-1e-4*2*1000) = 0.9*e^-0.2 ~= 0.737.
 	g := tradeoffNet(t, 20000, 1000)
 	p := mustProblem(t, g, quantum.DefaultParams())
-	ch, ok := p.MaxRateChannel(0, 2, nil)
+	ch, ok := p.MaxRateChannel(0, 2, nil, nil)
 	if !ok {
 		t.Fatal("no channel found")
 	}
@@ -47,7 +47,7 @@ func TestMaxRateChannelPrefersDirectWhenSwapCostly(t *testing.T) {
 	// Relay: 0.9 * exp(-1e-4*2*700) ~= 0.9*0.869 = 0.782.
 	g := tradeoffNet(t, 1500, 700)
 	p := mustProblem(t, g, quantum.DefaultParams())
-	ch, ok := p.MaxRateChannel(0, 2, nil)
+	ch, ok := p.MaxRateChannel(0, 2, nil, nil)
 	if !ok {
 		t.Fatal("no channel found")
 	}
@@ -60,7 +60,7 @@ func TestMaxRateChannelStaticCapacityGate(t *testing.T) {
 	g := tradeoffNet(t, 20000, 1000)
 	g.SetQubits(1, 1) // switch can no longer relay at all
 	p := mustProblem(t, g, quantum.DefaultParams())
-	ch, ok := p.MaxRateChannel(0, 2, nil)
+	ch, ok := p.MaxRateChannel(0, 2, nil, nil)
 	if !ok {
 		t.Fatal("no channel found")
 	}
@@ -75,14 +75,14 @@ func TestMaxRateChannelLedgerGate(t *testing.T) {
 	p := mustProblem(t, g, quantum.DefaultParams())
 	led := quantum.NewLedger(g)
 
-	first, ok := p.MaxRateChannel(0, 2, led)
+	first, ok := p.MaxRateChannel(0, 2, led, nil)
 	if !ok || first.Links() != 2 {
 		t.Fatalf("first channel should use the relay, got %v ok=%v", first.Nodes, ok)
 	}
 	if err := led.Reserve(first.Nodes); err != nil {
 		t.Fatal(err)
 	}
-	second, ok := p.MaxRateChannel(0, 2, led)
+	second, ok := p.MaxRateChannel(0, 2, led, nil)
 	if !ok || second.Links() != 1 {
 		t.Fatalf("second channel should fall back to direct, got %v ok=%v", second.Nodes, ok)
 	}
@@ -100,7 +100,7 @@ func TestMaxRateChannelNeverTransitsUsers(t *testing.T) {
 	g.MustAddEdge(0, 3, 8000)
 	g.MustAddEdge(3, 2, 8000)
 	p := mustProblem(t, g, quantum.DefaultParams())
-	ch, ok := p.MaxRateChannel(0, 2, nil)
+	ch, ok := p.MaxRateChannel(0, 2, nil, nil)
 	if !ok {
 		t.Fatal("no channel found")
 	}
@@ -123,10 +123,10 @@ func TestMaxRateChannelNoRoute(t *testing.T) {
 	g.AddUser(5, 5) // isolated
 	g.MustAddEdge(0, 1, 100)
 	p := mustProblem(t, g, quantum.DefaultParams())
-	if _, ok := p.MaxRateChannel(0, 2, nil); ok {
+	if _, ok := p.MaxRateChannel(0, 2, nil, nil); ok {
 		t.Fatal("found a channel to an isolated user")
 	}
-	if _, ok := p.MaxRateChannel(0, 0, nil); ok {
+	if _, ok := p.MaxRateChannel(0, 0, nil, nil); ok {
 		t.Fatal("found a channel from a user to itself")
 	}
 }
@@ -137,11 +137,11 @@ func TestMaxRateChannelsMatchesPairwise(t *testing.T) {
 	p := mustProblem(t, g, quantum.DefaultParams())
 	src := p.Users[0]
 	batch := make(map[graph.NodeID]quantum.Channel)
-	for _, uc := range p.MaxRateChannels(src, nil) {
+	for _, uc := range p.MaxRateChannels(src, nil, nil) {
 		batch[uc.Dst] = uc.Ch
 	}
 	for _, dst := range p.Users[1:] {
-		single, okSingle := p.MaxRateChannel(src, dst, nil)
+		single, okSingle := p.MaxRateChannel(src, dst, nil, nil)
 		got, okBatch := batch[dst]
 		if okSingle != okBatch {
 			t.Fatalf("reachability disagrees for %d->%d", src, dst)
@@ -183,7 +183,7 @@ func TestQuickAlgorithmOneIsOptimal(t *testing.T) {
 			return false
 		}
 		src, dst := p.Users[0], p.Users[1]
-		got, ok := p.MaxRateChannel(src, dst, nil)
+		got, ok := p.MaxRateChannel(src, dst, nil, nil)
 		want, wantOK := bruteBestChannel(t, p, src, dst)
 		if ok != wantOK {
 			t.Logf("seed %d: reachability %v vs brute %v", seed, ok, wantOK)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/muerp/quantumnet/internal/graph"
@@ -19,17 +20,24 @@ import (
 // different unions and commits it, until one union spans U or no channel
 // exists (infeasible).
 
-// SolveConflictFree implements Algorithm 3. It internally obtains
-// Algorithm 2's solution as its starting point, as in the paper.
+// SolveConflictFree runs Algorithm 3 with background context and no options;
+// see SolveConflictFreeContext for the full contract.
 func SolveConflictFree(p *Problem) (*Solution, error) {
-	base, err := SolveOptimal(p)
+	return SolveConflictFreeContext(context.Background(), p, nil)
+}
+
+// SolveConflictFreeContext implements Algorithm 3 under the SolveFunc
+// contract. It internally obtains Algorithm 2's solution as its starting
+// point, as in the paper.
+func SolveConflictFreeContext(ctx context.Context, p *Problem, opts *SolveOptions) (*Solution, error) {
+	base, err := SolveOptimalContext(ctx, p, opts)
 	if err != nil {
 		return nil, fmt.Errorf("algorithm 3: %w", err)
 	}
-	return solveConflictFreeFrom(p, base)
+	return solveConflictFreeFrom(ctx, p, base, opts.StatsSink())
 }
 
-func solveConflictFreeFrom(p *Problem, base *Solution) (*Solution, error) {
+func solveConflictFreeFrom(ctx context.Context, p *Problem, base *Solution, st *SolveStats) (*Solution, error) {
 	idx := make(map[graph.NodeID]int, len(p.Users))
 	for i, u := range p.Users {
 		idx[u] = i
@@ -56,13 +64,15 @@ func solveConflictFreeFrom(p *Problem, base *Solution) (*Solution, error) {
 		if err := led.Reserve(c.ch.Nodes); err != nil {
 			panic(fmt.Sprintf("core: reserve after CanCarry: %v", err))
 		}
+		st.AddReservations(1)
 		uf.Union(c.ia, c.ib)
 		tree.Channels = append(tree.Channels, c.ch)
+		st.AddCommitted(1)
 	}
 
 	// Phase 2: greedily reconnect the remaining unions under residual
 	// capacity.
-	if err := p.connectUnions(led, uf, &tree, "algorithm 3"); err != nil {
+	if err := p.connectUnions(ctx, led, uf, &tree, "algorithm 3", st); err != nil {
 		return nil, err
 	}
 	return &Solution{Tree: tree, Algorithm: "alg3", MeasurementFactor: 1}, nil
@@ -72,9 +82,10 @@ func solveConflictFreeFrom(p *Problem, base *Solution) (*Solution, error) {
 // the user unions and capacity ledger themselves — notably tree repair
 // after fiber failures, which keeps surviving channels and reconnects the
 // rest. uf must partition indices of p.Users; tree and led must reflect
-// the already-committed channels.
-func (p *Problem) ReconnectUnions(led *quantum.Ledger, uf *unionfind.UnionFind, tree *quantum.Tree) error {
-	return p.connectUnions(led, uf, tree, "reconnect")
+// the already-committed channels. A nil ctx never cancels; st (nil =
+// discard) collects the search work.
+func (p *Problem) ReconnectUnions(ctx context.Context, led *quantum.Ledger, uf *unionfind.UnionFind, tree *quantum.Tree, st *SolveStats) error {
+	return p.connectUnions(ctx, led, uf, tree, "reconnect", st)
 }
 
 // connectUnions repeatedly commits the maximum-rate channel joining two
@@ -82,9 +93,12 @@ func (p *Problem) ReconnectUnions(led *quantum.Ledger, uf *unionfind.UnionFind, 
 // tree in place and reports ErrInfeasible when users stay separated.
 // Both Algorithm 3 (phase 2) and Algorithm 4 reduce to this loop; they
 // differ only in how the unions were seeded.
-func (p *Problem) connectUnions(led *quantum.Ledger, uf *unionfind.UnionFind, tree *quantum.Tree, who string) error {
+func (p *Problem) connectUnions(ctx context.Context, led *quantum.Ledger, uf *unionfind.UnionFind, tree *quantum.Tree, who string, st *SolveStats) error {
 	for uf.Sets() > 1 {
-		best, ok := p.bestCrossUnionChannel(led, uf)
+		best, ok, err := p.bestCrossUnionChannel(ctx, led, uf, st)
+		if err != nil {
+			return fmt.Errorf("%s: %w", who, err)
+		}
 		if !ok {
 			return fmt.Errorf("%w: %d user groups cannot be joined under switch capacity (%s)",
 				ErrInfeasible, uf.Sets(), who)
@@ -92,8 +106,10 @@ func (p *Problem) connectUnions(led *quantum.Ledger, uf *unionfind.UnionFind, tr
 		if err := led.Reserve(best.ch.Nodes); err != nil {
 			panic(fmt.Sprintf("core: reserve after capacity-gated search: %v", err))
 		}
+		st.AddReservations(1)
 		uf.Union(best.ia, best.ib)
 		tree.Channels = append(tree.Channels, best.ch)
+		st.AddCommitted(1)
 	}
 	return nil
 }
@@ -101,19 +117,23 @@ func (p *Problem) connectUnions(led *quantum.Ledger, uf *unionfind.UnionFind, tr
 // bestCrossUnionChannel searches, under the ledger's residual capacity, the
 // maximum-rate channel whose endpoints lie in different unions. One
 // single-source Algorithm-1 run per user, as in the paper's complexity
-// analysis. Ties are broken by user-set index for determinism.
-func (p *Problem) bestCrossUnionChannel(led *quantum.Ledger, uf *unionfind.UnionFind) (candidate, bool) {
-	sc := p.acquireCtx()
+// analysis; ctx is checked before each single-source burst. Ties are broken
+// by user-set index for determinism.
+func (p *Problem) bestCrossUnionChannel(ctx context.Context, led *quantum.Ledger, uf *unionfind.UnionFind, st *SolveStats) (candidate, bool, error) {
+	sc := p.acquireCtx(st)
 	defer p.releaseCtx(sc)
 	var best candidate
 	found := false
 	for i, src := range p.Users {
-		sp := p.channelSearch(sc, src, led)
+		if err := ctxErr(ctx); err != nil {
+			return candidate{}, false, err
+		}
+		sp := p.channelSearch(sc, src, led, st)
 		for j := i + 1; j < len(p.Users); j++ {
 			if uf.Connected(i, j) {
 				continue
 			}
-			ch, ok := p.channelFromSearch(sc, sp, p.Users[j])
+			ch, ok := p.channelFromSearch(sc, sp, p.Users[j], st)
 			if !ok {
 				continue
 			}
@@ -123,5 +143,5 @@ func (p *Problem) bestCrossUnionChannel(led *quantum.Ledger, uf *unionfind.Union
 			}
 		}
 	}
-	return best, found
+	return best, found, nil
 }

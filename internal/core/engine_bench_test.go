@@ -98,14 +98,14 @@ func BenchmarkChannelSearch(b *testing.B) {
 	b.Run("pooled", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			sc := p.acquireCtx()
-			sp := p.channelSearch(sc, src, nil)
+			sc := p.acquireCtx(nil)
+			sp := p.channelSearch(sc, src, nil, nil)
 			found := 0
 			for _, u := range p.Users {
 				if u == src {
 					continue
 				}
-				if _, ok := p.channelFromSearch(sc, sp, u); ok {
+				if _, ok := p.channelFromSearch(sc, sp, u, nil); ok {
 					found++
 				}
 			}
@@ -118,11 +118,11 @@ func BenchmarkChannelSearch(b *testing.B) {
 
 	// The bare search, no channel extraction: the zero-allocation floor.
 	b.Run("kernel", func(b *testing.B) {
-		sc := p.acquireCtx()
+		sc := p.acquireCtx(nil)
 		defer p.releaseCtx(sc)
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			sp := p.channelSearch(sc, src, nil)
+			sp := p.channelSearch(sc, src, nil, nil)
 			if _, ok := sp.DistTo(p.Users[1]); !ok {
 				b.Fatal("user 1 unreachable")
 			}
@@ -137,7 +137,7 @@ func BenchmarkAllPairsChannels(b *testing.B) {
 	b.Run("sequential", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if cands := p.allPairsChannelsParallel(1); len(cands) == 0 {
+			if cands, err := p.allPairsChannelsParallel(nil, 1, nil); err != nil || len(cands) == 0 {
 				b.Fatal("no candidates")
 			}
 		}
@@ -145,7 +145,7 @@ func BenchmarkAllPairsChannels(b *testing.B) {
 	b.Run("parallel", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if cands := p.allPairsChannels(); len(cands) == 0 {
+			if cands, err := p.allPairsChannels(nil, nil); err != nil || len(cands) == 0 {
 				b.Fatal("no candidates")
 			}
 		}

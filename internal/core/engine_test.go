@@ -45,9 +45,16 @@ func TestAllPairsChannelsParallelDeterminism(t *testing.T) {
 	for trial := 0; trial < 10; trial++ {
 		g := randomNet(rng, 4+rng.Intn(8), 10+rng.Intn(30), 2+2*rng.Intn(6))
 		p := mustProblem(t, g, quantum.DefaultParams())
-		seq := p.allPairsChannelsParallel(1)
+		seq, err := p.allPairsChannelsParallel(nil, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for _, workers := range []int{2, 3, runtime.GOMAXPROCS(0), 64} {
-			sameCandidates(t, seq, p.allPairsChannelsParallel(workers))
+			par, err := p.allPairsChannelsParallel(nil, workers, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameCandidates(t, seq, par)
 		}
 	}
 }
@@ -125,8 +132,8 @@ func TestMaxRateChannelsPooledMatchesFresh(t *testing.T) {
 	for round := 0; round < 4; round++ {
 		for _, l := range []*quantum.Ledger{nil, led} {
 			for _, src := range warm.Users {
-				got := warm.MaxRateChannels(src, l)
-				want := mustProblem(t, g, quantum.DefaultParams()).MaxRateChannels(src, l)
+				got := warm.MaxRateChannels(src, l, nil)
+				want := mustProblem(t, g, quantum.DefaultParams()).MaxRateChannels(src, l, nil)
 				if len(got) != len(want) {
 					t.Fatalf("src %d: %d channels pooled vs %d fresh", src, len(got), len(want))
 				}

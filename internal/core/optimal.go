@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -31,9 +32,9 @@ type candidate struct {
 // connected under the static capacity rule, as Algorithm 2 step 1. The
 // single-source searches are independent by construction, so they fan out
 // across the machine; see allPairsChannelsParallel for the determinism
-// argument.
-func (p *Problem) allPairsChannels() []candidate {
-	return p.allPairsChannelsParallel(runtime.GOMAXPROCS(0))
+// argument. A cancelled ctx aborts between single-source bursts.
+func (p *Problem) allPairsChannels(ctx context.Context, st *SolveStats) ([]candidate, error) {
+	return p.allPairsChannelsParallel(ctx, runtime.GOMAXPROCS(0), st)
 }
 
 // allPairsChannelsParallel runs Algorithm 2 step 1 on up to workers
@@ -41,15 +42,16 @@ func (p *Problem) allPairsChannels() []candidate {
 // perSrc and searches on its own pooled scratch, and slots are merged in
 // ascending user order afterwards — so the candidate list (order, channels,
 // rates, bit-for-bit) is identical for every worker count, including the
-// sequential workers <= 1 path.
-func (p *Problem) allPairsChannelsParallel(workers int) []candidate {
+// sequential workers <= 1 path. Cancellation is checked before every
+// single-source burst; a cancelled ctx returns ctx.Err.
+func (p *Problem) allPairsChannelsParallel(ctx context.Context, workers int, st *SolveStats) ([]candidate, error) {
 	n := len(p.Users)
 	perSrc := make([][]candidate, n)
 	collect := func(sc *searchCtx, i int) {
-		sp := p.channelSearch(sc, p.Users[i], nil)
+		sp := p.channelSearch(sc, p.Users[i], nil, st)
 		var out []candidate
 		for j := i + 1; j < n; j++ {
-			if ch, ok := p.channelFromSearch(sc, sp, p.Users[j]); ok {
+			if ch, ok := p.channelFromSearch(sc, sp, p.Users[j], st); ok {
 				out = append(out, candidate{ch: ch, ia: i, ib: j})
 			}
 		}
@@ -61,8 +63,12 @@ func (p *Problem) allPairsChannelsParallel(workers int) []candidate {
 		workers = n - 1
 	}
 	if workers <= 1 {
-		sc := p.acquireCtx()
+		sc := p.acquireCtx(st)
 		for i := 0; i < n-1; i++ {
+			if err := ctxErr(ctx); err != nil {
+				p.releaseCtx(sc)
+				return nil, err
+			}
 			collect(sc, i)
 		}
 		p.releaseCtx(sc)
@@ -73,9 +79,12 @@ func (p *Problem) allPairsChannelsParallel(workers int) []candidate {
 		for w := 0; w < workers; w++ {
 			go func() {
 				defer wg.Done()
-				sc := p.acquireCtx()
+				sc := p.acquireCtx(st)
 				defer p.releaseCtx(sc)
 				for {
+					if ctxErr(ctx) != nil {
+						return
+					}
 					i := int(next.Add(1)) - 1
 					if i >= n-1 {
 						return
@@ -85,6 +94,9 @@ func (p *Problem) allPairsChannelsParallel(workers int) []candidate {
 			}()
 		}
 		wg.Wait()
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 	}
 
 	total := 0
@@ -95,7 +107,7 @@ func (p *Problem) allPairsChannelsParallel(workers int) []candidate {
 	for _, out := range perSrc {
 		cands = append(cands, out...)
 	}
-	return cands
+	return cands, nil
 }
 
 // sortByRateDesc orders candidates by descending entanglement rate, with a
@@ -112,16 +124,28 @@ func sortByRateDesc(cands []candidate) {
 	})
 }
 
-// SolveOptimal implements Algorithm 2. Under the sufficient condition
-// Q_r >= 2|U| for all switches (Problem.SufficientCapacity) the result is
-// the optimal MUERP solution (Theorem 3) and always respects capacity.
+// SolveOptimal runs Algorithm 2 with background context and no options; see
+// SolveOptimalContext for the full contract.
+func SolveOptimal(p *Problem) (*Solution, error) {
+	return SolveOptimalContext(context.Background(), p, nil)
+}
+
+// SolveOptimalContext implements Algorithm 2 under the SolveFunc contract.
+// Under the sufficient condition Q_r >= 2|U| for all switches
+// (Problem.SufficientCapacity) the result is the optimal MUERP solution
+// (Theorem 3) and always respects capacity.
 //
 // Without the condition the returned tree maximizes each pairwise channel
-// independently but may overload switches; Algorithm 3 (SolveConflictFree)
-// exists precisely to repair that. The only hard failure mode is users that
-// cannot be connected at all, reported as ErrInfeasible.
-func SolveOptimal(p *Problem) (*Solution, error) {
-	cands := p.allPairsChannels()
+// independently but may overload switches; Algorithm 3
+// (SolveConflictFreeContext) exists precisely to repair that. The only hard
+// failure mode is users that cannot be connected at all, reported as
+// ErrInfeasible.
+func SolveOptimalContext(ctx context.Context, p *Problem, opts *SolveOptions) (*Solution, error) {
+	st := opts.StatsSink()
+	cands, err := p.allPairsChannels(ctx, st)
+	if err != nil {
+		return nil, fmt.Errorf("algorithm 2: %w", err)
+	}
 	sortByRateDesc(cands)
 
 	uf := unionfind.New(len(p.Users))
@@ -132,6 +156,7 @@ func SolveOptimal(p *Problem) (*Solution, error) {
 		}
 		uf.Union(c.ia, c.ib)
 		tree.Channels = append(tree.Channels, c.ch)
+		st.AddCommitted(1)
 		if uf.Sets() == 1 {
 			break
 		}

@@ -92,7 +92,7 @@ func TestSolveOptimalTwoUsersPicksBestChannel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, ok := p.MaxRateChannel(0, 2, nil)
+	want, ok := p.MaxRateChannel(0, 2, nil, nil)
 	if !ok {
 		t.Fatal("no channel")
 	}

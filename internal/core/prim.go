@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -12,19 +13,27 @@ import (
 // committing the maximum-rate feasible channel from the in-tree user set U1
 // to the out-set U2 and charging the switches it crosses.
 
-// SolvePrim implements Algorithm 4. The rng selects the starting user as in
-// the paper ("randomly pick u0"); a nil rng deterministically starts from
-// the first user, which is convenient for tests.
+// SolvePrim runs Algorithm 4 with background context; the rng (nil = start
+// from the first user) is passed through as SolveOptions.RNG. See
+// SolvePrimContext for the full contract.
 func SolvePrim(p *Problem, rng *rand.Rand) (*Solution, error) {
+	return SolvePrimContext(context.Background(), p, &SolveOptions{RNG: rng})
+}
+
+// SolvePrimContext implements Algorithm 4 under the SolveFunc contract.
+// opts.RNG selects the starting user as in the paper ("randomly pick u0");
+// without one the solve deterministically starts from the first user, which
+// is convenient for tests.
+func SolvePrimContext(ctx context.Context, p *Problem, opts *SolveOptions) (*Solution, error) {
 	start := 0
-	if rng != nil {
+	if rng := opts.Rand(); rng != nil {
 		start = rng.Intn(len(p.Users))
 	}
-	return solvePrimFrom(p, start)
+	return solvePrimFrom(ctx, p, start, opts.StatsSink())
 }
 
 // solvePrimFrom runs Algorithm 4 starting from Users[start].
-func solvePrimFrom(p *Problem, start int) (*Solution, error) {
+func solvePrimFrom(ctx context.Context, p *Problem, start int, st *SolveStats) (*Solution, error) {
 	if start < 0 || start >= len(p.Users) {
 		return nil, fmt.Errorf("core: algorithm 4: start index %d out of range", start)
 	}
@@ -34,7 +43,10 @@ func solvePrimFrom(p *Problem, start int) (*Solution, error) {
 	tree := quantum.Tree{}
 
 	for committed := 0; committed < len(p.Users)-1; committed++ {
-		best, ok := p.bestFrontierChannel(led, inTree)
+		best, ok, err := p.bestFrontierChannel(ctx, led, inTree, st)
+		if err != nil {
+			return nil, fmt.Errorf("algorithm 4: %w", err)
+		}
 		if !ok {
 			remaining := len(p.Users) - 1 - committed
 			return nil, fmt.Errorf("%w: %d users unreachable under switch capacity (algorithm 4)",
@@ -43,17 +55,20 @@ func solvePrimFrom(p *Problem, start int) (*Solution, error) {
 		if err := led.Reserve(best.ch.Nodes); err != nil {
 			panic(fmt.Sprintf("core: reserve after capacity-gated search: %v", err))
 		}
+		st.AddReservations(1)
 		inTree[best.ib] = true
 		tree.Channels = append(tree.Channels, best.ch)
+		st.AddCommitted(1)
 	}
 	return &Solution{Tree: tree, Algorithm: "alg4", MeasurementFactor: 1}, nil
 }
 
 // bestFrontierChannel searches the maximum-rate channel from any user in U1
-// (inTree) to any user in U2, under residual capacity. The candidate's ia is
-// the in-tree endpoint's index and ib the out-set endpoint's.
-func (p *Problem) bestFrontierChannel(led *quantum.Ledger, inTree []bool) (candidate, bool) {
-	sc := p.acquireCtx()
+// (inTree) to any user in U2, under residual capacity; ctx is checked before
+// each single-source burst. The candidate's ia is the in-tree endpoint's
+// index and ib the out-set endpoint's.
+func (p *Problem) bestFrontierChannel(ctx context.Context, led *quantum.Ledger, inTree []bool, st *SolveStats) (candidate, bool, error) {
+	sc := p.acquireCtx(st)
 	defer p.releaseCtx(sc)
 	var best candidate
 	found := false
@@ -61,12 +76,15 @@ func (p *Problem) bestFrontierChannel(led *quantum.Ledger, inTree []bool) (candi
 		if !inTree[i] {
 			continue
 		}
-		sp := p.channelSearch(sc, src, led)
+		if err := ctxErr(ctx); err != nil {
+			return candidate{}, false, err
+		}
+		sp := p.channelSearch(sc, src, led, st)
 		for j, dst := range p.Users {
 			if inTree[j] {
 				continue
 			}
-			ch, ok := p.channelFromSearch(sc, sp, dst)
+			ch, ok := p.channelFromSearch(sc, sp, dst, st)
 			if !ok {
 				continue
 			}
@@ -77,5 +95,5 @@ func (p *Problem) bestFrontierChannel(led *quantum.Ledger, inTree []bool) (candi
 			}
 		}
 	}
-	return best, found
+	return best, found, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -59,7 +60,7 @@ func TestSolvePrimStartIndependenceOfValidity(t *testing.T) {
 	g := bottleneckNet(t, 2)
 	p := mustProblem(t, g, quantum.DefaultParams())
 	for start := range p.Users {
-		sol, err := solvePrimFrom(p, start)
+		sol, err := solvePrimFrom(context.Background(), p, start, nil)
 		if err != nil {
 			t.Fatalf("start %d: %v", start, err)
 		}
@@ -99,10 +100,10 @@ func TestSolvePrimInfeasible(t *testing.T) {
 func TestSolvePrimBadStart(t *testing.T) {
 	g := fourUserNet(t)
 	p := mustProblem(t, g, quantum.DefaultParams())
-	if _, err := solvePrimFrom(p, -1); err == nil {
+	if _, err := solvePrimFrom(context.Background(), p, -1, nil); err == nil {
 		t.Fatal("negative start accepted")
 	}
-	if _, err := solvePrimFrom(p, len(p.Users)); err == nil {
+	if _, err := solvePrimFrom(context.Background(), p, len(p.Users), nil); err == nil {
 		t.Fatal("out-of-range start accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -120,7 +121,7 @@ func TestSolverAdapters(t *testing.T) {
 	g := fourUserNet(t)
 	p := mustProblem(t, g, quantum.DefaultParams())
 	for _, s := range []Solver{Optimal(), ConflictFree(), Prim(0), Prim(11)} {
-		sol, err := s.Solve(p)
+		sol, err := s.Solve(context.Background(), p, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}

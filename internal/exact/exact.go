@@ -10,6 +10,7 @@
 package exact
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -39,8 +40,12 @@ var (
 )
 
 // Solve returns the optimal MUERP solution of p, or core.ErrInfeasible when
-// no capacity-feasible spanning tree exists.
-func Solve(p *core.Problem, lim Limits) (*core.Solution, error) {
+// no capacity-feasible spanning tree exists. The branch-and-bound recursion
+// checks ctx once per search iteration, so a cancelled context aborts an
+// in-flight solve promptly with ctx.Err(); a nil ctx never cancels. opts
+// follows the core SolveFunc contract (the search is deterministic, so only
+// opts.Stats is consulted).
+func Solve(ctx context.Context, p *core.Problem, lim Limits, opts *core.SolveOptions) (*core.Solution, error) {
 	if lim.MaxNodes <= 0 {
 		lim.MaxNodes = DefaultLimits().MaxNodes
 	}
@@ -50,10 +55,12 @@ func Solve(p *core.Problem, lim Limits) (*core.Solution, error) {
 	if n := p.Graph.NumNodes(); n > lim.MaxNodes {
 		return nil, fmt.Errorf("%w: %d nodes > %d", ErrTooLarge, n, lim.MaxNodes)
 	}
+	st := opts.StatsSink()
 	chans, err := enumerateChannels(p, lim.MaxChannels)
 	if err != nil {
 		return nil, err
 	}
+	st.AddConsidered(int64(len(chans)))
 	// Descending rate order makes the bound prune early.
 	sort.SliceStable(chans, func(i, j int) bool { return chans[i].Rate > chans[j].Rate })
 
@@ -68,6 +75,25 @@ func Solve(p *core.Problem, lim Limits) (*core.Solution, error) {
 	led := quantum.NewLedger(p.Graph)
 	var chosen []quantum.Channel
 
+	// stop latches the context's error; once set, every recursion level
+	// unwinds immediately (the per-level undo steps still run, so led and
+	// uf stay consistent — not that they are reused after an abort).
+	var stop error
+	done := func() bool {
+		if stop != nil {
+			return true
+		}
+		if ctx != nil {
+			select {
+			case <-ctx.Done():
+				stop = ctx.Err()
+				return true
+			default:
+			}
+		}
+		return false
+	}
+
 	// rec extends the current partial tree with channels from `start` on.
 	// uf tracks user connectivity; rate is the partial product.
 	var rec func(start int, uf *unionfind.UnionFind, rate float64)
@@ -81,6 +107,9 @@ func Solve(p *core.Problem, lim Limits) (*core.Solution, error) {
 		}
 		remaining := need - len(chosen)
 		for i := start; i <= len(chans)-remaining; i++ {
+			if done() {
+				return
+			}
 			ch := chans[i]
 			// Bound: even taking the best remaining channels cannot beat
 			// the incumbent (channels are rate-sorted, all rates <= ch's).
@@ -98,6 +127,7 @@ func Solve(p *core.Problem, lim Limits) (*core.Solution, error) {
 			if err := led.Reserve(ch.Nodes); err != nil {
 				panic(fmt.Sprintf("exact: reserve after CanCarry: %v", err))
 			}
+			st.AddReservations(1)
 			chosen = append(chosen, ch)
 			rec(i+1, uf, rate*ch.Rate)
 			// Undo.
@@ -107,10 +137,14 @@ func Solve(p *core.Problem, lim Limits) (*core.Solution, error) {
 		}
 	}
 	rec(0, unionfind.New(len(p.Users)), 1)
+	if stop != nil {
+		return nil, fmt.Errorf("exact: %w", stop)
+	}
 
 	if best < 0 {
 		return nil, fmt.Errorf("%w (exact search)", core.ErrInfeasible)
 	}
+	st.AddCommitted(int64(len(bestTree)))
 	tree := quantum.Tree{Channels: append([]quantum.Channel(nil), bestTree...)}
 	return &core.Solution{Tree: tree, Algorithm: "exact", MeasurementFactor: 1}, nil
 }
@@ -118,12 +152,12 @@ func Solve(p *core.Problem, lim Limits) (*core.Solution, error) {
 // OptimalityGap runs the exact solver and a heuristic side by side and
 // returns heuristicRate/optimalRate in [0, 1] (1 = the heuristic was
 // optimal; 0 = the heuristic failed on a feasible instance).
-func OptimalityGap(p *core.Problem, solver core.Solver, lim Limits) (float64, error) {
-	opt, err := Solve(p, lim)
+func OptimalityGap(ctx context.Context, p *core.Problem, solver core.Solver, lim Limits) (float64, error) {
+	opt, err := Solve(ctx, p, lim, nil)
 	if err != nil {
 		return 0, err
 	}
-	sol, err := solver.Solve(p)
+	sol, err := solver.Solve(ctx, p, nil)
 	if err != nil {
 		if errors.Is(err, core.ErrInfeasible) {
 			return 0, nil

@@ -1,6 +1,7 @@
 package exact
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -55,7 +56,7 @@ func TestSolveValidatesAndBeatsHeuristics(t *testing.T) {
 	for i := 0; i < 15; i++ {
 		g := smallNet(rng, 2+rng.Intn(2), 2+rng.Intn(3), 2+2*rng.Intn(2))
 		p := mustProblem(t, g)
-		opt, err := Solve(p, DefaultLimits())
+		opt, err := Solve(context.Background(), p, DefaultLimits(), nil)
 		if err != nil {
 			if errors.Is(err, core.ErrInfeasible) {
 				// Then the heuristics must fail too.
@@ -70,7 +71,7 @@ func TestSolveValidatesAndBeatsHeuristics(t *testing.T) {
 			t.Fatalf("net %d: exact tree invalid: %v", i, err)
 		}
 		for _, solver := range []core.Solver{core.ConflictFree(), core.Prim(0)} {
-			sol, err := solver.Solve(p)
+			sol, err := solver.Solve(context.Background(), p, nil)
 			if err != nil {
 				continue // a heuristic may fail where exact succeeds
 			}
@@ -89,7 +90,7 @@ func TestSolveMatchesTheoremThree(t *testing.T) {
 		users := 2 + rng.Intn(2)
 		g := smallNet(rng, users, 2+rng.Intn(3), 2*users)
 		p := mustProblem(t, g)
-		opt, err := Solve(p, DefaultLimits())
+		opt, err := Solve(context.Background(), p, DefaultLimits(), nil)
 		if err != nil {
 			continue
 		}
@@ -108,13 +109,13 @@ func TestSolveRespectsLimits(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	g := smallNet(rng, 3, 20, 4) // 23 nodes > default 16
 	p := mustProblem(t, g)
-	if _, err := Solve(p, DefaultLimits()); !errors.Is(err, ErrTooLarge) {
+	if _, err := Solve(context.Background(), p, DefaultLimits(), nil); !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("error = %v, want ErrTooLarge", err)
 	}
 	// Tiny channel cap triggers the blowup guard.
 	small := smallNet(rng, 3, 5, 4)
 	ps := mustProblem(t, small)
-	if _, err := Solve(ps, Limits{MaxNodes: 16, MaxChannels: 1}); !errors.Is(err, ErrChannelBlowup) {
+	if _, err := Solve(context.Background(), ps, Limits{MaxNodes: 16, MaxChannels: 1}, nil); !errors.Is(err, ErrChannelBlowup) {
 		t.Fatalf("error = %v, want ErrChannelBlowup", err)
 	}
 }
@@ -126,8 +127,34 @@ func TestSolveInfeasible(t *testing.T) {
 	g.AddUser(50, 50)
 	g.MustAddEdge(0, 1, 100)
 	p := mustProblem(t, g)
-	if _, err := Solve(p, DefaultLimits()); !errors.Is(err, core.ErrInfeasible) {
+	if _, err := Solve(context.Background(), p, DefaultLimits(), nil); !errors.Is(err, core.ErrInfeasible) {
 		t.Fatalf("error = %v, want ErrInfeasible", err)
+	}
+}
+
+// TestSolveCancellation pins the contract that a cancelled context aborts
+// the branch-and-bound within one search iteration: the recursion checks the
+// done channel at the top of every loop pass, latches the cause and unwinds
+// every level, so the caller gets ctx.Err() back wrapped.
+func TestSolveCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := smallNet(rng, 4, 8, 4)
+	p := mustProblem(t, g)
+
+	// Sanity: the instance is solvable when not cancelled...
+	if _, err := Solve(context.Background(), p, DefaultLimits(), nil); err != nil && !errors.Is(err, core.ErrInfeasible) {
+		t.Fatalf("uncancelled solve: %v", err)
+	}
+
+	// ...but an already-cancelled context aborts before any tree comes back.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sol, err := Solve(ctx, p, DefaultLimits(), nil)
+	if sol != nil {
+		t.Fatal("cancelled solve returned a solution")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
 	}
 }
 
@@ -135,7 +162,7 @@ func TestOptimalityGap(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	g := smallNet(rng, 3, 4, 2)
 	p := mustProblem(t, g)
-	gap, err := OptimalityGap(p, core.ConflictFree(), DefaultLimits())
+	gap, err := OptimalityGap(context.Background(), p, core.ConflictFree(), DefaultLimits())
 	if err != nil {
 		if errors.Is(err, core.ErrInfeasible) {
 			t.Skip("instance infeasible")
@@ -162,12 +189,12 @@ func TestQuickHeuristicGapsBounded(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		opt, err := Solve(p, DefaultLimits())
+		opt, err := Solve(context.Background(), p, DefaultLimits(), nil)
 		if err != nil {
 			return errors.Is(err, core.ErrInfeasible) || errors.Is(err, ErrChannelBlowup)
 		}
 		for _, solver := range []core.Solver{core.ConflictFree(), core.Prim(0)} {
-			sol, err := solver.Solve(p)
+			sol, err := solver.Solve(context.Background(), p, nil)
 			if err != nil {
 				if !errors.Is(err, core.ErrInfeasible) {
 					t.Logf("seed %d: %s unexpected error %v", seed, solver.Name(), err)

@@ -117,7 +117,7 @@ func TestMaxRateChannelUnconstrainedMatchesAlgorithmOne(t *testing.T) {
 	if !ok {
 		t.Fatal("no channel")
 	}
-	want, ok2 := p.MaxRateChannel(0, 2, nil)
+	want, ok2 := p.MaxRateChannel(0, 2, nil, nil)
 	if !ok2 {
 		t.Fatal("algorithm 1 found no channel")
 	}

@@ -36,7 +36,13 @@ type Searcher struct {
 	settled []bool
 	touched []NodeID
 	sp      ShortestPaths
+	relaxed int64
 }
+
+// LastRelaxed returns how many successful distance improvements the most
+// recent Search/SearchWeights run performed — the per-run work counter the
+// solve pipeline aggregates into core.SolveStats.
+func (s *Searcher) LastRelaxed() int64 { return s.relaxed }
 
 // NewSearcher returns a Searcher for g with all scratch state allocated up
 // front. The graph's topology and edge lengths must not change while the
@@ -98,6 +104,7 @@ func (s *Searcher) search(src NodeID, weights []float64, weight WeightFunc, tran
 	}
 	s.touched = s.touched[:0]
 	s.heap.Reset()
+	s.relaxed = 0
 
 	s.sp.Source = src
 	s.sp.dist[src] = 0
@@ -136,6 +143,7 @@ func (s *Searcher) search(src NodeID, weights []float64, weight WeightFunc, tran
 				panic(fmt.Sprintf("graph: negative or NaN edge weight %g on edge %d", w, h.edge))
 			}
 			if nd := d + w; nd < s.sp.dist[h.to] {
+				s.relaxed++
 				// First improvement from the virgin state marks the node
 				// touched; prev stays non-None from then on.
 				if s.sp.prev[h.to] == None {

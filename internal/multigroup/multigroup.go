@@ -15,6 +15,7 @@
 package multigroup
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -60,6 +61,8 @@ type Result struct {
 	Solutions map[string]*core.Solution
 	// Failed maps group name to the infeasibility reason.
 	Failed map[string]string
+	// Work sums the channel-search work counters over all groups.
+	Work core.SolveStats
 }
 
 // Rates returns each routed group's entanglement rate (failed groups score
@@ -121,6 +124,13 @@ var (
 // one application context in the model. Failed groups do not abort the
 // others; their reasons land in Result.Failed.
 func Route(g *graph.Graph, groups []Group, params quantum.Params, strategy Strategy) (Result, error) {
+	return RouteContext(context.Background(), g, groups, params, strategy)
+}
+
+// RouteContext is Route with cancellation: a cancelled ctx aborts between
+// channel-commit steps with its error. Per-step search work is summed into
+// Result.Work.
+func RouteContext(ctx context.Context, g *graph.Graph, groups []Group, params quantum.Params, strategy Strategy) (Result, error) {
 	if len(groups) == 0 {
 		return Result{}, ErrNoGroups
 	}
@@ -146,13 +156,17 @@ func Route(g *graph.Graph, groups []Group, params quantum.Params, strategy Strat
 	}
 
 	led := quantum.NewLedger(g)
+	var work core.SolveStats
 	switch strategy {
 	case Sequential:
 		// Whole groups in order; a stalled group is final (later groups
 		// have not reserved anything it could wait for).
 		for _, b := range builders {
 			for b.active() {
-				if !b.tryStep(led) {
+				if ctx != nil && ctx.Err() != nil {
+					return Result{}, fmt.Errorf("multigroup: %w", ctx.Err())
+				}
+				if !b.tryStep(led, &work) {
 					b.fail(led)
 				}
 			}
@@ -164,6 +178,9 @@ func Route(g *graph.Graph, groups []Group, params quantum.Params, strategy Strat
 		// progress is one stalled group declared failed (refunding its
 		// qubits), and the rest keep going.
 		for {
+			if ctx != nil && ctx.Err() != nil {
+				return Result{}, fmt.Errorf("multigroup: %w", ctx.Err())
+			}
 			progressed := false
 			active := 0
 			for _, b := range builders {
@@ -171,7 +188,7 @@ func Route(g *graph.Graph, groups []Group, params quantum.Params, strategy Strat
 					continue
 				}
 				active++
-				if b.tryStep(led) {
+				if b.tryStep(led, &work) {
 					progressed = true
 				}
 			}
@@ -194,6 +211,7 @@ func Route(g *graph.Graph, groups []Group, params quantum.Params, strategy Strat
 	res := Result{
 		Solutions: make(map[string]*core.Solution, len(builders)),
 		Failed:    make(map[string]string),
+		Work:      work,
 	}
 	for _, b := range builders {
 		if b.done() {
@@ -241,7 +259,7 @@ func (b *treeBuilder) active() bool { return !b.done() && b.failed == "" }
 // tryStep commits the group's best frontier channel under the shared
 // ledger. It returns false when no capacity-feasible channel exists right
 // now — a stall, which the strategy decides how to handle.
-func (b *treeBuilder) tryStep(led *quantum.Ledger) bool {
+func (b *treeBuilder) tryStep(led *quantum.Ledger, st *core.SolveStats) bool {
 	if !b.active() {
 		return false
 	}
@@ -251,7 +269,7 @@ func (b *treeBuilder) tryStep(led *quantum.Ledger) bool {
 		if !b.inTree[src] {
 			continue
 		}
-		for _, uc := range b.prob.MaxRateChannels(src, led) {
+		for _, uc := range b.prob.MaxRateChannels(src, led, st) {
 			if b.inTree[uc.Dst] {
 				continue
 			}
@@ -266,6 +284,8 @@ func (b *treeBuilder) tryStep(led *quantum.Ledger) bool {
 	if err := led.Reserve(best.Nodes); err != nil {
 		panic(fmt.Sprintf("multigroup: reserve after gated search: %v", err))
 	}
+	st.AddReservations(1)
+	st.AddCommitted(1)
 	a, c := best.Endpoints()
 	joined := c
 	if b.inTree[c] {

@@ -28,14 +28,14 @@ func TestFailedGroupReleasesReservations(t *testing.T) {
 	led := quantum.NewLedger(g)
 	b := newTreeBuilder("doomed", prob)
 
-	if !b.tryStep(led) {
+	if !b.tryStep(led, nil) {
 		t.Fatal("first step made no progress")
 	}
 	if led.Free(3) != 0 {
 		t.Fatalf("switch free = %d after commit, want 0", led.Free(3))
 	}
 	// Next step dead-ends on the isolated user: a stall.
-	if b.tryStep(led) {
+	if b.tryStep(led, nil) {
 		t.Fatal("step progressed toward an isolated user")
 	}
 	b.fail(led)
@@ -46,7 +46,7 @@ func TestFailedGroupReleasesReservations(t *testing.T) {
 		t.Fatalf("switch free = %d after failure, want full refund 2", led.Free(3))
 	}
 	// Failed builders are inert.
-	if b.active() || b.tryStep(led) {
+	if b.active() || b.tryStep(led, nil) {
 		t.Fatal("failed builder still active")
 	}
 }

@@ -95,7 +95,7 @@ func Boost(p *core.Problem, base *core.Solution, maxWidth int) (*Solution, error
 			if len(pc.Channels) >= maxWidth {
 				continue
 			}
-			ch, ok := p.MaxRateChannel(pc.A, pc.B, led)
+			ch, ok := p.MaxRateChannel(pc.A, pc.B, led, nil)
 			if !ok {
 				continue
 			}

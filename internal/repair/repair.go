@@ -7,12 +7,14 @@
 package repair
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"github.com/muerp/quantumnet/internal/core"
 	"github.com/muerp/quantumnet/internal/graph"
 	"github.com/muerp/quantumnet/internal/quantum"
+	"github.com/muerp/quantumnet/internal/solver"
 	"github.com/muerp/quantumnet/internal/unionfind"
 )
 
@@ -87,7 +89,7 @@ func AfterEdgeFailures(degraded *graph.Graph, users []graph.NodeID, sol *core.So
 		kept++
 	}
 
-	if err := prob.ReconnectUnions(led, uf, &tree); err != nil {
+	if err := prob.ReconnectUnions(context.Background(), led, uf, &tree, nil); err != nil {
 		return Outcome{}, err
 	}
 	out := &core.Solution{Tree: tree, Algorithm: "repair", MeasurementFactor: 1}
@@ -131,7 +133,11 @@ func CompareWithReroute(degraded *graph.Graph, users []graph.NodeID, sol *core.S
 	if err != nil {
 		return 0, 0, err
 	}
-	full, err := core.SolveConflictFree(prob)
+	entry, err := solver.Get("alg3")
+	if err != nil {
+		return 0, 0, err
+	}
+	full, err := entry.Solve(context.Background(), prob, nil)
 	switch {
 	case err == nil:
 		rerouted = full.Rate()

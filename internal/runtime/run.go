@@ -156,7 +156,7 @@ func runController(ctx context.Context, ctrl *controller) (Report, error) {
 	if err != nil {
 		return Report{}, fmt.Errorf("runtime: building problem: %w", err)
 	}
-	sol, err := ctrl.cfg.Solver.Solve(prob)
+	sol, err := ctrl.cfg.Solver.Solve(ctx, prob, nil)
 	if err != nil {
 		return Report{}, fmt.Errorf("runtime: routing: %w", err)
 	}

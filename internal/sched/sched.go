@@ -12,6 +12,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -53,6 +54,8 @@ type Report struct {
 	// PeakQubitsInUse is the maximum number of switch qubits simultaneously
 	// reserved at any arrival instant.
 	PeakQubitsInUse int
+	// Work sums the routing work counters over every admission attempt.
+	Work core.SolveStats
 }
 
 // AcceptanceRatio returns accepted / total (0 for an empty run).
@@ -91,10 +94,17 @@ type session struct {
 	tree     quantum.Tree
 }
 
-// Simulate runs the admission simulation. Requests may be given in any
-// order; they are processed by arrival time (ties by ID). The graph is not
-// modified.
+// Simulate runs the admission simulation with background context; see
+// SimulateContext.
 func Simulate(g *graph.Graph, requests []Request, params quantum.Params) (Report, error) {
+	return SimulateContext(context.Background(), g, requests, params)
+}
+
+// SimulateContext runs the admission simulation. Requests may be given in
+// any order; they are processed by arrival time (ties by ID). The graph is
+// not modified. A cancelled ctx aborts between routing steps with its
+// error; the per-request routing work is summed into Report.Work.
+func SimulateContext(ctx context.Context, g *graph.Graph, requests []Request, params quantum.Params) (Report, error) {
 	if g == nil {
 		return Report{}, errors.New("sched: nil graph")
 	}
@@ -132,7 +142,7 @@ func Simulate(g *graph.Graph, requests []Request, params quantum.Params) (Report
 		if err != nil {
 			return Report{}, fmt.Errorf("sched: request %d: %w", req.ID, err)
 		}
-		tree, err := core.BuildGreedyTree(prob, led)
+		tree, err := core.BuildGreedyTree(ctx, prob, led, &core.SolveOptions{Stats: &report.Work})
 		if err != nil {
 			if errors.Is(err, core.ErrInfeasible) {
 				report.Outcomes = append(report.Outcomes, Outcome{

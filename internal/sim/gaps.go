@@ -1,13 +1,14 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 
-	"github.com/muerp/quantumnet/internal/baseline"
 	"github.com/muerp/quantumnet/internal/core"
 	"github.com/muerp/quantumnet/internal/exact"
+	"github.com/muerp/quantumnet/internal/solver"
 	"github.com/muerp/quantumnet/internal/stats"
 	"github.com/muerp/quantumnet/internal/topology"
 )
@@ -48,16 +49,21 @@ func DefaultGapConfig() GapConfig {
 	}
 }
 
-// gapSolvers are the schemes whose quality is measured. Algorithm 2 is
-// excluded: it is only defined under sufficient capacity, where Theorem 3
-// already proves it optimal.
+// gapSolvers are the schemes whose quality is measured, resolved through
+// the solver registry. Algorithm 2 is excluded: it is only defined under
+// sufficient capacity, where Theorem 3 already proves it optimal. Algorithm
+// 4 runs without an RNG, i.e. deterministically from the first user.
 func gapSolvers() []core.Solver {
-	return []core.Solver{
-		core.ConflictFree(),
-		core.Prim(0),
-		baseline.EQCast(),
-		baseline.NFusion(),
+	names := []string{AlgConflictFree, AlgPrim, AlgEQCast, AlgNFusion}
+	out := make([]core.Solver, 0, len(names))
+	for _, n := range names {
+		e, err := solver.Get(n)
+		if err != nil {
+			panic(err) // built-in names; unreachable
+		}
+		out = append(out, e.Solver())
 	}
+	return out
 }
 
 // OptimalityGaps runs the study and returns one Series point per qubit
@@ -106,7 +112,7 @@ func gapPoint(cfg GapConfig, qubits int) (PointResult, error) {
 		if err != nil {
 			return PointResult{}, err
 		}
-		opt, err := exact.Solve(prob, cfg.Limits)
+		opt, err := exact.Solve(context.Background(), prob, cfg.Limits, nil)
 		if err != nil {
 			if errors.Is(err, core.ErrInfeasible) ||
 				errors.Is(err, exact.ErrTooLarge) || errors.Is(err, exact.ErrChannelBlowup) {
@@ -115,19 +121,19 @@ func gapPoint(cfg GapConfig, qubits int) (PointResult, error) {
 			}
 			return PointResult{}, err
 		}
-		for _, solver := range solvers {
-			sol, err := solver.Solve(prob)
+		for _, sv := range solvers {
+			sol, err := sv.Solve(context.Background(), prob, nil)
 			if err != nil {
 				if errors.Is(err, core.ErrInfeasible) {
-					gaps[solver.Name()] = append(gaps[solver.Name()], 0)
+					gaps[sv.Name()] = append(gaps[sv.Name()], 0)
 					continue
 				}
 				return PointResult{}, err
 			}
 			if err := prob.Validate(sol); err != nil {
-				return PointResult{}, fmt.Errorf("%s produced an invalid tree: %w", solver.Name(), err)
+				return PointResult{}, fmt.Errorf("%s produced an invalid tree: %w", sv.Name(), err)
 			}
-			gaps[solver.Name()] = append(gaps[solver.Name()], sol.Rate()/opt.Rate())
+			gaps[sv.Name()] = append(gaps[sv.Name()], sol.Rate()/opt.Rate())
 		}
 	}
 	point := PointResult{
@@ -135,8 +141,8 @@ func gapPoint(cfg GapConfig, qubits int) (PointResult, error) {
 		X:       float64(qubits),
 		Summary: make(map[string]stats.Summary, len(solvers)),
 	}
-	for _, solver := range solvers {
-		point.Summary[solver.Name()] = stats.Summarize(gaps[solver.Name()])
+	for _, sv := range solvers {
+		point.Summary[sv.Name()] = stats.Summarize(gaps[sv.Name()])
 	}
 	return point, nil
 }

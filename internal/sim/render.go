@@ -33,6 +33,29 @@ func (s Series) Table() string {
 	return b.String()
 }
 
+// WorkTable renders the per-solve work counters (Dijkstra runs, edges
+// relaxed, scratch-pool hits, channels considered vs. committed, ledger
+// reservations) summed over each point's batch, one block per algorithm.
+// Points or algorithms that recorded no work are skipped.
+func (s Series) WorkTable() string {
+	if len(s.Points) == 0 {
+		return ""
+	}
+	algs := sortedAlgorithms(s.Points[0])
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — solve work counters\n", s.Figure)
+	for _, p := range s.Points {
+		for _, a := range algs {
+			w, ok := p.Work[a]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, "%-16s %-10s %s\n", p.Label, a, w.String())
+		}
+	}
+	return b.String()
+}
+
 // WriteCSV writes the series as CSV: one row per point with mean, standard
 // deviation and infeasible-count columns per algorithm.
 func (s Series) WriteCSV(w io.Writer) error {

@@ -6,16 +6,16 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
 	"sync"
 
-	"github.com/muerp/quantumnet/internal/baseline"
 	"github.com/muerp/quantumnet/internal/core"
 	"github.com/muerp/quantumnet/internal/graph"
 	"github.com/muerp/quantumnet/internal/quantum"
+	"github.com/muerp/quantumnet/internal/solver"
 	"github.com/muerp/quantumnet/internal/stats"
 	"github.com/muerp/quantumnet/internal/topology"
 )
@@ -29,9 +29,16 @@ const (
 	AlgNFusion      = "nfusion"
 )
 
-// AllAlgorithms lists every implemented routing scheme in plot order.
+// AllAlgorithms lists the paper's evaluated routing schemes in plot order,
+// derived from the solver registry (the single source of truth for
+// algorithm ordering).
 func AllAlgorithms() []string {
-	return []string{AlgOptimal, AlgConflictFree, AlgPrim, AlgEQCast, AlgNFusion}
+	entries := solver.Defaults()
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.Name
+	}
+	return out
 }
 
 // Config parameterizes one experiment point: a topology distribution, the
@@ -47,7 +54,8 @@ type Config struct {
 	Seed int64
 	// Algorithms selects the schemes to run (defaults to AllAlgorithms).
 	Algorithms []string
-	// SufficientCapacityForAlg2 runs Algorithm 2 on a copy of each network
+	// SufficientCapacityForAlg2 runs sufficient-capacity schemes (Algorithm
+	// 2; solver.Entry.NeedsSufficientCapacity) on a copy of each network
 	// whose switches hold max(Q, 2|U|) qubits, the convention the paper
 	// states for its plots ("the switches in Algorithm 2 ha[ve] 2|U| = 20
 	// qubits"). Algorithm 2 is only defined under that condition; disabling
@@ -79,6 +87,9 @@ type TrialResult struct {
 	Rates map[string]float64
 	// Failures maps algorithm name to the infeasibility reason, when any.
 	Failures map[string]string
+	// Work maps algorithm name to the solve's work counters (Dijkstra runs,
+	// edges relaxed, pool traffic, channels, reservations).
+	Work map[string]core.SolveStats
 }
 
 // PointResult aggregates all trials at one sweep point.
@@ -90,7 +101,9 @@ type PointResult struct {
 	// Summary maps algorithm name to the distribution of its rates over
 	// the batch (zeros included, as in the paper).
 	Summary map[string]stats.Summary
-	Trials  []TrialResult
+	// Work maps algorithm name to its work counters summed over the batch.
+	Work   map[string]core.SolveStats
+	Trials []TrialResult
 }
 
 // MeanRate returns the batch-average rate of an algorithm at this point.
@@ -113,7 +126,12 @@ func RunPoint(label string, x float64, cfg Config) (PointResult, error) {
 	if len(algs) == 0 {
 		algs = AllAlgorithms()
 	}
-	point := PointResult{Label: label, X: x, Summary: make(map[string]stats.Summary, len(algs))}
+	point := PointResult{
+		Label:   label,
+		X:       x,
+		Summary: make(map[string]stats.Summary, len(algs)),
+		Work:    make(map[string]core.SolveStats, len(algs)),
+	}
 	trials, err := runBatch(cfg, algs)
 	if err != nil {
 		return PointResult{}, err
@@ -123,6 +141,10 @@ func RunPoint(label string, x float64, cfg Config) (PointResult, error) {
 	for _, trial := range trials {
 		for _, a := range algs {
 			rates[a] = append(rates[a], trial.Rates[a])
+			work := point.Work[a]
+			trialWork := trial.Work[a]
+			work.Merge(&trialWork)
+			point.Work[a] = work
 		}
 	}
 	for _, a := range algs {
@@ -181,42 +203,56 @@ func runBatch(cfg Config, algs []string) ([]TrialResult, error) {
 	return trials, nil
 }
 
-// runTrial runs every algorithm on one concrete network. rng drives the
-// only stochastic choice inside the algorithms (Algorithm 4's starting
-// user).
+// runTrial runs every algorithm on one concrete network, resolving each
+// through the solver registry. rng drives the only stochastic choice inside
+// the evaluated algorithms (Algorithm 4's starting user) and is handed only
+// to entries that declare ConsumesRNG, so the per-trial stream is consumed
+// identically regardless of which deterministic schemes also run.
 //
 // Problems are built once per trial and shared across the algorithms that
 // solve the same network view — one for the raw network and, when needed,
-// one for Algorithm 2's sufficient-capacity copy — so the pooled search
-// engine (precomputed edge weights, Dijkstra scratch) is amortized over
-// every solver in the trial instead of being rebuilt per algorithm.
+// one for the sufficient-capacity copy — so the pooled search engine
+// (precomputed edge weights, Dijkstra scratch) is amortized over every
+// solver in the trial instead of being rebuilt per algorithm.
 func runTrial(g *graph.Graph, cfg Config, algs []string, rng *rand.Rand) (TrialResult, error) {
 	trial := TrialResult{
 		Rates:    make(map[string]float64, len(algs)),
 		Failures: make(map[string]string, len(algs)),
+		Work:     make(map[string]core.SolveStats, len(algs)),
 	}
 	probs := make(map[string]*core.Problem, 2)
-	problem := func(alg string) (*core.Problem, error) {
+	problem := func(e solver.Entry) (*core.Problem, error) {
 		key := "base"
-		if alg == AlgOptimal {
-			key = alg
+		if e.NeedsSufficientCapacity && cfg.SufficientCapacityForAlg2 {
+			key = "sufficient"
 		}
 		if p, ok := probs[key]; ok {
 			return p, nil
 		}
-		p, err := problemFor(g, alg, cfg)
+		p, err := problemForEntry(g, e, cfg)
 		if err != nil {
 			return nil, err
 		}
 		probs[key] = p
 		return p, nil
 	}
+	ctx := context.Background()
 	for _, a := range algs {
-		prob, err := problem(a)
+		entry, err := solver.Get(a)
+		if err != nil {
+			return TrialResult{}, fmt.Errorf("sim: %w", err)
+		}
+		prob, err := problem(entry)
 		if err != nil {
 			return TrialResult{}, fmt.Errorf("algorithm %s: %w", a, err)
 		}
-		sol, err := solveProblem(prob, a, rng)
+		var work core.SolveStats
+		opts := &core.SolveOptions{Stats: &work}
+		if entry.ConsumesRNG {
+			opts.RNG = rng
+		}
+		sol, err := entry.Solve(ctx, prob, opts)
+		trial.Work[a] = work.Snapshot()
 		if err != nil {
 			if errors.Is(err, core.ErrInfeasible) {
 				trial.Rates[a] = 0
@@ -233,13 +269,14 @@ func runTrial(g *graph.Graph, cfg Config, algs []string, rng *rand.Rand) (TrialR
 	return trial, nil
 }
 
-// problemFor builds the problem instance a named algorithm solves on g
-// under the experiment conventions: Algorithm 2 gets the paper's
-// sufficient-capacity copy (switches raised to 2|U| qubits) when
-// cfg.SufficientCapacityForAlg2 is set, everything else solves g as drawn.
-func problemFor(g *graph.Graph, alg string, cfg Config) (*core.Problem, error) {
+// problemForEntry builds the problem instance a registered scheme solves on
+// g under the experiment conventions: schemes that need the paper's
+// sufficient-capacity condition get a copy with switches raised to 2|U|
+// qubits when cfg.SufficientCapacityForAlg2 is set, everything else solves
+// g as drawn.
+func problemForEntry(g *graph.Graph, e solver.Entry, cfg Config) (*core.Problem, error) {
 	target := g
-	if alg == AlgOptimal && cfg.SufficientCapacityForAlg2 {
+	if e.NeedsSufficientCapacity && cfg.SufficientCapacityForAlg2 {
 		need := 2 * len(g.Users())
 		boosted := false
 		for _, s := range g.Switches() {
@@ -260,35 +297,25 @@ func problemFor(g *graph.Graph, alg string, cfg Config) (*core.Problem, error) {
 	return core.AllUsersProblem(target, cfg.Params)
 }
 
-// solveProblem dispatches a prepared problem to the named algorithm. rng
-// is consumed only by Algorithm 4's random starting user.
-func solveProblem(prob *core.Problem, alg string, rng *rand.Rand) (*core.Solution, error) {
-	switch alg {
-	case AlgOptimal:
-		return core.SolveOptimal(prob)
-	case AlgConflictFree:
-		return core.SolveConflictFree(prob)
-	case AlgPrim:
-		return core.SolvePrim(prob, rng)
-	case AlgEQCast:
-		return baseline.SolveEQCast(prob)
-	case AlgNFusion:
-		return baseline.SolveNFusion(prob)
-	default:
-		return nil, fmt.Errorf("sim: unknown algorithm %q", alg)
-	}
-}
-
 // SolveOn runs one named algorithm on a concrete network under the
-// experiment conventions (Algorithm 2's sufficient-capacity copy,
-// Algorithm 4's random start). It returns the solution together with the
-// exact problem instance it solved, so callers can validate or inspect.
+// experiment conventions (the sufficient-capacity copy for schemes that
+// need it, the per-call rng for schemes that consume randomness). It
+// returns the solution together with the exact problem instance it solved,
+// so callers can validate or inspect.
 func SolveOn(g *graph.Graph, alg string, cfg Config, rng *rand.Rand) (*core.Solution, *core.Problem, error) {
-	prob, err := problemFor(g, alg, cfg)
+	entry, err := solver.Get(alg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sim: %w", err)
+	}
+	prob, err := problemForEntry(g, entry, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	sol, err := solveProblem(prob, alg, rng)
+	opts := &core.SolveOptions{}
+	if entry.ConsumesRNG {
+		opts.RNG = rng
+	}
+	sol, err := entry.Solve(context.Background(), prob, opts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -296,29 +323,12 @@ func SolveOn(g *graph.Graph, alg string, cfg Config, rng *rand.Rand) (*core.Solu
 }
 
 // sortedAlgorithms returns the point's algorithm names in canonical plot
-// order, restricted to those present.
+// order (the registry's), restricted to those present.
 func sortedAlgorithms(p PointResult) []string {
-	order := map[string]int{}
-	for i, a := range AllAlgorithms() {
-		order[a] = i
-	}
 	var algs []string
 	for a := range p.Summary {
 		algs = append(algs, a)
 	}
-	sort.Slice(algs, func(i, j int) bool {
-		oi, iOK := order[algs[i]]
-		oj, jOK := order[algs[j]]
-		switch {
-		case iOK && jOK:
-			return oi < oj
-		case iOK:
-			return true
-		case jOK:
-			return false
-		default:
-			return algs[i] < algs[j]
-		}
-	})
+	solver.SortCanonical(algs)
 	return algs
 }

@@ -1,0 +1,88 @@
+package solver
+
+import (
+	"context"
+
+	"github.com/muerp/quantumnet/internal/baseline"
+	"github.com/muerp/quantumnet/internal/core"
+	"github.com/muerp/quantumnet/internal/exact"
+)
+
+// init registers every built-in scheme. Registration order is the canonical
+// plot order: first the five schemes of the paper's evaluation, then the
+// ablation variants, then the exact ground-truth solver.
+func init() {
+	// The paper's evaluation (§V): three proposed algorithms, two baselines.
+	Register(Entry{
+		Name:                    "alg2",
+		Label:                   "Algorithm 2 (optimal)",
+		NeedsSufficientCapacity: true,
+		Default:                 true,
+		Solve:                   core.SolveOptimalContext,
+	})
+	Register(Entry{
+		Name:    "alg3",
+		Label:   "Algorithm 3 (conflict-free)",
+		Default: true,
+		Solve:   core.SolveConflictFreeContext,
+	})
+	Register(Entry{
+		Name:        "alg4",
+		Label:       "Algorithm 4 (Prim-based)",
+		ConsumesRNG: true,
+		Default:     true,
+		Solve:       core.SolvePrimContext,
+	})
+	Register(Entry{
+		Name:    "eqcast",
+		Label:   "E-Q-CAST",
+		Default: true,
+		Solve:   baseline.SolveEQCastContext,
+	})
+	Register(Entry{
+		Name:    "nfusion",
+		Label:   "N-FUSION",
+		Default: true,
+		Solve:   baseline.SolveNFusionContext,
+	})
+
+	// Ablation variants (not part of the paper; see core/ablation.go and
+	// baseline/ablation.go).
+	Register(Entry{
+		Name:  "alg3-ascending",
+		Label: "Algorithm 3 (ascending replay ablation)",
+		Solve: func(ctx context.Context, p *core.Problem, opts *core.SolveOptions) (*core.Solution, error) {
+			return core.SolveConflictFreeOrderedContext(ctx, p, core.ReplayAscending, opts)
+		},
+	})
+	Register(Entry{
+		Name:        "alg3-random",
+		Label:       "Algorithm 3 (random replay ablation)",
+		ConsumesRNG: true,
+		Solve: func(ctx context.Context, p *core.Problem, opts *core.SolveOptions) (*core.Solution, error) {
+			return core.SolveConflictFreeOrderedContext(ctx, p, core.ReplayRandom, opts)
+		},
+	})
+	Register(Entry{
+		Name:  "alg4-beststart",
+		Label: "Algorithm 4 (best-of-all-starts ablation)",
+		Solve: core.SolvePrimBestOfAllStartsContext,
+	})
+	Register(Entry{
+		Name:  "nfusion-firsthub",
+		Label: "N-FUSION (first-user hub ablation)",
+		Solve: func(ctx context.Context, p *core.Problem, opts *core.SolveOptions) (*core.Solution, error) {
+			return baseline.SolveNFusionFixedHubContext(ctx, p, p.Users[0], opts)
+		},
+	})
+
+	// Exact branch-and-bound ground truth (default safety limits; use the
+	// exact package directly for custom limits).
+	Register(Entry{
+		Name:  "exact",
+		Label: "Exact (branch-and-bound)",
+		Solve: func(ctx context.Context, p *core.Problem, opts *core.SolveOptions) (*core.Solution, error) {
+			return exact.Solve(ctx, p, exact.DefaultLimits(), opts)
+		},
+	})
+}

@@ -1,0 +1,171 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/muerp/quantumnet/internal/core"
+	"github.com/muerp/quantumnet/internal/graph"
+	"github.com/muerp/quantumnet/internal/quantum"
+)
+
+// paperOrder is the canonical plot order of the paper's evaluation; the
+// registry must lead with exactly these five, in this order.
+var paperOrder = []string{"alg2", "alg3", "alg4", "eqcast", "nfusion"}
+
+// starProblem builds a fixture every registered scheme can route: four
+// users around one high-capacity switch hub (16 qubits >= 2|U| = 8, so even
+// Algorithm 2's sufficient-capacity assumption holds without boosting).
+func starProblem(t *testing.T) *core.Problem {
+	t.Helper()
+	g := graph.New(5, 4)
+	hub := g.AddSwitch(0, 0, 16)
+	for i := 0; i < 4; i++ {
+		u := g.AddUser(100*float64(i+1), 0)
+		g.MustAddEdge(u, hub, 100)
+	}
+	p, err := core.AllUsersProblem(g, quantum.DefaultParams())
+	if err != nil {
+		t.Fatalf("AllUsersProblem: %v", err)
+	}
+	return p
+}
+
+// splitProblem builds a fixture no scheme can route: three users, one of
+// them disconnected from the other two.
+func splitProblem(t *testing.T) *core.Problem {
+	t.Helper()
+	g := graph.New(4, 2)
+	s := g.AddSwitch(0, 0, 16)
+	a := g.AddUser(-100, 0)
+	b := g.AddUser(100, 0)
+	g.AddUser(5000, 5000) // isolated
+	g.MustAddEdge(a, s, 100)
+	g.MustAddEdge(b, s, 100)
+	p, err := core.AllUsersProblem(g, quantum.DefaultParams())
+	if err != nil {
+		t.Fatalf("AllUsersProblem: %v", err)
+	}
+	return p
+}
+
+func TestRegistryNamesUniqueAndCanonical(t *testing.T) {
+	entries := List()
+	if len(entries) == 0 {
+		t.Fatal("empty registry")
+	}
+	seen := map[string]bool{}
+	for _, e := range entries {
+		if e.Name == "" {
+			t.Error("registered entry with empty name")
+		}
+		if e.Label == "" {
+			t.Errorf("entry %q has no label", e.Name)
+		}
+		if seen[e.Name] {
+			t.Errorf("duplicate name %q", e.Name)
+		}
+		seen[e.Name] = true
+	}
+	for i, want := range paperOrder {
+		if entries[i].Name != want {
+			t.Errorf("entry %d = %q, want %q (canonical plot order)", i, entries[i].Name, want)
+		}
+		if !entries[i].Default {
+			t.Errorf("paper scheme %q not marked Default", want)
+		}
+	}
+	defaults := Defaults()
+	if len(defaults) != len(paperOrder) {
+		t.Fatalf("Defaults() has %d entries, want %d", len(defaults), len(paperOrder))
+	}
+	for i, e := range defaults {
+		if e.Name != paperOrder[i] {
+			t.Errorf("Defaults()[%d] = %q, want %q", i, e.Name, paperOrder[i])
+		}
+	}
+}
+
+func TestSortCanonical(t *testing.T) {
+	names := []string{"zzz", "nfusion", "alg4", "aaa", "alg2"}
+	SortCanonical(names)
+	want := []string{"alg2", "alg4", "nfusion", "aaa", "zzz"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("SortCanonical = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestGetUnknownListsKnownNames(t *testing.T) {
+	_, err := Get("dijkstra")
+	if err == nil {
+		t.Fatal("Get(dijkstra) succeeded")
+	}
+	for _, want := range append([]string{"dijkstra"}, Names()...) {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestEveryRegisteredSolverSolvesFixture is the registry completeness check:
+// each entry must route the star fixture, produce a valid tree under its own
+// registered name, and record work counters.
+func TestEveryRegisteredSolverSolvesFixture(t *testing.T) {
+	for _, e := range List() {
+		t.Run(e.Name, func(t *testing.T) {
+			p := starProblem(t)
+			var work core.SolveStats
+			sol, err := e.Solve(context.Background(), p, &core.SolveOptions{Stats: &work})
+			if err != nil {
+				t.Fatalf("solve: %v", err)
+			}
+			if err := p.Validate(sol); err != nil {
+				t.Fatalf("invalid solution: %v", err)
+			}
+			if sol.Rate() <= 0 {
+				t.Errorf("rate = %g, want > 0", sol.Rate())
+			}
+			if work.ChannelsCommitted == 0 {
+				t.Error("solve committed channels but recorded none in SolveStats")
+			}
+		})
+	}
+}
+
+// TestEveryRegisteredSolverReportsInfeasible: on a fixture with a
+// disconnected user every entry must fail with a wrapped core.ErrInfeasible,
+// never a panic or a bare error.
+func TestEveryRegisteredSolverReportsInfeasible(t *testing.T) {
+	for _, e := range List() {
+		t.Run(e.Name, func(t *testing.T) {
+			p := splitProblem(t)
+			sol, err := e.Solve(context.Background(), p, nil)
+			if err == nil {
+				t.Fatalf("solve succeeded with rate %g on a disconnected instance", sol.Rate())
+			}
+			if !errors.Is(err, core.ErrInfeasible) {
+				t.Fatalf("error = %v, want wrapped core.ErrInfeasible", err)
+			}
+		})
+	}
+}
+
+// TestRegisteredSolversHonorCancellation: an already-cancelled context must
+// abort every entry before it routes anything.
+func TestRegisteredSolversHonorCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, e := range List() {
+		t.Run(e.Name, func(t *testing.T) {
+			p := starProblem(t)
+			_, err := e.Solve(ctx, p, nil)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("error = %v, want context.Canceled", err)
+			}
+		})
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"github.com/muerp/quantumnet/internal/runtime"
 	"github.com/muerp/quantumnet/internal/sched"
 	"github.com/muerp/quantumnet/internal/sim"
+	"github.com/muerp/quantumnet/internal/solver"
 	"github.com/muerp/quantumnet/internal/topology"
 	"github.com/muerp/quantumnet/internal/transport"
 	"github.com/muerp/quantumnet/internal/viz"
@@ -115,8 +116,15 @@ type (
 	Problem = core.Problem
 	// Solution is a routed entanglement tree.
 	Solution = core.Solution
-	// Solver is any routing scheme.
+	// Solver is any routing scheme under the context-aware solve contract:
+	// Solve(ctx, problem, options).
 	Solver = core.Solver
+	// SolveOptions carries per-solve inputs: an explicit RNG stream for
+	// stochastic schemes and an optional Stats sink. nil is valid.
+	SolveOptions = core.SolveOptions
+	// SolveStats counts the work one solve performed (Dijkstra runs, edges
+	// relaxed, pool traffic, channels considered/committed, reservations).
+	SolveStats = core.SolveStats
 )
 
 // ErrInfeasible reports that no entanglement tree exists under the
@@ -133,21 +141,50 @@ func AllUsersProblem(g *Graph, p Params) (*Problem, error) {
 	return core.AllUsersProblem(g, p)
 }
 
+// Solve routes p with the named algorithm from the solver registry —
+// "alg2", "alg3", "alg4", "eqcast", "nfusion", the ablation variants or
+// "exact" (see SolverNames). A cancelled ctx aborts a long solve with its
+// error; opts (nil is valid) carries the RNG for stochastic schemes and an
+// optional SolveStats sink. This is the canonical entry point; the
+// per-algorithm functions below are deprecated shims around it.
+func Solve(ctx context.Context, algorithm string, p *Problem, opts *SolveOptions) (*Solution, error) {
+	entry, err := solver.Get(algorithm)
+	if err != nil {
+		return nil, err
+	}
+	return entry.Solve(ctx, p, opts)
+}
+
+// SolverNames returns every registered algorithm name in canonical plot
+// order, valid as the algorithm argument of Solve.
+func SolverNames() []string { return solver.Names() }
+
 // SolveOptimal runs the paper's Algorithm 2 (optimal when every switch has
 // at least 2|U| qubits).
+//
+// Deprecated: use Solve(ctx, "alg2", p, opts) or core's context-aware
+// solvers; this shim keeps old callers compiling and never cancels.
 func SolveOptimal(p *Problem) (*Solution, error) { return core.SolveOptimal(p) }
 
 // SolveConflictFree runs the paper's Algorithm 3.
+//
+// Deprecated: use Solve(ctx, "alg3", p, opts).
 func SolveConflictFree(p *Problem) (*Solution, error) { return core.SolveConflictFree(p) }
 
 // SolvePrim runs the paper's Algorithm 4; rng picks the random starting
 // user (nil starts from the first user deterministically).
+//
+// Deprecated: use Solve(ctx, "alg4", p, &SolveOptions{RNG: rng}).
 func SolvePrim(p *Problem, rng *rand.Rand) (*Solution, error) { return core.SolvePrim(p, rng) }
 
 // SolveEQCast runs the E-Q-CAST evaluation baseline.
+//
+// Deprecated: use Solve(ctx, "eqcast", p, opts).
 func SolveEQCast(p *Problem) (*Solution, error) { return baseline.SolveEQCast(p) }
 
 // SolveNFusion runs the N-FUSION evaluation baseline.
+//
+// Deprecated: use Solve(ctx, "nfusion", p, opts).
 func SolveNFusion(p *Problem) (*Solution, error) { return baseline.SolveNFusion(p) }
 
 // ExactLimits bounds the exhaustive solver's search size.
@@ -156,24 +193,27 @@ type ExactLimits = exact.Limits
 // SolveExact returns the provably optimal MUERP solution of a *small*
 // instance by branch-and-bound exhaustive search (MUERP is NP-hard; the
 // limits guard against accidental exponential blowups). Use it as ground
-// truth when assessing the heuristics.
-func SolveExact(p *Problem, lim ExactLimits) (*Solution, error) { return exact.Solve(p, lim) }
+// truth when assessing the heuristics. A cancelled ctx aborts the search
+// within one iteration.
+func SolveExact(ctx context.Context, p *Problem, lim ExactLimits, opts *SolveOptions) (*Solution, error) {
+	return exact.Solve(ctx, p, lim, opts)
+}
 
 // OptimalityGap returns solver's achieved rate as a fraction of the exact
 // optimum on a small instance (1 = optimal).
-func OptimalityGap(p *Problem, solver Solver, lim ExactLimits) (float64, error) {
-	return exact.OptimalityGap(p, solver, lim)
+func OptimalityGap(ctx context.Context, p *Problem, sv Solver, lim ExactLimits) (float64, error) {
+	return exact.OptimalityGap(ctx, p, sv, lim)
 }
 
-// Solvers returns every routing scheme in the paper's plot order.
+// Solvers returns the paper's evaluated routing schemes in plot order,
+// derived from the solver registry (the single source of truth).
 func Solvers() []Solver {
-	return []Solver{
-		core.Optimal(),
-		core.ConflictFree(),
-		core.Prim(0),
-		baseline.EQCast(),
-		baseline.NFusion(),
+	entries := solver.Defaults()
+	out := make([]Solver, len(entries))
+	for i, e := range entries {
+		out[i] = e.Solver()
 	}
+	return out
 }
 
 // Monte Carlo validation.

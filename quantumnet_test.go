@@ -59,7 +59,7 @@ func TestFacadeAllSolversOnOneInstance(t *testing.T) {
 	}
 	rates := map[string]float64{}
 	for _, s := range quantumnet.Solvers() {
-		sol, err := s.Solve(prob)
+		sol, err := s.Solve(context.Background(), prob, nil)
 		if err != nil {
 			if errors.Is(err, quantumnet.ErrInfeasible) {
 				rates[s.Name()] = 0
