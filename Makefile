@@ -6,7 +6,7 @@ BENCH_OUT ?= BENCH_kernel.json
 BENCH_LABEL ?= current
 BENCH_TMP := $(shell mktemp -d 2>/dev/null || echo /tmp/quantumnet-bench)
 
-.PHONY: build test vet race tier1 bench list-solvers clean
+.PHONY: build test vet race tier1 bench bench-check list-solvers clean
 
 build:
 	$(GO) build ./...
@@ -18,9 +18,10 @@ vet:
 	$(GO) vet ./...
 
 # race runs the data-race detector over the packages with internal
-# concurrency: core's parallel all-pairs fan-out and sim's batch pool.
+# concurrency: core's parallel all-pairs fan-out, sim's batch pool, and
+# quantum's read-shared ledger (epoch reads during concurrent searches).
 race:
-	$(GO) test -race ./internal/core ./internal/sim
+	$(GO) test -race ./internal/core ./internal/sim ./internal/quantum
 
 # tier1 is the repo's merge gate: build, full tests, vet, race.
 tier1: build test vet race
@@ -33,10 +34,27 @@ bench:
 	mkdir -p $(BENCH_TMP)
 	$(GO) test -run '^$$' -bench 'BenchmarkAlgorithm1ChannelSearch|BenchmarkSolvers' \
 		-benchmem -benchtime 2s . | tee $(BENCH_TMP)/kernel.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkChannelSearch|BenchmarkConnectUnions' \
+		-benchmem -benchtime 2s ./internal/core | tee $(BENCH_TMP)/engine.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkFig5Topology|BenchmarkFig6aUsers' \
 		-benchmem -benchtime 2x . | tee $(BENCH_TMP)/figs.txt
 	$(GO) run ./cmd/benchreport -label $(BENCH_LABEL) -o $(BENCH_OUT) \
-		$(BENCH_TMP)/kernel.txt $(BENCH_TMP)/figs.txt
+		$(BENCH_TMP)/kernel.txt $(BENCH_TMP)/engine.txt $(BENCH_TMP)/figs.txt
+
+# bench-check is the CI perf smoke: a quick (short-benchtime) pass over the
+# solver and engine benches, diffed against the committed baseline's newest
+# run. Exits non-zero when any shared benchmark is >15% slower ns/op; names
+# are paired ignoring the -N procs suffix so the committed baseline works
+# across machines. See `benchreport -check`.
+bench-check:
+	mkdir -p $(BENCH_TMP)
+	$(GO) test -run '^$$' -bench 'BenchmarkAlgorithm1ChannelSearch|BenchmarkSolvers' \
+		-benchmem -benchtime 0.5s . | tee $(BENCH_TMP)/smoke-kernel.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkChannelSearch|BenchmarkConnectUnions' \
+		-benchmem -benchtime 0.5s ./internal/core | tee $(BENCH_TMP)/smoke-engine.txt
+	$(GO) run ./cmd/benchreport -label smoke -o $(BENCH_TMP)/smoke.json \
+		$(BENCH_TMP)/smoke-kernel.txt $(BENCH_TMP)/smoke-engine.txt
+	$(GO) run ./cmd/benchreport -check $(BENCH_OUT) $(BENCH_TMP)/smoke.json
 
 # list-solvers prints every routing scheme in the registry, with labels and
 # per-scheme assumptions (sufficient capacity, randomness).

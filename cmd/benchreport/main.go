@@ -1,5 +1,6 @@
 // Command benchreport folds `go test -bench` text output into the repo's
-// committed benchmark-results file (BENCH_kernel.json by default).
+// committed benchmark-results file (BENCH_kernel.json by default), and
+// diffs two results files for CI regression gating.
 //
 // Usage:
 //
@@ -9,10 +10,20 @@
 // All input files are concatenated into one labeled run; a run with the
 // same label already in the output file is replaced, so `make bench` can
 // refresh "current" idempotently while "seed" stays untouched.
+//
+// Diff mode:
+//
+//	go run ./cmd/benchreport -check old.json new.json
+//
+// compares the newest run in each file benchmark-by-benchmark and exits
+// non-zero when any benchmark present in both slowed down by more than
+// -threshold (default 0.15 = 15% ns/op). Benchmarks only one side has are
+// reported but never fail the check.
 package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"os"
 
@@ -24,7 +35,17 @@ func main() {
 	log.SetPrefix("benchreport: ")
 	label := flag.String("label", "current", "label for this run in the results file")
 	out := flag.String("o", "BENCH_kernel.json", "results file to update")
+	check := flag.Bool("check", false, "diff mode: compare two results files instead of ingesting bench output")
+	threshold := flag.Float64("threshold", 0.15, "with -check, fail on ns/op regressions above this fraction")
 	flag.Parse()
+
+	if *check {
+		if flag.NArg() != 2 {
+			log.Fatal("usage: benchreport -check [-threshold FRAC] old.json new.json")
+		}
+		os.Exit(runCheck(flag.Arg(0), flag.Arg(1), *threshold))
+	}
+
 	if flag.NArg() == 0 {
 		log.Fatal("usage: benchreport [-label NAME] [-o FILE] bench-output.txt...")
 	}
@@ -60,4 +81,49 @@ func main() {
 	}
 	log.Printf("wrote %d results as %q to %s (%d runs total)",
 		len(merged.Results), *label, *out, len(file.Runs))
+}
+
+// runCheck diffs the newest run of two results files and returns the
+// process exit code: 0 when no shared benchmark regressed past the
+// threshold, 1 otherwise.
+func runCheck(oldPath, newPath string, threshold float64) int {
+	oldRun := lastRun(oldPath)
+	newRun := lastRun(newPath)
+	deltas := benchio.Compare(oldRun, newRun)
+	if len(deltas) == 0 {
+		log.Fatalf("no shared benchmarks between %s (%q) and %s (%q)",
+			oldPath, oldRun.Label, newPath, newRun.Label)
+	}
+
+	fmt.Printf("comparing %q (%s) -> %q (%s), threshold %+.0f%%\n",
+		oldRun.Label, oldPath, newRun.Label, newPath, threshold*100)
+	regressed := 0
+	for _, d := range deltas {
+		verdict := "ok"
+		if d.Regressed(threshold) {
+			verdict = "REGRESSED"
+			regressed++
+		}
+		fmt.Printf("  %-60s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n",
+			d.Name, d.OldNs, d.NewNs, (d.Ratio()-1)*100, verdict)
+	}
+	if regressed > 0 {
+		fmt.Printf("%d of %d shared benchmarks regressed >%.0f%%\n",
+			regressed, len(deltas), threshold*100)
+		return 1
+	}
+	fmt.Printf("all %d shared benchmarks within threshold\n", len(deltas))
+	return 0
+}
+
+// lastRun loads a results file and returns its newest (last) run.
+func lastRun(path string) benchio.Report {
+	f, err := benchio.Load(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(f.Runs) == 0 {
+		log.Fatalf("%s holds no benchmark runs", path)
+	}
+	return f.Runs[len(f.Runs)-1]
 }

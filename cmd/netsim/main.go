@@ -13,6 +13,7 @@
 //	-alg        routing algorithm (default alg3)
 //	-rounds     synchronized entanglement rounds (default 10000)
 //	-transport  mem | tcp (default mem)
+//	-parallel   OS-thread cap for the node goroutines (default all CPUs)
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	goruntime "runtime"
 	"time"
 
 	"github.com/muerp/quantumnet/internal/core"
@@ -52,10 +54,17 @@ func run(args []string, out io.Writer) error {
 		rounds   = fs.Int("rounds", 10000, "entanglement rounds")
 		transp   = fs.String("transport", "mem", "message plane: mem or tcp")
 		timeout  = fs.Duration("timeout", 2*time.Minute, "execution timeout")
+		parallel = fs.Int("parallel", goruntime.GOMAXPROCS(0), "OS-thread cap for the node goroutines")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *parallel < 1 {
+		return fmt.Errorf("-parallel must be >= 1, got %d", *parallel)
+	}
+	// Every node runs as a goroutine, so the knob is the scheduler's thread
+	// cap rather than a worker pool size.
+	goruntime.GOMAXPROCS(*parallel)
 
 	m, err := topology.ParseModel(*model)
 	if err != nil {

@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -148,6 +149,76 @@ func (f *File) Upsert(rep Report) {
 		}
 	}
 	f.Runs = append(f.Runs, rep)
+}
+
+// Delta is one benchmark present in both of two compared runs, with its
+// ns/op before and after.
+type Delta struct {
+	Name  string
+	OldNs float64
+	NewNs float64
+}
+
+// Ratio is NewNs/OldNs: >1 means the benchmark got slower. A zero or
+// negative old value (malformed input) yields +Inf so it is never silently
+// treated as an improvement.
+func (d Delta) Ratio() float64 {
+	if d.OldNs <= 0 {
+		return math.Inf(1)
+	}
+	return d.NewNs / d.OldNs
+}
+
+// Regressed reports whether the benchmark slowed down by more than the
+// given fraction (0.15 = fail on >15% slower).
+func (d Delta) Regressed(threshold float64) bool {
+	return d.Ratio() > 1+threshold
+}
+
+// Compare pairs benchmarks by name across two runs and returns a Delta for
+// every name present in both, in the old run's order. Names are matched
+// with the `-N` GOMAXPROCS suffix stripped, so a baseline recorded on one
+// core count still pairs with a run from another machine. Benchmarks only
+// one side has are ignored: a renamed or newly added bench is not a
+// regression. Duplicate names keep the first occurrence on each side.
+func Compare(old, new Report) []Delta {
+	newNs := make(map[string]float64, len(new.Results))
+	for _, r := range new.Results {
+		if _, dup := newNs[baseName(r.Name)]; !dup {
+			newNs[baseName(r.Name)] = r.NsPerOp
+		}
+	}
+	var deltas []Delta
+	seen := make(map[string]bool, len(old.Results))
+	for _, r := range old.Results {
+		key := baseName(r.Name)
+		ns, shared := newNs[key]
+		if !shared || seen[key] {
+			continue
+		}
+		seen[key] = true
+		deltas = append(deltas, Delta{Name: r.Name, OldNs: r.NsPerOp, NewNs: ns})
+	}
+	return deltas
+}
+
+// baseName strips the trailing -N procs suffix `go test -bench` appends
+// ("BenchmarkX/sub-8" -> "BenchmarkX/sub").
+func baseName(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	suffix := name[i+1:]
+	if suffix == "" {
+		return name
+	}
+	for _, c := range suffix {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
 }
 
 // Save writes the file as indented JSON with a trailing newline.

@@ -1,6 +1,7 @@
 package benchio
 
 import (
+	"math"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -83,5 +84,78 @@ func TestLoadUpsertSaveRoundTrip(t *testing.T) {
 	again.Upsert(Report{Label: "current", Results: []Result{{Name: "B", Iterations: 5, NsPerOp: 0.5}}})
 	if len(again.Runs) != 2 || again.Runs[1].Results[0].Iterations != 5 {
 		t.Fatalf("upsert did not replace: %+v", again.Runs)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	old := Report{Label: "seed", Results: []Result{
+		{Name: "BenchmarkA-8", NsPerOp: 100},
+		{Name: "BenchmarkB-8", NsPerOp: 200},
+		{Name: "BenchmarkGone-8", NsPerOp: 50},
+	}}
+	cur := Report{Label: "current", Results: []Result{
+		{Name: "BenchmarkB-8", NsPerOp: 250},
+		{Name: "BenchmarkA-8", NsPerOp: 90},
+		{Name: "BenchmarkNew-8", NsPerOp: 7},
+	}}
+	deltas := Compare(old, cur)
+	if len(deltas) != 2 {
+		t.Fatalf("want 2 shared benchmarks, got %+v", deltas)
+	}
+	// Old-run order, only shared names.
+	if deltas[0].Name != "BenchmarkA-8" || deltas[1].Name != "BenchmarkB-8" {
+		t.Fatalf("wrong pairing order: %+v", deltas)
+	}
+	if deltas[0].Regressed(0.15) {
+		t.Errorf("A sped up 100->90 but flagged as regressed")
+	}
+	if !deltas[1].Regressed(0.15) {
+		t.Errorf("B slowed 200->250 (+25%%) but passed the 15%% gate")
+	}
+	if deltas[1].Regressed(0.30) {
+		t.Errorf("B +25%% should pass a 30%% gate")
+	}
+}
+
+func TestCompareDuplicateAndBadValues(t *testing.T) {
+	old := Report{Results: []Result{
+		{Name: "BenchmarkDup-8", NsPerOp: 10},
+		{Name: "BenchmarkDup-8", NsPerOp: 99},
+		{Name: "BenchmarkZero-8", NsPerOp: 0},
+	}}
+	cur := Report{Results: []Result{
+		{Name: "BenchmarkDup-8", NsPerOp: 10},
+		{Name: "BenchmarkZero-8", NsPerOp: 5},
+	}}
+	deltas := Compare(old, cur)
+	if len(deltas) != 2 {
+		t.Fatalf("want dup collapsed to one delta + zero entry, got %+v", deltas)
+	}
+	if deltas[0].OldNs != 10 {
+		t.Errorf("duplicate name should keep first occurrence, got OldNs=%v", deltas[0].OldNs)
+	}
+	// A zero baseline must read as a regression, never an improvement.
+	if !deltas[1].Regressed(0.15) || !math.IsInf(deltas[1].Ratio(), 1) {
+		t.Errorf("zero-baseline delta = %+v; want +Inf ratio, regressed", deltas[1])
+	}
+}
+
+func TestComparePairsAcrossProcSuffixes(t *testing.T) {
+	old := Report{Results: []Result{{Name: "BenchmarkA/sub", NsPerOp: 100}}}
+	cur := Report{Results: []Result{{Name: "BenchmarkA/sub-8", NsPerOp: 90}}}
+	deltas := Compare(old, cur)
+	if len(deltas) != 1 || deltas[0].NewNs != 90 {
+		t.Fatalf("suffix-insensitive pairing failed: %+v", deltas)
+	}
+	// A digits-only final path element is not a procs suffix victim: the
+	// whole name minus suffix must still be distinct names.
+	if got := baseName("BenchmarkA/sub-8"); got != "BenchmarkA/sub" {
+		t.Errorf("baseName = %q", got)
+	}
+	if got := baseName("BenchmarkA"); got != "BenchmarkA" {
+		t.Errorf("baseName without suffix = %q", got)
+	}
+	if got := baseName("BenchmarkA-x8"); got != "BenchmarkA-x8" {
+		t.Errorf("baseName with non-numeric suffix = %q", got)
 	}
 }

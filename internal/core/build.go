@@ -32,8 +32,16 @@ func BuildGreedyTree(ctx context.Context, p *Problem, led *quantum.Ledger, opts 
 			led.Release(ch.Nodes)
 		}
 	}
-	for committed := 0; committed < len(p.Users)-1; committed++ {
-		best, ok, err := p.bestFrontierChannel(ctx, led, inTree, st)
+	// The frontier search is incremental, exactly as in solvePrimFrom; the
+	// rollback Releases only run after the loop is done with the cache, so
+	// the generation bump they may cause never reaches a live entry.
+	cache, err := p.newCandCache(ctx, led, frontierTargets{inTree: inTree}, st)
+	if err != nil {
+		return quantum.Tree{}, fmt.Errorf("core: BuildGreedyTree: %w", err)
+	}
+	rounds := len(p.Users) - 1
+	for committed := 0; committed < rounds; committed++ {
+		best, ok, err := cache.best(ctx, st)
 		if err != nil {
 			rollback()
 			return quantum.Tree{}, fmt.Errorf("core: BuildGreedyTree: %w", err)
@@ -41,7 +49,7 @@ func BuildGreedyTree(ctx context.Context, p *Problem, led *quantum.Ledger, opts 
 		if !ok {
 			rollback()
 			return quantum.Tree{}, fmt.Errorf("%w: %d users unreachable under shared capacity",
-				ErrInfeasible, len(p.Users)-1-committed)
+				ErrInfeasible, rounds-committed)
 		}
 		if err := led.Reserve(best.ch.Nodes); err != nil {
 			rollback()
@@ -51,7 +59,20 @@ func BuildGreedyTree(ctx context.Context, p *Problem, led *quantum.Ledger, opts 
 		inTree[best.ib] = true
 		tree.Channels = append(tree.Channels, best.ch)
 		st.AddCommitted(1)
+		if committed+1 < rounds {
+			// Re-seed the consumed winning source and seed the newly in-tree
+			// user, as in solvePrimFrom.
+			if err := cache.add(ctx, best.ia, st); err != nil {
+				rollback()
+				return quantum.Tree{}, fmt.Errorf("core: BuildGreedyTree: %w", err)
+			}
+			if err := cache.add(ctx, best.ib, st); err != nil {
+				rollback()
+				return quantum.Tree{}, fmt.Errorf("core: BuildGreedyTree: %w", err)
+			}
+		}
 	}
+	st.AddSearchesSaved(int64(rounds)*int64(rounds+1)/2 - cache.searches)
 	return tree, nil
 }
 

@@ -93,9 +93,24 @@ func (p *Problem) ReconnectUnions(ctx context.Context, led *quantum.Ledger, uf *
 // tree in place and reports ErrInfeasible when users stay separated.
 // Both Algorithm 3 (phase 2) and Algorithm 4 reduce to this loop; they
 // differ only in how the unions were seeded.
+//
+// The search is incremental (see incremental.go): the first round seeds a
+// per-source candidate cache, and later rounds pop lazily instead of
+// re-sweeping every user, which is why alg3/alg4 no longer cost |U|
+// Dijkstra runs per committed channel. The committed tree is bit-identical
+// to the exhaustive sweep's (bestCrossUnionChannelExhaustive), which
+// TestConnectUnionsLazyMatchesExhaustive checks on randomized networks.
 func (p *Problem) connectUnions(ctx context.Context, led *quantum.Ledger, uf *unionfind.UnionFind, tree *quantum.Tree, who string, st *SolveStats) error {
+	if uf.Sets() <= 1 {
+		return nil
+	}
+	cache, err := p.newCandCache(ctx, led, crossUnionTargets{uf: uf}, st)
+	if err != nil {
+		return fmt.Errorf("%s: %w", who, err)
+	}
+	rounds := int64(0)
 	for uf.Sets() > 1 {
-		best, ok, err := p.bestCrossUnionChannel(ctx, led, uf, st)
+		best, ok, err := cache.best(ctx, st)
 		if err != nil {
 			return fmt.Errorf("%s: %w", who, err)
 		}
@@ -110,16 +125,31 @@ func (p *Problem) connectUnions(ctx context.Context, led *quantum.Ledger, uf *un
 		uf.Union(best.ia, best.ib)
 		tree.Channels = append(tree.Channels, best.ch)
 		st.AddCommitted(1)
+		rounds++
+		if uf.Sets() > 1 {
+			// Committing consumed the winning source's entry; re-seed it with
+			// that source's next-best candidate under the merged unions.
+			if err := cache.add(ctx, best.ia, st); err != nil {
+				return fmt.Errorf("%s: %w", who, err)
+			}
+		}
 	}
+	// The exhaustive sweep would have run len(Users) single-source searches
+	// per committed channel.
+	st.AddSearchesSaved(rounds*int64(len(p.Users)) - cache.searches)
 	return nil
 }
 
-// bestCrossUnionChannel searches, under the ledger's residual capacity, the
-// maximum-rate channel whose endpoints lie in different unions. One
-// single-source Algorithm-1 run per user, as in the paper's complexity
-// analysis; ctx is checked before each single-source burst. Ties are broken
-// by user-set index for determinism.
-func (p *Problem) bestCrossUnionChannel(ctx context.Context, led *quantum.Ledger, uf *unionfind.UnionFind, st *SolveStats) (candidate, bool, error) {
+// bestCrossUnionChannelExhaustive searches, under the ledger's residual
+// capacity, the maximum-rate channel whose endpoints lie in different
+// unions, with one single-source Algorithm-1 run per user as in the paper's
+// complexity analysis; ctx is checked before each single-source burst. Ties
+// are broken by user-set index for determinism.
+//
+// It is the reference the lazy cache must agree with candidate-for-candidate
+// and is kept for the differential tests; production loops go through
+// candCache instead.
+func (p *Problem) bestCrossUnionChannelExhaustive(ctx context.Context, led *quantum.Ledger, uf *unionfind.UnionFind, st *SolveStats) (candidate, bool, error) {
 	sc := p.acquireCtx(st)
 	defer p.releaseCtx(sc)
 	var best candidate
@@ -144,4 +174,28 @@ func (p *Problem) bestCrossUnionChannel(ctx context.Context, led *quantum.Ledger
 		}
 	}
 	return best, found, nil
+}
+
+// connectUnionsExhaustive is connectUnions driven by the exhaustive
+// per-round sweep, the pre-incremental behavior retained as the oracle for
+// the lazy-vs-exhaustive differential tests.
+func (p *Problem) connectUnionsExhaustive(ctx context.Context, led *quantum.Ledger, uf *unionfind.UnionFind, tree *quantum.Tree, who string, st *SolveStats) error {
+	for uf.Sets() > 1 {
+		best, ok, err := p.bestCrossUnionChannelExhaustive(ctx, led, uf, st)
+		if err != nil {
+			return fmt.Errorf("%s: %w", who, err)
+		}
+		if !ok {
+			return fmt.Errorf("%w: %d user groups cannot be joined under switch capacity (%s)",
+				ErrInfeasible, uf.Sets(), who)
+		}
+		if err := led.Reserve(best.ch.Nodes); err != nil {
+			panic(fmt.Sprintf("core: reserve after capacity-gated search: %v", err))
+		}
+		st.AddReservations(1)
+		uf.Union(best.ia, best.ib)
+		tree.Channels = append(tree.Channels, best.ch)
+		st.AddCommitted(1)
+	}
+	return nil
 }

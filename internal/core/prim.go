@@ -33,6 +33,14 @@ func SolvePrimContext(ctx context.Context, p *Problem, opts *SolveOptions) (*Sol
 }
 
 // solvePrimFrom runs Algorithm 4 starting from Users[start].
+//
+// The U1→U2 search is incremental (see incremental.go): the start user
+// seeds a one-entry candidate cache, each committed channel adds one fresh
+// search for the user it pulled into the tree, and stale entries re-search
+// lazily — instead of the exhaustive |U1| single-source runs per round,
+// which made Algorithm 4 quadratic in searches. The committed tree is
+// bit-identical to the exhaustive sweep's (bestFrontierChannelExhaustive),
+// which TestPrimLazyMatchesExhaustive checks on randomized networks.
 func solvePrimFrom(ctx context.Context, p *Problem, start int, st *SolveStats) (*Solution, error) {
 	if start < 0 || start >= len(p.Users) {
 		return nil, fmt.Errorf("core: algorithm 4: start index %d out of range", start)
@@ -42,13 +50,18 @@ func solvePrimFrom(ctx context.Context, p *Problem, start int, st *SolveStats) (
 	inTree[start] = true
 	tree := quantum.Tree{}
 
-	for committed := 0; committed < len(p.Users)-1; committed++ {
-		best, ok, err := p.bestFrontierChannel(ctx, led, inTree, st)
+	cache, err := p.newCandCache(ctx, led, frontierTargets{inTree: inTree}, st)
+	if err != nil {
+		return nil, fmt.Errorf("algorithm 4: %w", err)
+	}
+	rounds := len(p.Users) - 1
+	for committed := 0; committed < rounds; committed++ {
+		best, ok, err := cache.best(ctx, st)
 		if err != nil {
 			return nil, fmt.Errorf("algorithm 4: %w", err)
 		}
 		if !ok {
-			remaining := len(p.Users) - 1 - committed
+			remaining := rounds - committed
 			return nil, fmt.Errorf("%w: %d users unreachable under switch capacity (algorithm 4)",
 				ErrInfeasible, remaining)
 		}
@@ -59,15 +72,33 @@ func solvePrimFrom(ctx context.Context, p *Problem, start int, st *SolveStats) (
 		inTree[best.ib] = true
 		tree.Channels = append(tree.Channels, best.ch)
 		st.AddCommitted(1)
+		if committed+1 < rounds {
+			// Committing consumed the winning source's entry and promoted
+			// best.ib into U1: re-seed the former with its next-best
+			// candidate and seed the latter as a brand-new source.
+			if err := cache.add(ctx, best.ia, st); err != nil {
+				return nil, fmt.Errorf("algorithm 4: %w", err)
+			}
+			if err := cache.add(ctx, best.ib, st); err != nil {
+				return nil, fmt.Errorf("algorithm 4: %w", err)
+			}
+		}
 	}
+	// The exhaustive sweep would have run |U1| searches per round:
+	// 1 + 2 + ... + (|U|-1).
+	st.AddSearchesSaved(int64(rounds)*int64(rounds+1)/2 - cache.searches)
 	return &Solution{Tree: tree, Algorithm: "alg4", MeasurementFactor: 1}, nil
 }
 
-// bestFrontierChannel searches the maximum-rate channel from any user in U1
-// (inTree) to any user in U2, under residual capacity; ctx is checked before
-// each single-source burst. The candidate's ia is the in-tree endpoint's
-// index and ib the out-set endpoint's.
-func (p *Problem) bestFrontierChannel(ctx context.Context, led *quantum.Ledger, inTree []bool, st *SolveStats) (candidate, bool, error) {
+// bestFrontierChannelExhaustive searches the maximum-rate channel from any
+// user in U1 (inTree) to any user in U2, under residual capacity; ctx is
+// checked before each single-source burst. The candidate's ia is the
+// in-tree endpoint's index and ib the out-set endpoint's.
+//
+// It is the reference the lazy cache must agree with candidate-for-candidate
+// and is kept for the differential tests; production loops go through
+// candCache instead.
+func (p *Problem) bestFrontierChannelExhaustive(ctx context.Context, led *quantum.Ledger, inTree []bool, st *SolveStats) (candidate, bool, error) {
 	sc := p.acquireCtx(st)
 	defer p.releaseCtx(sc)
 	var best candidate

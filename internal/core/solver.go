@@ -66,6 +66,18 @@ type SolveStats struct {
 	// LedgerReservations counts successful qubit reservations (including
 	// ones later rolled back by backtracking solvers).
 	LedgerReservations int64
+	// CacheHits counts candidates the incremental cross-union/frontier
+	// search committed straight from its cache — popped, revalidated against
+	// the ledger's closure epoch, and found still optimal with no re-search.
+	CacheHits int64
+	// CacheInvalidations counts popped candidates that had gone stale (an
+	// endpoint union merged or an interior switch closed) and forced a
+	// single-source re-search of just that candidate's source.
+	CacheInvalidations int64
+	// SearchesSaved counts the single-source Dijkstra runs the incremental
+	// layer avoided relative to the exhaustive per-round sweep the solvers
+	// used to do (exhaustive-equivalent runs minus runs actually performed).
+	SearchesSaved int64
 }
 
 // AddSearch records one Dijkstra run that relaxed n edges.
@@ -113,6 +125,32 @@ func (s *SolveStats) AddReservations(n int64) {
 	atomic.AddInt64(&s.LedgerReservations, n)
 }
 
+// AddCacheHit records one cached candidate committed without a re-search.
+func (s *SolveStats) AddCacheHit() {
+	if s == nil {
+		return
+	}
+	atomic.AddInt64(&s.CacheHits, 1)
+}
+
+// AddCacheInvalidation records one stale cached candidate that forced a
+// single-source re-search.
+func (s *SolveStats) AddCacheInvalidation() {
+	if s == nil {
+		return
+	}
+	atomic.AddInt64(&s.CacheInvalidations, 1)
+}
+
+// AddSearchesSaved records n single-source searches avoided relative to the
+// exhaustive sweep.
+func (s *SolveStats) AddSearchesSaved(n int64) {
+	if s == nil {
+		return
+	}
+	atomic.AddInt64(&s.SearchesSaved, n)
+}
+
 // Merge adds o's counters into s (nil-safe on both sides). Unlike the Add
 // methods it is not atomic: merge only after the contributing solves are
 // done.
@@ -127,6 +165,9 @@ func (s *SolveStats) Merge(o *SolveStats) {
 	s.ChannelsConsidered += o.ChannelsConsidered
 	s.ChannelsCommitted += o.ChannelsCommitted
 	s.LedgerReservations += o.LedgerReservations
+	s.CacheHits += o.CacheHits
+	s.CacheInvalidations += o.CacheInvalidations
+	s.SearchesSaved += o.SearchesSaved
 }
 
 // Snapshot returns a consistent copy using atomic loads, safe to call while
@@ -143,14 +184,18 @@ func (s *SolveStats) Snapshot() SolveStats {
 		ChannelsConsidered: atomic.LoadInt64(&s.ChannelsConsidered),
 		ChannelsCommitted:  atomic.LoadInt64(&s.ChannelsCommitted),
 		LedgerReservations: atomic.LoadInt64(&s.LedgerReservations),
+		CacheHits:          atomic.LoadInt64(&s.CacheHits),
+		CacheInvalidations: atomic.LoadInt64(&s.CacheInvalidations),
+		SearchesSaved:      atomic.LoadInt64(&s.SearchesSaved),
 	}
 }
 
 // String renders the counters in the compact form the CLIs print.
 func (s SolveStats) String() string {
-	return fmt.Sprintf("dijkstra=%d relaxed=%d pool=%d/%d channels=%d/%d reservations=%d",
+	return fmt.Sprintf("dijkstra=%d relaxed=%d pool=%d/%d channels=%d/%d reservations=%d cache=%d/%d saved=%d",
 		s.DijkstraRuns, s.EdgesRelaxed, s.PoolHits, s.PoolMisses,
-		s.ChannelsConsidered, s.ChannelsCommitted, s.LedgerReservations)
+		s.ChannelsConsidered, s.ChannelsCommitted, s.LedgerReservations,
+		s.CacheHits, s.CacheInvalidations, s.SearchesSaved)
 }
 
 // ctxErr reports whether the solve should abort: a non-nil error is the

@@ -11,10 +11,55 @@ import (
 // (paper §II-C); users are modeled with sufficient capacity and are never
 // charged.
 //
+// Besides the raw budgets, the ledger records its closure history: every
+// time Reserve drops a switch below 2 free qubits the switch "closes" (it
+// can no longer relay new channels) and its ID is appended to an ordered
+// closure log. Within a run of Reserve-only mutations capacity is monotone —
+// closed switches never reopen — which is what lets solvers cache search
+// results keyed by an Epoch and revalidate them lazily (see
+// internal/core's incremental search layer). A Release that lifts a switch
+// back to 2 free qubits breaks that monotonicity; the ledger then starts a
+// new generation, and every Epoch taken before it is invalidated wholesale
+// (ClosedSince reports ok=false).
+//
+// A Ledger is not safe for concurrent mutation; concurrent read-only use
+// (CanRelay during searches, Epoch, ClosedSince) is safe as long as no
+// Reserve or Release runs at the same time.
+//
 // The zero value is not usable; construct with NewLedger.
 type Ledger struct {
 	free []int
 	g    *graph.Graph
+
+	gen    uint64         // closure generation; bumped when a Release reopens a switch
+	closed []graph.NodeID // switches closed this generation, in closure order
+}
+
+// Epoch identifies a point in a ledger's closure history: a generation plus
+// the number of closures observed so far within it. Epochs taken from the
+// same ledger are totally ordered within a generation; capacity can only
+// shrink between an epoch and any later one of the same generation.
+type Epoch struct {
+	Gen uint64
+	N   int
+}
+
+// Epoch returns the ledger's current closure epoch. A cached search result
+// tagged with it stays conservatively valid for as long as
+// ClosedSince(epoch) reports ok with no closures touching the result.
+func (l *Ledger) Epoch() Epoch { return Epoch{Gen: l.gen, N: len(l.closed)} }
+
+// ClosedSince returns the switches that closed (dropped below 2 free
+// qubits) after epoch e was taken, in closure order. ok is false when e
+// belongs to an earlier generation — some Release reopened a switch since,
+// monotonicity broke, and the caller must discard everything cached at or
+// before e. The returned slice aliases the ledger's log; callers must not
+// retain it across further mutations.
+func (l *Ledger) ClosedSince(e Epoch) (ids []graph.NodeID, ok bool) {
+	if e.Gen != l.gen || e.N > len(l.closed) {
+		return nil, false
+	}
+	return l.closed[e.N:], true
 }
 
 // NewLedger returns a ledger with every switch's full qubit budget free.
@@ -54,20 +99,29 @@ func (l *Ledger) CanCarry(path []graph.NodeID) bool {
 }
 
 // Reserve charges 2 qubits at every interior switch of the path. It fails
-// without side effects when some switch lacks capacity.
+// without side effects when some switch lacks capacity. Switches the charge
+// drops below 2 free qubits are appended to the closure log.
 func (l *Ledger) Reserve(path []graph.NodeID) error {
 	if !l.CanCarry(path) {
 		return fmt.Errorf("quantum: reserve %v: %w", path, ErrInteriorQubits)
 	}
 	for i := 1; i+1 < len(path); i++ {
-		l.free[path[i]] -= 2
+		id := path[i]
+		l.free[id] -= 2
+		if l.free[id] < 2 {
+			l.closed = append(l.closed, id)
+		}
 	}
 	return nil
 }
 
 // Release refunds 2 qubits at every interior switch of the path, undoing a
 // prior Reserve. It panics if the refund would exceed a switch's total
-// budget, which indicates release without a matching reserve.
+// budget, which indicates release without a matching reserve. A refund that
+// lifts a switch from below 2 back to >= 2 free qubits reopens it: the
+// ledger starts a new closure generation, invalidating every outstanding
+// Epoch (reopened capacity can make previously cached search results
+// non-optimal, so they must all be dropped, not patched).
 func (l *Ledger) Release(path []graph.NodeID) {
 	for i := 1; i+1 < len(path); i++ {
 		id := path[i]
@@ -75,13 +129,20 @@ func (l *Ledger) Release(path []graph.NodeID) {
 		if l.free[id] > l.g.Node(id).Qubits {
 			panic(fmt.Sprintf("quantum: release of unreserved capacity at switch %d", id))
 		}
+		if l.free[id] >= 2 && l.free[id]-2 < 2 {
+			l.gen++
+			l.closed = l.closed[:0]
+		}
 	}
 }
 
-// Clone returns an independent copy of the ledger.
+// Clone returns an independent copy of the ledger, closure history included.
 func (l *Ledger) Clone() *Ledger {
-	c := &Ledger{free: make([]int, len(l.free)), g: l.g}
+	c := &Ledger{free: make([]int, len(l.free)), g: l.g, gen: l.gen}
 	copy(c.free, l.free)
+	if len(l.closed) > 0 {
+		c.closed = append(c.closed, l.closed...)
+	}
 	return c
 }
 

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 
 	"github.com/muerp/quantumnet/internal/core"
@@ -67,7 +68,10 @@ type Config struct {
 	Parallelism int
 }
 
-// DefaultConfig returns the paper's §V-A experiment defaults.
+// DefaultConfig returns the paper's §V-A experiment defaults. Batches run
+// with one worker per available CPU, matching cmd/experiments' -parallel
+// default; results are seed-deterministic regardless (set Parallelism to 1
+// to force sequential runs).
 func DefaultConfig() Config {
 	return Config{
 		Topology:                  topology.Default(),
@@ -76,6 +80,7 @@ func DefaultConfig() Config {
 		Seed:                      1,
 		Algorithms:                AllAlgorithms(),
 		SufficientCapacityForAlg2: true,
+		Parallelism:               runtime.GOMAXPROCS(0),
 	}
 }
 
