@@ -6,7 +6,7 @@ BENCH_OUT ?= BENCH_kernel.json
 BENCH_LABEL ?= current
 BENCH_TMP := $(shell mktemp -d 2>/dev/null || echo /tmp/quantumnet-bench)
 
-.PHONY: build test vet race tier1 bench bench-check list-solvers clean
+.PHONY: build test vet race tier1 bench bench-check list-solvers serve loadtest smoke-service clean
 
 build:
 	$(GO) build ./...
@@ -18,10 +18,11 @@ vet:
 	$(GO) vet ./...
 
 # race runs the data-race detector over the packages with internal
-# concurrency: core's parallel all-pairs fan-out, sim's batch pool, and
-# quantum's read-shared ledger (epoch reads during concurrent searches).
+# concurrency: core's parallel all-pairs fan-out, sim's batch pool,
+# quantum's shared ledger (the mutex-serialized mutation contract and
+# lock-free read-only use), and service's admission loop + expiry wheel.
 race:
-	$(GO) test -race ./internal/core ./internal/sim ./internal/quantum
+	$(GO) test -race ./internal/core ./internal/sim ./internal/quantum ./internal/service
 
 # tier1 is the repo's merge gate: build, full tests, vet, race.
 tier1: build test vet race
@@ -60,6 +61,22 @@ bench-check:
 # per-scheme assumptions (sufficient capacity, randomness).
 list-solvers:
 	$(GO) run ./cmd/muerp -alg list
+
+# serve boots the admission daemon on the default address (override with
+# ADDR=host:port). See DESIGN.md §6 for the HTTP API.
+ADDR ?= 127.0.0.1:8089
+serve:
+	$(GO) run ./cmd/muerpd -addr $(ADDR)
+
+# loadtest replays a workload against an already-running daemon at ADDR.
+loadtest:
+	$(GO) run ./cmd/qload -addr $(ADDR) -sessions 200 -unit 5ms
+
+# smoke-service is the CI end-to-end check: boot muerpd on a random port,
+# replay ~50 sessions through qload (>=1 must be accepted), SIGTERM, and
+# require a clean drain within 10s.
+smoke-service:
+	bash scripts/smoke_service.sh
 
 clean:
 	$(GO) clean ./...

@@ -22,6 +22,7 @@
 //	-in       load topology JSON instead of generating
 //	-trials   Monte Carlo rounds (0 = skip)
 //	-v        print every channel
+//	-version  print build info and exit
 package main
 
 import (
@@ -32,6 +33,7 @@ import (
 	"math/rand"
 	"os"
 
+	"github.com/muerp/quantumnet/internal/buildinfo"
 	"github.com/muerp/quantumnet/internal/core"
 	"github.com/muerp/quantumnet/internal/graph"
 	"github.com/muerp/quantumnet/internal/montecarlo"
@@ -65,9 +67,14 @@ func run(args []string, out io.Writer) error {
 		trials   = fs.Int("trials", 0, "Monte Carlo validation rounds (0 = skip)")
 		verbose  = fs.Bool("v", false, "print every channel")
 		dotFile  = fs.String("dot", "", "write the network + routed tree as Graphviz DOT to this file")
+		version  = fs.Bool("version", false, "print build info and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(out, buildinfo.String())
+		return nil
 	}
 
 	if *alg == "list" {

@@ -157,3 +157,13 @@ func TestRunWritesDOT(t *testing.T) {
 		t.Error("routed channels not highlighted in dot output")
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	out, err := capture(t, "-version")
+	if err != nil {
+		t.Fatalf("run -version: %v", err)
+	}
+	if !strings.Contains(out, "quantumnet") || !strings.Contains(out, "go1.") {
+		t.Fatalf("version output: %q", out)
+	}
+}

@@ -1,0 +1,171 @@
+// Command muerpd is the online entanglement-routing daemon: it loads (or
+// generates) a quantum network, owns a live capacity ledger over it, and
+// serves entanglement-session requests over HTTP/JSON through a batching
+// admission loop (see internal/service and DESIGN.md §6).
+//
+// Usage:
+//
+//	muerpd [flags]
+//
+//	-addr        listen address (default 127.0.0.1:8089; use :0 for a random port)
+//	-addr-file   write the bound address to this file (for scripts/CI)
+//	-model/-users/-switches/-degree/-qubits/-seed  as in cmd/muerp
+//	-in          load topology JSON instead of generating
+//	-q/-alpha    physical parameters as in cmd/muerp
+//	-queue       admission queue bound          (default 256)
+//	-batch       max admission batch size       (default 16)
+//	-batch-wait  max batch fill wait            (default 2ms)
+//	-ttl         default session TTL            (default 30s)
+//	-max-ttl     TTL cap                        (default 10m)
+//	-version     print build info and exit
+//
+// API: POST /sessions {"users":[...],"ttl_ms":n} → 201 (admitted), 409
+// (infeasible now), 429 + Retry-After (queue full); GET|DELETE
+// /sessions/{id}; GET /metrics; GET /topology; GET /healthz. SIGTERM or
+// SIGINT drains queued requests, releases the listener and exits cleanly.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/muerp/quantumnet/internal/buildinfo"
+	"github.com/muerp/quantumnet/internal/graph"
+	"github.com/muerp/quantumnet/internal/quantum"
+	"github.com/muerp/quantumnet/internal/service"
+	"github.com/muerp/quantumnet/internal/topology"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "muerpd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("muerpd", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:8089", "listen address (use :0 for a random port)")
+		addrFile  = fs.String("addr-file", "", "write the bound address to this file")
+		model     = fs.String("model", "waxman", "topology model")
+		users     = fs.Int("users", 10, "number of users")
+		switches  = fs.Int("switches", 30, "number of switches")
+		degree    = fs.Float64("degree", 6, "average node degree")
+		qubits    = fs.Int("qubits", 4, "qubits per switch")
+		seed      = fs.Int64("seed", 1, "RNG seed")
+		inFile    = fs.String("in", "", "load topology JSON instead of generating")
+		swapProb  = fs.Float64("q", 0.9, "BSM swap success probability")
+		alpha     = fs.Float64("alpha", 1e-4, "fiber attenuation per km")
+		queueSize = fs.Int("queue", 256, "admission queue bound")
+		batch     = fs.Int("batch", 16, "max admission batch size")
+		batchWait = fs.Duration("batch-wait", 2*time.Millisecond, "max batch fill wait")
+		ttl       = fs.Duration("ttl", 30*time.Second, "default session TTL")
+		maxTTL    = fs.Duration("max-ttl", 10*time.Minute, "session TTL cap")
+		version   = fs.Bool("version", false, "print build info and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Fprintln(out, buildinfo.String())
+		return nil
+	}
+
+	g, err := loadOrGenerate(*inFile, *model, *users, *switches, *degree, *qubits, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, g)
+
+	svc, err := service.New(service.Config{
+		Graph:      g,
+		Params:     quantum.Params{Alpha: *alpha, SwapProb: *swapProb},
+		QueueSize:  *queueSize,
+		MaxBatch:   *batch,
+		MaxWait:    *batchWait,
+		DefaultTTL: *ttl,
+		MaxTTL:     *maxTTL,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		_ = svc.Close()
+		return err
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+			_ = ln.Close()
+			_ = svc.Close()
+			return fmt.Errorf("write addr file: %w", err)
+		}
+	}
+	fmt.Fprintf(out, "muerpd listening on http://%s (batch<=%d wait=%v queue=%d ttl=%v)\n",
+		bound, *batch, *batchWait, *queueSize, *ttl)
+
+	srv := &http.Server{Handler: svc.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		_ = svc.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop the listener, finish in-flight HTTP exchanges,
+	// then let the service decide everything still queued.
+	fmt.Fprintln(out, "muerpd: signal received, draining")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if err := svc.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "final admission summary:\n%s", svc.Metrics().Admission)
+	return nil
+}
+
+func loadOrGenerate(inFile, model string, users, switches int, degree float64, qubits int, seed int64) (*graph.Graph, error) {
+	if inFile != "" {
+		f, err := os.Open(inFile)
+		if err != nil {
+			return nil, err
+		}
+		defer func() { _ = f.Close() }()
+		return graph.ReadJSON(f)
+	}
+	m, err := topology.ParseModel(model)
+	if err != nil {
+		return nil, err
+	}
+	cfg := topology.Default()
+	cfg.Model = m
+	cfg.Users = users
+	cfg.Switches = switches
+	cfg.AvgDegree = degree
+	cfg.SwitchQubits = qubits
+	return topology.Generate(cfg, rand.New(rand.NewSource(seed)))
+}

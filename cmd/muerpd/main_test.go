@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/muerp/quantumnet/internal/graph"
+)
+
+func TestVersionFlag(t *testing.T) {
+	var buf strings.Builder
+	if err := run(context.Background(), []string{"-version"}, &buf); err != nil {
+		t.Fatalf("run -version: %v", err)
+	}
+	if !strings.Contains(buf.String(), "quantumnet") || !strings.Contains(buf.String(), "go1.") {
+		t.Fatalf("version output: %q", buf.String())
+	}
+}
+
+func TestRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-model", "bogus"},
+		{"-users", "1"},
+		{"-q", "7"},
+		{"-addr", "127.0.0.1:0", "-in", "/does/not/exist.json"},
+	} {
+		var buf strings.Builder
+		if err := run(context.Background(), args, &buf); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// TestServeAndGracefulShutdown boots the daemon on a random port, drives
+// one admission round trip over real HTTP, then cancels the context (the
+// signal path) and requires a clean drain with a final summary.
+func TestServeAndGracefulShutdown(t *testing.T) {
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var buf bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0", "-addr-file", addrFile,
+			"-users", "6", "-switches", "12", "-ttl", "500ms",
+		}, &buf)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			addr = string(b)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never wrote its address; output:\n%s", buf.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+	_ = resp.Body.Close()
+
+	// User IDs are shuffled across the generated topology; discover them.
+	topoResp, err := http.Get(base + "/topology")
+	if err != nil {
+		t.Fatalf("GET /topology: %v", err)
+	}
+	g, err := graph.ReadJSON(topoResp.Body)
+	_ = topoResp.Body.Close()
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	users := g.Users()
+	if len(users) < 2 {
+		t.Fatalf("topology has %d users", len(users))
+	}
+
+	body, err := json.Marshal(map[string]interface{}{
+		"users":  users[:2],
+		"ttl_ms": 200,
+	})
+	if err != nil {
+		t.Fatalf("marshal body: %v", err)
+	}
+	resp, err = http.Post(base+"/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /sessions: %v", err)
+	}
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusConflict {
+		t.Fatalf("POST status = %d", resp.StatusCode)
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if resp.StatusCode == http.StatusCreated {
+		if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+			t.Fatalf("decode session: %v", err)
+		}
+	}
+	_ = resp.Body.Close()
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	var m struct {
+		Requests struct {
+			Total int64 `json:"total"`
+		} `json:"requests"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("decode metrics: %v", err)
+	}
+	_ = resp.Body.Close()
+	if m.Requests.Total == 0 {
+		t.Fatal("metrics saw no requests")
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v; output:\n%s", err, buf.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon did not shut down within 10s; output:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "final admission summary:") ||
+		!strings.Contains(buf.String(), "acceptance ratio:") {
+		t.Fatalf("missing final summary:\n%s", buf.String())
+	}
+}

@@ -14,6 +14,8 @@
 //	-rounds     synchronized entanglement rounds (default 10000)
 //	-transport  mem | tcp (default mem)
 //	-parallel   OS-thread cap for the node goroutines (default all CPUs)
+//	-stats      print the controller's solve-work counters
+//	-version    print build info and exit
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 	goruntime "runtime"
 	"time"
 
+	"github.com/muerp/quantumnet/internal/buildinfo"
 	"github.com/muerp/quantumnet/internal/core"
 	"github.com/muerp/quantumnet/internal/quantum"
 	"github.com/muerp/quantumnet/internal/runtime"
@@ -55,9 +58,15 @@ func run(args []string, out io.Writer) error {
 		transp   = fs.String("transport", "mem", "message plane: mem or tcp")
 		timeout  = fs.Duration("timeout", 2*time.Minute, "execution timeout")
 		parallel = fs.Int("parallel", goruntime.GOMAXPROCS(0), "OS-thread cap for the node goroutines")
+		stats    = fs.Bool("stats", false, "print the controller's solve-work counters")
+		version  = fs.Bool("version", false, "print build info and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(out, buildinfo.String())
+		return nil
 	}
 	if *parallel < 1 {
 		return fmt.Errorf("-parallel must be >= 1, got %d", *parallel)
@@ -85,6 +94,13 @@ func run(args []string, out io.Writer) error {
 	solver, err := pickSolver(*alg, *seed)
 	if err != nil {
 		return err
+	}
+	// The controller calls the solver through runtime.Run, which has no
+	// stats plumbing of its own — so -stats wraps the solver with a sink
+	// that every solve (there may be retries) accumulates into.
+	var work core.SolveStats
+	if *stats {
+		solver = withStatsSink(solver, &work)
 	}
 
 	var net transport.Network
@@ -130,6 +146,9 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "analytic rate:    %.6e\n", report.AnalyticRate())
 	fmt.Fprintf(out, "links attempted:  %d\n", report.LinksAttempted)
 	fmt.Fprintf(out, "swaps attempted:  %d\n", report.SwapsAttempted)
+	if *stats {
+		fmt.Fprintf(out, "solve work:       %s\n", work.String())
+	}
 	for i, cs := range report.ChannelSuccess {
 		ch := report.Solution.Tree.Channels[i]
 		fmt.Fprintf(out, "  channel %d (%d links): %d/%d rounds (analytic %.4f)\n",
@@ -156,4 +175,15 @@ func pickSolver(alg string, seed int64) (core.Solver, error) {
 		}
 		return entry.Solve(ctx, p, opts)
 	}}, nil
+}
+
+// withStatsSink routes every solve through st unless the caller already
+// supplied a sink of its own.
+func withStatsSink(s core.Solver, st *core.SolveStats) core.Solver {
+	return core.SolverFunc{ID: s.Name(), Fn: func(ctx context.Context, p *core.Problem, opts *core.SolveOptions) (*core.Solution, error) {
+		if opts.StatsSink() == nil {
+			opts = &core.SolveOptions{RNG: opts.Rand(), Stats: st}
+		}
+		return s.Solve(ctx, p, opts)
+	}}
 }

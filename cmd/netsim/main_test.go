@@ -70,3 +70,26 @@ func TestRejects(t *testing.T) {
 		}
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	out, err := capture(t, "-version")
+	if err != nil {
+		t.Fatalf("run -version: %v", err)
+	}
+	if !strings.Contains(out, "quantumnet") || !strings.Contains(out, "go1.") {
+		t.Fatalf("version output: %q", out)
+	}
+}
+
+func TestStatsFlag(t *testing.T) {
+	out, err := capture(t, "-users", "4", "-switches", "10", "-rounds", "50", "-seed", "3", "-stats")
+	if err != nil {
+		t.Fatalf("run -stats: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "solve work:") || !strings.Contains(out, "dijkstra") {
+		t.Errorf("output missing solve-work counters:\n%s", out)
+	}
+	if strings.Contains(out, "dijkstra=0 ") {
+		t.Errorf("stats sink recorded no dijkstra runs:\n%s", out)
+	}
+}

@@ -1,0 +1,252 @@
+// Command qload replays a sched.Workload against a running muerpd daemon,
+// measuring end-to-end admission throughput and latency. It fetches the
+// daemon's topology, draws the same random request streams the offline
+// simulator uses, and fires them at scaled wall-clock times: one workload
+// time unit lasts -unit of real time, and each accepted session's TTL is
+// its Hold scaled the same way — so the daemon sees the loss-network
+// dynamics the paper models.
+//
+// Usage:
+//
+//	qload -addr host:port [flags]
+//
+//	-sessions       number of requests           (default 50)
+//	-interarrival   mean inter-arrival (units)   (default 1)
+//	-hold           mean session hold (units)    (default 5)
+//	-group-min/max  session size bounds          (default 2..4)
+//	-seed           RNG seed                     (default 1)
+//	-unit           real duration of one unit    (default 10ms)
+//	-timeout        per-request HTTP timeout     (default 5s)
+//	-min-accepted   fail unless >= this many accepted (default 1)
+//	-v              print every outcome
+//	-version        print build info and exit
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/muerp/quantumnet/internal/buildinfo"
+	"github.com/muerp/quantumnet/internal/graph"
+	"github.com/muerp/quantumnet/internal/sched"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "qload:", err)
+		os.Exit(1)
+	}
+}
+
+// outcome classifies one replayed request.
+type outcome struct {
+	status  int
+	latency time.Duration
+	err     error
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("qload", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", "", "daemon address (host:port), required")
+		sessions    = fs.Int("sessions", 50, "number of session requests")
+		inter       = fs.Float64("interarrival", 1, "mean inter-arrival time (workload units)")
+		hold        = fs.Float64("hold", 5, "mean session hold (workload units)")
+		groupMin    = fs.Int("group-min", 2, "minimum users per session")
+		groupMax    = fs.Int("group-max", 4, "maximum users per session")
+		seed        = fs.Int64("seed", 1, "RNG seed")
+		unit        = fs.Duration("unit", 10*time.Millisecond, "real duration of one workload time unit")
+		timeout     = fs.Duration("timeout", 5*time.Second, "per-request HTTP timeout")
+		minAccepted = fs.Int("min-accepted", 1, "fail unless at least this many sessions are accepted")
+		verbose     = fs.Bool("v", false, "print every outcome")
+		version     = fs.Bool("version", false, "print build info and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Fprintln(out, buildinfo.String())
+		return nil
+	}
+	if *addr == "" {
+		return fmt.Errorf("-addr is required")
+	}
+	if *unit <= 0 {
+		return fmt.Errorf("-unit must be positive, got %v", *unit)
+	}
+	base := "http://" + *addr
+	client := &http.Client{Timeout: *timeout}
+
+	g, err := fetchTopology(ctx, client, base)
+	if err != nil {
+		return err
+	}
+	w := sched.Workload{
+		Requests:         *sessions,
+		MeanInterarrival: *inter,
+		MeanHold:         *hold,
+		MinUsers:         *groupMin,
+		MaxUsers:         *groupMax,
+	}
+	requests, err := w.Generate(g, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		return err
+	}
+	sort.SliceStable(requests, func(i, j int) bool {
+		if requests[i].Arrival != requests[j].Arrival {
+			return requests[i].Arrival < requests[j].Arrival
+		}
+		return requests[i].ID < requests[j].ID
+	})
+
+	fmt.Fprintf(out, "qload: %d sessions against %s (unit=%v)\n", len(requests), base, *unit)
+	outcomes := make([]outcome, len(requests))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, req := range requests {
+		due := start.Add(time.Duration(req.Arrival * float64(*unit)))
+		if d := time.Until(due); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		wg.Add(1)
+		go func(i int, req sched.Request) {
+			defer wg.Done()
+			outcomes[i] = fire(ctx, client, base, req, *unit)
+		}(i, req)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var accepted, infeasible, queueFull, failed int
+	latencies := make([]time.Duration, 0, len(outcomes))
+	for i, o := range outcomes {
+		switch {
+		case o.err != nil:
+			failed++
+		case o.status == http.StatusCreated:
+			accepted++
+		case o.status == http.StatusConflict:
+			infeasible++
+		case o.status == http.StatusTooManyRequests:
+			queueFull++
+		default:
+			failed++
+		}
+		if o.err == nil {
+			latencies = append(latencies, o.latency)
+		}
+		if *verbose {
+			fmt.Fprintf(out, "  session %3d: status %d latency %v err %v\n",
+				requests[i].ID, o.status, o.latency.Round(time.Microsecond), o.err)
+		}
+	}
+
+	fmt.Fprintf(out, "elapsed:        %v (%.1f req/s)\n", elapsed.Round(time.Millisecond),
+		float64(len(requests))/elapsed.Seconds())
+	fmt.Fprintf(out, "accepted:       %d\n", accepted)
+	fmt.Fprintf(out, "infeasible:     %d\n", infeasible)
+	fmt.Fprintf(out, "queue-full 429: %d\n", queueFull)
+	fmt.Fprintf(out, "errors:         %d\n", failed)
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		q := func(p float64) time.Duration { return latencies[int(p*float64(len(latencies)-1))] }
+		fmt.Fprintf(out, "latency:        p50 %v  p95 %v  max %v\n",
+			q(0.50).Round(time.Microsecond), q(0.95).Round(time.Microsecond),
+			latencies[len(latencies)-1].Round(time.Microsecond))
+	}
+	if err := printServerMetrics(ctx, client, base, out); err != nil {
+		fmt.Fprintf(out, "metrics:        unavailable (%v)\n", err)
+	}
+	if accepted < *minAccepted {
+		return fmt.Errorf("accepted %d sessions, need at least %d", accepted, *minAccepted)
+	}
+	return nil
+}
+
+func fire(ctx context.Context, client *http.Client, base string, req sched.Request, unit time.Duration) outcome {
+	body, err := json.Marshal(map[string]interface{}{
+		"users":  req.Users,
+		"ttl_ms": int64(req.Hold * float64(unit) / float64(time.Millisecond)),
+	})
+	if err != nil {
+		return outcome{err: err}
+	}
+	t0 := time.Now()
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/sessions", bytes.NewReader(body))
+	if err != nil {
+		return outcome{err: err}
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(httpReq)
+	if err != nil {
+		return outcome{err: err, latency: time.Since(t0)}
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	return outcome{status: resp.StatusCode, latency: time.Since(t0)}
+}
+
+func fetchTopology(ctx context.Context, client *http.Client, base string) (*graph.Graph, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/topology", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("fetch topology: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fetch topology: status %d", resp.StatusCode)
+	}
+	return graph.ReadJSON(resp.Body)
+}
+
+// printServerMetrics surfaces the daemon-side view after the run: the
+// shared admission summary plus batching and cache effectiveness.
+func printServerMetrics(ctx context.Context, client *http.Client, base string, out io.Writer) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var m struct {
+		Batches struct {
+			Count    int64   `json:"count"`
+			MeanSize float64 `json:"mean_size"`
+			MaxSize  int64   `json:"max_size"`
+		} `json:"batches"`
+		Admission sched.Summary `json:"admission"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "server batches: %d (mean %.2f, max %d)\n",
+		m.Batches.Count, m.Batches.MeanSize, m.Batches.MaxSize)
+	fmt.Fprintf(out, "server summary:\n%s", indent(m.Admission.String(), "  "))
+	return nil
+}
+
+func indent(s, prefix string) string {
+	s = strings.TrimRight(s, "\n")
+	return prefix + strings.ReplaceAll(s, "\n", "\n"+prefix) + "\n"
+}

@@ -14,9 +14,11 @@
 //	-hold           mean session duration          (default 8)
 //	-group-min/max  session size bounds            (default 2..4)
 //	-v              print every outcome
+//	-json           print the summary as JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -50,6 +52,7 @@ func run(args []string, out io.Writer) error {
 		groupMin = fs.Int("group-min", 2, "minimum users per session")
 		groupMax = fs.Int("group-max", 4, "maximum users per session")
 		verbose  = fs.Bool("v", false, "print every outcome")
+		jsonOut  = fs.Bool("json", false, "print the summary as JSON instead of text")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,11 +101,13 @@ func run(args []string, out io.Writer) error {
 			}
 		}
 	}
-	fmt.Fprintf(out, "sessions:          %d\n", len(requests))
-	fmt.Fprintf(out, "accepted:          %d\n", report.Accepted)
-	fmt.Fprintf(out, "rejected:          %d\n", report.Rejected)
-	fmt.Fprintf(out, "acceptance ratio:  %.3f\n", report.AcceptanceRatio())
-	fmt.Fprintf(out, "mean session rate: %.4e\n", report.MeanAcceptedRate())
-	fmt.Fprintf(out, "peak qubits held:  %d\n", report.PeakQubitsInUse)
+	// The summary block is the shared sched.Summary representation — the
+	// same one muerpd's /metrics embeds.
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+	fmt.Fprint(out, report)
 	return nil
 }

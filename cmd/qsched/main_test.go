@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -64,5 +65,29 @@ func TestRunRejects(t *testing.T) {
 		if _, err := capture(t, args...); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
 		}
+	}
+}
+
+func TestRunJSONSummary(t *testing.T) {
+	out, err := capture(t, "-users", "6", "-switches", "12", "-sessions", "20", "-json")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// The JSON summary follows the topology banner; find the object start.
+	i := strings.Index(out, "{")
+	if i < 0 {
+		t.Fatalf("no JSON in output:\n%s", out)
+	}
+	var sum struct {
+		Sessions int `json:"sessions"`
+		Work     struct {
+			DijkstraRuns int64 `json:"dijkstra_runs"`
+		} `json:"work"`
+	}
+	if err := json.Unmarshal([]byte(out[i:]), &sum); err != nil {
+		t.Fatalf("decode: %v\n%s", err, out[i:])
+	}
+	if sum.Sessions != 20 || sum.Work.DijkstraRuns == 0 {
+		t.Fatalf("summary: %+v", sum)
 	}
 }

@@ -1,0 +1,57 @@
+// Package buildinfo renders the build metadata Go embeds in every binary
+// (module version, VCS revision, toolchain) for the CLIs' -version flags —
+// the deployability hook: "which build is this daemon?" must be answerable
+// in production without guessing.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// String returns a one-line build description, e.g.
+//
+//	quantumnet (devel) go1.22.0 rev 1f7f1bb (modified) built 2026-08-06T10:00:00Z
+//
+// Fields missing from the build info (e.g. in test binaries) are omitted.
+func String() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "quantumnet (no build info) " + runtime.Version()
+	}
+	var b strings.Builder
+	b.WriteString("quantumnet ")
+	if v := bi.Main.Version; v != "" {
+		b.WriteString(v)
+	} else {
+		b.WriteString("(devel)")
+	}
+	fmt.Fprintf(&b, " %s", runtime.Version())
+	var rev, t string
+	modified := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.time":
+			t = s.Value
+		case "vcs.modified":
+			modified = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		fmt.Fprintf(&b, " rev %s", rev)
+		if modified {
+			b.WriteString(" (modified)")
+		}
+	}
+	if t != "" {
+		fmt.Fprintf(&b, " built %s", t)
+	}
+	return b.String()
+}

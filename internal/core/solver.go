@@ -52,32 +52,32 @@ func (o *SolveOptions) StatsSink() *SolveStats {
 // returns, or through Snapshot.
 type SolveStats struct {
 	// DijkstraRuns counts single-source channel searches.
-	DijkstraRuns int64
+	DijkstraRuns int64 `json:"dijkstra_runs"`
 	// EdgesRelaxed counts successful distance improvements across all runs.
-	EdgesRelaxed int64
+	EdgesRelaxed int64 `json:"edges_relaxed"`
 	// PoolHits / PoolMisses count search-context checkouts served from the
 	// per-problem pool vs. freshly allocated.
-	PoolHits   int64
-	PoolMisses int64
+	PoolHits   int64 `json:"pool_hits"`
+	PoolMisses int64 `json:"pool_misses"`
 	// ChannelsConsidered counts candidate channels extracted from searches;
 	// ChannelsCommitted counts the ones that made the final tree.
-	ChannelsConsidered int64
-	ChannelsCommitted  int64
+	ChannelsConsidered int64 `json:"channels_considered"`
+	ChannelsCommitted  int64 `json:"channels_committed"`
 	// LedgerReservations counts successful qubit reservations (including
 	// ones later rolled back by backtracking solvers).
-	LedgerReservations int64
+	LedgerReservations int64 `json:"ledger_reservations"`
 	// CacheHits counts candidates the incremental cross-union/frontier
 	// search committed straight from its cache — popped, revalidated against
 	// the ledger's closure epoch, and found still optimal with no re-search.
-	CacheHits int64
+	CacheHits int64 `json:"cache_hits"`
 	// CacheInvalidations counts popped candidates that had gone stale (an
 	// endpoint union merged or an interior switch closed) and forced a
 	// single-source re-search of just that candidate's source.
-	CacheInvalidations int64
+	CacheInvalidations int64 `json:"cache_invalidations"`
 	// SearchesSaved counts the single-source Dijkstra runs the incremental
 	// layer avoided relative to the exhaustive per-round sweep the solvers
 	// used to do (exhaustive-equivalent runs minus runs actually performed).
-	SearchesSaved int64
+	SearchesSaved int64 `json:"searches_saved"`
 }
 
 // AddSearch records one Dijkstra run that relaxed n edges.

@@ -22,9 +22,16 @@ import (
 // new generation, and every Epoch taken before it is invalidated wholesale
 // (ClosedSince reports ok=false).
 //
-// A Ledger is not safe for concurrent mutation; concurrent read-only use
-// (CanRelay during searches, Epoch, ClosedSince) is safe as long as no
-// Reserve or Release runs at the same time.
+// Concurrency contract: a Ledger performs no locking of its own. Callers
+// that share one ledger across goroutines must serialize every Reserve and
+// Release — and any Epoch/ClosedSince reads that need to be consistent with
+// them — behind a single mutex or a single owning goroutine. This is the
+// discipline internal/service adopts: its admission loop and expiry wheel
+// both mutate the ledger only while holding the one server mutex, so each
+// micro-batch of solves observes a frozen closure history and the
+// incremental search cache stays coherent. Purely read-only use (CanRelay
+// during searches, Free, Epoch, ClosedSince) is safe from any number of
+// goroutines as long as no mutation runs at the same time.
 //
 // The zero value is not usable; construct with NewLedger.
 type Ledger struct {

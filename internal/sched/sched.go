@@ -13,6 +13,7 @@ package sched
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -82,6 +83,61 @@ func (r Report) MeanAcceptedRate() float64 {
 	return sum / float64(n)
 }
 
+// Summary is the compact, serializable face of an admission run. It is the
+// ONE representation of admission results shared across the repo: cmd/qsched
+// prints Summary.String(), and the muerpd daemon's /metrics endpoint embeds
+// a Summary built from its live counters — neither duplicates the format.
+type Summary struct {
+	// Sessions counts every decided request (accepted + rejected).
+	Sessions int `json:"sessions"`
+	Accepted int `json:"accepted"`
+	Rejected int `json:"rejected"`
+	// AcceptanceRatio is Accepted / Sessions (0 for an empty run).
+	AcceptanceRatio float64 `json:"acceptance_ratio"`
+	// MeanAcceptedRate is the mean Eq. 2 rate over accepted sessions.
+	MeanAcceptedRate float64 `json:"mean_accepted_rate"`
+	// PeakQubitsInUse is the high-water mark of simultaneously reserved
+	// switch qubits.
+	PeakQubitsInUse int `json:"peak_qubits_in_use"`
+	// Work sums the routing work over every admission attempt.
+	Work core.SolveStats `json:"work"`
+}
+
+// Summary condenses the report.
+func (r Report) Summary() Summary {
+	return Summary{
+		Sessions:         r.Accepted + r.Rejected,
+		Accepted:         r.Accepted,
+		Rejected:         r.Rejected,
+		AcceptanceRatio:  r.AcceptanceRatio(),
+		MeanAcceptedRate: r.MeanAcceptedRate(),
+		PeakQubitsInUse:  r.PeakQubitsInUse,
+		Work:             r.Work,
+	}
+}
+
+// String renders the summary as the aligned block cmd/qsched prints.
+func (s Summary) String() string {
+	return fmt.Sprintf(
+		"sessions:          %d\n"+
+			"accepted:          %d\n"+
+			"rejected:          %d\n"+
+			"acceptance ratio:  %.3f\n"+
+			"mean session rate: %.4e\n"+
+			"peak qubits held:  %d\n"+
+			"solve work:        %s\n",
+		s.Sessions, s.Accepted, s.Rejected, s.AcceptanceRatio,
+		s.MeanAcceptedRate, s.PeakQubitsInUse, s.Work)
+}
+
+// String renders the report's summary block; per-request outcomes are not
+// included (range Outcomes for those).
+func (r Report) String() string { return r.Summary().String() }
+
+// MarshalJSON encodes the report as its Summary — the aggregate view, not
+// the per-request outcome list (marshal Outcomes directly if needed).
+func (r Report) MarshalJSON() ([]byte, error) { return json.Marshal(r.Summary()) }
+
 // Scheduler errors.
 var (
 	ErrNoRequests = errors.New("sched: no requests")
@@ -144,7 +200,12 @@ func SimulateContext(ctx context.Context, g *graph.Graph, requests []Request, pa
 		}
 		tree, err := core.BuildGreedyTree(ctx, prob, led, &core.SolveOptions{Stats: &report.Work})
 		if err != nil {
-			if errors.Is(err, core.ErrInfeasible) {
+			// Only genuine infeasibility counts as a rejection. Everything
+			// else — context cancellation, solver/ledger faults — aborts the
+			// whole simulation with the error; a cancelled solve can surface
+			// a spurious "unreachable" partial result, so the ctx check wins
+			// even when the error also wraps ErrInfeasible.
+			if errors.Is(err, core.ErrInfeasible) && ctx.Err() == nil {
 				report.Outcomes = append(report.Outcomes, Outcome{
 					Request: req, Accepted: false, Reason: err.Error(),
 				})

@@ -1,11 +1,16 @@
 package sched
 
 import (
+	"context"
+	"encoding/json"
 	"errors"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
+
+	"github.com/muerp/quantumnet/internal/core"
 
 	"github.com/muerp/quantumnet/internal/graph"
 	"github.com/muerp/quantumnet/internal/quantum"
@@ -267,5 +272,98 @@ func TestSimulateInfeasibleSessionLeavesNoResidue(t *testing.T) {
 	}
 	if errors.Is(err, ErrBadRequest) {
 		t.Fatal("infeasibility misreported as bad request")
+	}
+}
+
+// TestSimulateDistinguishesErrorsFromRejections pins the admission error
+// contract: infeasibility counts as a rejection; real solver errors (here,
+// a user set naming a switch, which fails problem construction) and context
+// cancellation propagate instead of being silently absorbed into the
+// rejected count.
+func TestSimulateDistinguishesErrorsFromRejections(t *testing.T) {
+	g := bottleneck(t)
+	params := quantum.DefaultParams()
+
+	// Infeasible request → rejection, not an error.
+	report, err := Simulate(g, []Request{
+		{ID: 0, Users: []graph.NodeID{0, 1}, Arrival: 0, Hold: 10},
+		{ID: 1, Users: []graph.NodeID{2, 3}, Arrival: 1, Hold: 10},
+	}, params)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if report.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", report.Rejected)
+	}
+
+	// Node 4 is a switch: problem construction fails. That is a caller
+	// error and must propagate, not count as a rejection.
+	_, err = Simulate(g, []Request{
+		{ID: 0, Users: []graph.NodeID{0, 4}, Arrival: 0, Hold: 10},
+	}, params)
+	if err == nil {
+		t.Fatal("switch-as-user request did not propagate an error")
+	}
+	if errors.Is(err, core.ErrInfeasible) {
+		t.Fatalf("construction failure misclassified as infeasibility: %v", err)
+	}
+}
+
+func TestSimulateContextCancellationPropagates(t *testing.T) {
+	g := bottleneck(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SimulateContext(ctx, g, []Request{
+		{ID: 0, Users: []graph.NodeID{0, 1}, Arrival: 0, Hold: 10},
+	}, quantum.DefaultParams())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled simulate error = %v, want context.Canceled", err)
+	}
+}
+
+func TestReportSummaryAndJSON(t *testing.T) {
+	g := bottleneck(t)
+	report, err := Simulate(g, []Request{
+		{ID: 0, Users: []graph.NodeID{0, 1}, Arrival: 0, Hold: 10},
+		{ID: 1, Users: []graph.NodeID{2, 3}, Arrival: 1, Hold: 10},
+		{ID: 2, Users: []graph.NodeID{2, 3}, Arrival: 20, Hold: 5},
+	}, quantum.DefaultParams())
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	sum := report.Summary()
+	if sum.Sessions != 3 || sum.Accepted != 2 || sum.Rejected != 1 {
+		t.Fatalf("summary counts: %+v", sum)
+	}
+	if sum.Work.DijkstraRuns == 0 || sum.Work != report.Work {
+		t.Fatalf("summary work counters not embedded: %+v", sum.Work)
+	}
+	text := report.String()
+	for _, want := range []string{
+		"sessions:          3",
+		"accepted:          2",
+		"rejected:          1",
+		"acceptance ratio:  0.667",
+		"peak qubits held:  2",
+		"solve work:        dijkstra=",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("String() missing %q:\n%s", want, text)
+		}
+	}
+
+	blob, err := json.Marshal(report)
+	if err != nil {
+		t.Fatalf("marshal report: %v", err)
+	}
+	var decoded Summary
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatalf("unmarshal summary: %v", err)
+	}
+	if decoded != sum {
+		t.Fatalf("JSON round trip: %+v != %+v", decoded, sum)
+	}
+	if !strings.Contains(string(blob), `"dijkstra_runs"`) {
+		t.Fatalf("SolveStats JSON tags missing: %s", blob)
 	}
 }

@@ -1,0 +1,140 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/muerp/quantumnet/internal/core"
+	"github.com/muerp/quantumnet/internal/graph"
+)
+
+// SessionRequest is the POST /sessions body.
+type SessionRequest struct {
+	// Users is the set of user node IDs to entangle (at least 2).
+	Users []graph.NodeID `json:"users"`
+	// TTLMs is the session lifetime in milliseconds; 0 means the server
+	// default, and values above the server cap are clamped.
+	TTLMs int64 `json:"ttl_ms,omitempty"`
+}
+
+// errorBody is the JSON error envelope every non-2xx response carries.
+type errorBody struct {
+	Error  string `json:"error"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /sessions        admit a session   → 201, 400, 409, 429, 503, 504
+//	GET    /sessions/{id}   inspect a session → 200, 404
+//	DELETE /sessions/{id}   release early     → 204, 404
+//	GET    /metrics         counters + shared admission summary
+//	GET    /topology        the served graph as JSON
+//	GET    /healthz         200 while serving, 503 while draining
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sessions", s.handleCreate)
+	mux.HandleFunc("GET /sessions/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /sessions/{id}", s.handleDelete)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /topology", s.handleTopology)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req SessionRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("decode body: %v", err))
+		return
+	}
+	if req.TTLMs < 0 {
+		writeError(w, http.StatusBadRequest, "bad_request", "ttl_ms must be >= 0")
+		return
+	}
+	info, err := s.Submit(r.Context(), req.Users, time.Duration(req.TTLMs)*time.Millisecond)
+	if err != nil {
+		s.writeSubmitError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+// writeSubmitError maps a Submit outcome onto the HTTP status space.
+func (s *Server) writeSubmitError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		// Backpressure: tell the client when to come back.
+		secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", fmt.Sprint(secs))
+		writeError(w, http.StatusTooManyRequests, "queue_full", err.Error())
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "shutting_down", err.Error())
+	case errors.Is(err, ErrInvalidRequest):
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+	case errors.Is(err, core.ErrInfeasible):
+		// Not enough residual switch capacity right now; sessions departing
+		// may free it, so clients can retry.
+		writeError(w, http.StatusConflict, "infeasible", err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "deadline_exceeded", err.Error())
+	case errors.Is(err, context.Canceled):
+		// Client went away; nothing useful to write, but be explicit for
+		// intermediaries that still read the response.
+		writeError(w, 499, "canceled", err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+	}
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.Session(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", "no such session")
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.Delete(r.PathValue("id")); err != nil {
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+func (s *Server) handleTopology(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.cfg.Graph.WriteJSON(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.closing.Load() {
+		writeError(w, http.StatusServiceUnavailable, "shutting_down", "")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, detail string) {
+	writeJSON(w, status, errorBody{Error: code, Detail: detail})
+}

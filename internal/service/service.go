@@ -1,0 +1,596 @@
+// Package service implements the online entanglement-routing daemon: the
+// operational layer the ROADMAP's "serve heavy multi-user traffic" goal
+// asks for, turning the paper's admission setting (sessions arrive, hold
+// ⌊Q_r/2⌋-bounded switch capacity via the ledger, depart and free it) into
+// a long-running service.
+//
+// Architecture (see DESIGN.md §6):
+//
+//	HTTP/Submit → bounded queue → batching admission loop → BuildGreedyTree
+//	                                      │ (one mutex)          │
+//	                                      └── live Ledger ←──────┘
+//	                                             ▲
+//	                              expiry wheel ──┘ (TTL / DELETE releases)
+//
+// Requests are enqueued onto a bounded channel (a full queue is immediate
+// backpressure — ErrQueueFull / HTTP 429) and drained in micro-batches so
+// consecutive solves share one lock acquisition and one warm ledger epoch
+// stretch for the incremental search cache. Accepted sessions hold their
+// tree's switch qubits until their TTL expires or they are deleted; a
+// single expiry-wheel goroutine releases capacity exactly as
+// sched.Simulate's expireSessions does, which is what makes the daemon's
+// serialized admission decisions match the offline simulator trace for
+// trace (pinned by the differential test).
+//
+// Concurrency: the ledger, session table and expiry heap are guarded by
+// one mutex shared by the admission loop and the expiry wheel (the
+// contract documented on quantum.Ledger). Counters and the latency
+// histogram are atomic and lock-free.
+package service
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/muerp/quantumnet/internal/core"
+	"github.com/muerp/quantumnet/internal/graph"
+	"github.com/muerp/quantumnet/internal/quantum"
+	"github.com/muerp/quantumnet/internal/sched"
+)
+
+// Service errors. Submit wraps core.ErrInfeasible for capacity rejections;
+// callers distinguish outcomes with errors.Is.
+var (
+	// ErrQueueFull reports backpressure: the admission queue is at capacity
+	// and the request was not enqueued (HTTP 429).
+	ErrQueueFull = errors.New("service: admission queue full")
+	// ErrClosed reports a request received during or after shutdown.
+	ErrClosed = errors.New("service: server closed")
+	// ErrInvalidRequest reports a request rejected before queueing (bad
+	// user set or TTL).
+	ErrInvalidRequest = errors.New("service: invalid request")
+	// ErrNoSession reports an unknown session ID.
+	ErrNoSession = errors.New("service: no such session")
+)
+
+// Config parameterizes a Server. Zero fields take the documented defaults.
+type Config struct {
+	// Graph is the topology to serve on (required, not modified).
+	Graph *graph.Graph
+	// Params are the physical-layer constants (zero value = DefaultParams).
+	Params quantum.Params
+	// QueueSize bounds the admission queue; a full queue rejects with
+	// ErrQueueFull. Default 256.
+	QueueSize int
+	// MaxBatch caps how many requests one micro-batch admits under a single
+	// lock acquisition. Default 16.
+	MaxBatch int
+	// MaxWait is how long the admission loop waits for a batch to fill
+	// after its first request arrives; 0 drains only what is already
+	// queued. Default 2ms.
+	MaxWait time.Duration
+	// DefaultTTL is the session lifetime when a request does not name one.
+	// Default 30s.
+	DefaultTTL time.Duration
+	// MaxTTL caps requested lifetimes. Default 10m.
+	MaxTTL time.Duration
+	// RetryAfter is the backoff hint attached to queue-full rejections.
+	// Default 1s.
+	RetryAfter time.Duration
+	// Clock defaults to SystemClock; tests inject a fake.
+	Clock Clock
+}
+
+func (c Config) withDefaults() Config {
+	if c.Params == (quantum.Params{}) {
+		c.Params = quantum.DefaultParams()
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 256
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	if c.MaxWait < 0 {
+		c.MaxWait = 0
+	} else if c.MaxWait == 0 {
+		c.MaxWait = 2 * time.Millisecond
+	}
+	if c.DefaultTTL <= 0 {
+		c.DefaultTTL = 30 * time.Second
+	}
+	if c.MaxTTL <= 0 {
+		c.MaxTTL = 10 * time.Minute
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = SystemClock()
+	}
+	return c
+}
+
+// SessionInfo is the public view of an admitted session.
+type SessionInfo struct {
+	ID string `json:"id"`
+	// Users is the entangled user set.
+	Users []graph.NodeID `json:"users"`
+	// Rate is the session tree's Eq. 2 entanglement rate.
+	Rate float64 `json:"rate"`
+	// Channels is the number of quantum channels in the routed tree.
+	Channels   int       `json:"channels"`
+	AdmittedAt time.Time `json:"admitted_at"`
+	ExpiresAt  time.Time `json:"expires_at"`
+}
+
+// session is one admitted request holding ledger capacity.
+type session struct {
+	info      SessionInfo
+	tree      quantum.Tree
+	expiresAt time.Time
+	released  bool // set when capacity was refunded (expiry or DELETE)
+	heapIdx   int
+}
+
+// expiryHeap is a min-heap of live sessions by expiry time — the timer
+// wheel's agenda.
+type expiryHeap []*session
+
+func (h expiryHeap) Len() int            { return len(h) }
+func (h expiryHeap) Less(i, j int) bool  { return h[i].expiresAt.Before(h[j].expiresAt) }
+func (h expiryHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].heapIdx = i; h[j].heapIdx = j }
+func (h *expiryHeap) Push(x interface{}) { s := x.(*session); s.heapIdx = len(*h); *h = append(*h, s) }
+func (h *expiryHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return s
+}
+
+// pending is one request travelling through the admission queue.
+type pending struct {
+	ctx    context.Context
+	prob   *core.Problem
+	users  []graph.NodeID
+	ttl    time.Duration
+	result chan admitResult // buffered(1): the loop never blocks responding
+}
+
+type admitResult struct {
+	info SessionInfo
+	err  error
+}
+
+// Server is the admission daemon: it owns a live quantum.Ledger over one
+// topology and decides entanglement-session requests in micro-batches.
+// Construct with New; a Server starts serving immediately and stops with
+// Close.
+type Server struct {
+	cfg   Config
+	clock Clock
+	start time.Time
+	total int // total switch qubits in the topology
+
+	queue chan *pending
+	quit  chan struct{}
+	kick  chan struct{} // wakes the expiry wheel when the agenda changes
+	wg    sync.WaitGroup
+
+	closing   atomic.Bool
+	closeOnce sync.Once
+
+	// mu guards the ledger, session table, expiry heap and the aggregates
+	// below; it is the single mutation lock of the Ledger contract.
+	mu       sync.Mutex
+	led      *quantum.Ledger
+	sessions map[string]*session
+	expiry   expiryHeap
+	work     core.SolveStats // aggregated across every solve
+	sumRate  float64         // sum of accepted session rates
+	peak     int             // high-water mark of reserved qubits
+
+	nextID atomic.Uint64
+	ctrs   counters
+	lat    *histogram
+}
+
+// New validates the configuration and starts the admission and expiry
+// goroutines. The caller must Close the returned server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Graph == nil {
+		return nil, errors.New("service: nil graph")
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Graph.Users()) < 2 {
+		return nil, errors.New("service: topology has fewer than 2 users")
+	}
+	s := &Server{
+		cfg:      cfg,
+		clock:    cfg.Clock,
+		start:    cfg.Clock.Now(),
+		led:      quantum.NewLedger(cfg.Graph),
+		sessions: make(map[string]*session),
+		queue:    make(chan *pending, cfg.QueueSize),
+		quit:     make(chan struct{}),
+		kick:     make(chan struct{}, 1),
+		lat:      newHistogram(),
+	}
+	for _, id := range cfg.Graph.Switches() {
+		s.total += cfg.Graph.Node(id).Qubits
+	}
+	s.wg.Add(2)
+	go s.admissionLoop()
+	go s.expiryLoop()
+	return s, nil
+}
+
+// Graph returns the topology the server routes on.
+func (s *Server) Graph() *graph.Graph { return s.cfg.Graph }
+
+// Submit enqueues one session request and blocks until the admission loop
+// decides or ctx ends; it is the programmatic face of POST /sessions.
+// ttl <= 0 means the server default; TTLs are capped at Config.MaxTTL.
+// Outcomes: nil error = admitted (capacity held until expiry or Delete);
+// core.ErrInfeasible = rejected under residual capacity; ErrQueueFull =
+// backpressure, retry later; ErrInvalidRequest = malformed user set;
+// ErrClosed = shutting down; a context error if ctx ended first (a request
+// cancelled mid-queue may still be decided — an accept then simply expires
+// at its TTL).
+func (s *Server) Submit(ctx context.Context, users []graph.NodeID, ttl time.Duration) (SessionInfo, error) {
+	s.ctrs.requests.Add(1)
+	if s.closing.Load() {
+		return SessionInfo{}, ErrClosed
+	}
+	if len(users) < 2 {
+		s.ctrs.invalid.Add(1)
+		return SessionInfo{}, fmt.Errorf("%w: session needs at least 2 users, got %d", ErrInvalidRequest, len(users))
+	}
+	// Problems are built (and validated) outside the admission loop so the
+	// serial section only runs the solver.
+	prob, err := core.NewProblem(s.cfg.Graph, users, s.cfg.Params)
+	if err != nil {
+		s.ctrs.invalid.Add(1)
+		return SessionInfo{}, fmt.Errorf("%w: %v", ErrInvalidRequest, err)
+	}
+	if ttl <= 0 {
+		ttl = s.cfg.DefaultTTL
+	}
+	if ttl > s.cfg.MaxTTL {
+		ttl = s.cfg.MaxTTL
+	}
+	p := &pending{ctx: ctx, prob: prob, users: prob.Users, ttl: ttl, result: make(chan admitResult, 1)}
+	select {
+	case s.queue <- p:
+	default:
+		s.ctrs.queueFull.Add(1)
+		return SessionInfo{}, ErrQueueFull
+	}
+	select {
+	case r := <-p.result:
+		return r.info, r.err
+	case <-ctx.Done():
+		return SessionInfo{}, ctx.Err()
+	}
+}
+
+// Session returns the live session with the given ID.
+func (s *Server) Session(id string) (SessionInfo, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return SessionInfo{}, false
+	}
+	return sess.info, true
+}
+
+// Delete releases a session's ledger capacity before its TTL (DELETE
+// /sessions/{id}). It returns ErrNoSession for unknown or already-ended
+// sessions.
+func (s *Server) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSession, id)
+	}
+	s.releaseLocked(sess)
+	s.ctrs.deleted.Add(1)
+	return nil
+}
+
+// ActiveSessions returns the number of sessions currently holding capacity.
+func (s *Server) ActiveSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// Close stops accepting new requests, drains everything already queued
+// (each still gets a real admission decision — SIGTERM does not drop
+// accepted work), stops the admission and expiry goroutines and returns.
+// Close is idempotent and safe to call concurrently.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.closing.Store(true)
+		close(s.quit)
+		s.wg.Wait()
+		// A racing Submit may have slipped into the queue after the drain
+		// finished; bounce those rather than leaving callers waiting.
+		for {
+			select {
+			case p := <-s.queue:
+				p.result <- admitResult{err: ErrClosed}
+			default:
+				return
+			}
+		}
+	})
+	return nil
+}
+
+// admissionLoop is the single consumer of the queue: it drains requests in
+// micro-batches and decides them against the shared ledger.
+func (s *Server) admissionLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			s.drain()
+			return
+		case p := <-s.queue:
+			s.admitBatch(s.fillBatch(p))
+		}
+	}
+}
+
+// fillBatch grows a batch around its first request: it keeps pulling from
+// the queue until the batch is full, MaxWait elapses, or shutdown starts.
+func (s *Server) fillBatch(first *pending) []*pending {
+	batch := append(make([]*pending, 0, s.cfg.MaxBatch), first)
+	if len(batch) >= s.cfg.MaxBatch {
+		return batch
+	}
+	var timeout <-chan time.Time
+	if s.cfg.MaxWait > 0 {
+		timeout = s.clock.After(s.cfg.MaxWait)
+	}
+	for len(batch) < s.cfg.MaxBatch {
+		if timeout == nil {
+			select {
+			case p := <-s.queue:
+				batch = append(batch, p)
+			default:
+				return batch
+			}
+			continue
+		}
+		select {
+		case p := <-s.queue:
+			batch = append(batch, p)
+		case <-timeout:
+			return batch
+		case <-s.quit:
+			return batch
+		}
+	}
+	return batch
+}
+
+// drain decides everything still queued at shutdown, one final batch at a
+// time, without waiting for more arrivals.
+func (s *Server) drain() {
+	for {
+		select {
+		case p := <-s.queue:
+			batch := append(make([]*pending, 0, s.cfg.MaxBatch), p)
+			for len(batch) < s.cfg.MaxBatch {
+				select {
+				case q := <-s.queue:
+					batch = append(batch, q)
+				default:
+					goto decide
+				}
+			}
+		decide:
+			s.admitBatch(batch)
+		default:
+			return
+		}
+	}
+}
+
+// admitBatch decides a whole batch under one lock acquisition: expiry runs
+// once at the batch's admission instant, then every request solves against
+// the shared ledger in arrival order. Keeping Release out of the solve
+// sequence keeps ledger epochs monotone across the batch, so the
+// incremental search cache never invalidates wholesale mid-batch.
+func (s *Server) admitBatch(batch []*pending) {
+	s.ctrs.noteBatch(len(batch))
+	s.mu.Lock()
+	now := s.clock.Now()
+	s.expireLocked(now)
+	for _, p := range batch {
+		info, err := s.admitOneLocked(now, p)
+		p.result <- admitResult{info: info, err: err}
+	}
+	s.mu.Unlock()
+	s.wakeExpiry()
+}
+
+func (s *Server) admitOneLocked(now time.Time, p *pending) (SessionInfo, error) {
+	if err := p.ctx.Err(); err != nil {
+		s.ctrs.canceled.Add(1)
+		return SessionInfo{}, err
+	}
+	var st core.SolveStats
+	t0 := time.Now()
+	tree, err := core.BuildGreedyTree(p.ctx, p.prob, s.led, &core.SolveOptions{Stats: &st})
+	s.lat.observe(time.Since(t0))
+	s.work.Merge(&st)
+	if err != nil {
+		switch {
+		case p.ctx.Err() != nil:
+			// The request's deadline fired mid-solve; BuildGreedyTree rolled
+			// every reservation back.
+			s.ctrs.canceled.Add(1)
+		case errors.Is(err, core.ErrInfeasible):
+			s.ctrs.rejected.Add(1)
+		default:
+			s.ctrs.failed.Add(1)
+		}
+		return SessionInfo{}, err
+	}
+	id := fmt.Sprintf("s-%d", s.nextID.Add(1))
+	sess := &session{
+		info: SessionInfo{
+			ID:         id,
+			Users:      p.users,
+			Rate:       tree.Rate(),
+			Channels:   len(tree.Channels),
+			AdmittedAt: now,
+			ExpiresAt:  now.Add(p.ttl),
+		},
+		tree:      tree,
+		expiresAt: now.Add(p.ttl),
+	}
+	s.sessions[id] = sess
+	heap.Push(&s.expiry, sess)
+	s.ctrs.accepted.Add(1)
+	s.sumRate += sess.info.Rate
+	if used := s.led.UsedQubits(); used > s.peak {
+		s.peak = used
+	}
+	return sess.info, nil
+}
+
+// expireLocked releases every session whose expiry is at or before now —
+// the same departAt <= now rule as sched.Simulate's expireSessions.
+func (s *Server) expireLocked(now time.Time) {
+	for len(s.expiry) > 0 {
+		next := s.expiry[0]
+		if next.expiresAt.After(now) {
+			return
+		}
+		heap.Pop(&s.expiry)
+		if next.released {
+			continue // deleted earlier; this was its stale agenda entry
+		}
+		s.releaseLocked(next)
+		s.ctrs.expired.Add(1)
+	}
+}
+
+// releaseLocked refunds a session's tree reservations and drops it from the
+// table. Its expiry-heap entry, if still present, is skipped lazily.
+func (s *Server) releaseLocked(sess *session) {
+	core.ReleaseTree(s.led, sess.tree)
+	sess.released = true
+	delete(s.sessions, sess.info.ID)
+}
+
+// expiryLoop is the timer wheel: one goroutine that sleeps until the
+// earliest expiry and releases capacity, re-arming after every admission
+// (wakeExpiry) so a newly accepted short session is never missed.
+func (s *Server) expiryLoop() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		now := s.clock.Now()
+		s.expireLocked(now)
+		var timer <-chan time.Time
+		if len(s.expiry) > 0 {
+			timer = s.clock.After(s.expiry[0].expiresAt.Sub(now))
+		}
+		s.mu.Unlock()
+		select {
+		case <-s.quit:
+			return
+		case <-s.kick:
+		case <-timer:
+		}
+	}
+}
+
+func (s *Server) wakeExpiry() {
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Metrics snapshots the daemon's counters, live queue and ledger state, and
+// the shared sched.Summary admission view.
+func (s *Server) Metrics() Metrics {
+	s.mu.Lock()
+	work := s.work
+	active := len(s.sessions)
+	used := s.led.UsedQubits()
+	gen := s.led.Epoch().Gen
+	sumRate := s.sumRate
+	peak := s.peak
+	s.mu.Unlock()
+
+	acc := s.ctrs.accepted.Load()
+	rej := s.ctrs.rejected.Load()
+	adm := sched.Summary{
+		Sessions:        int(acc + rej),
+		Accepted:        int(acc),
+		Rejected:        int(rej),
+		PeakQubitsInUse: peak,
+		Work:            work,
+	}
+	if acc+rej > 0 {
+		adm.AcceptanceRatio = float64(acc) / float64(acc+rej)
+	}
+	if acc > 0 {
+		adm.MeanAcceptedRate = sumRate / float64(acc)
+	}
+	batches := s.ctrs.batches.Load()
+	bm := BatchMetrics{
+		Count:    batches,
+		Requests: s.ctrs.batchedRequests.Load(),
+		MaxSize:  s.ctrs.maxBatch.Load(),
+	}
+	if batches > 0 {
+		bm.MeanSize = float64(bm.Requests) / float64(batches)
+	}
+	return Metrics{
+		UptimeMs: float64(s.clock.Now().Sub(s.start)) / 1e6,
+		Queue:    QueueMetrics{Depth: len(s.queue), Capacity: cap(s.queue)},
+		Requests: RequestMetrics{
+			Total:     s.ctrs.requests.Load(),
+			Accepted:  acc,
+			Rejected:  rej,
+			QueueFull: s.ctrs.queueFull.Load(),
+			Invalid:   s.ctrs.invalid.Load(),
+			Canceled:  s.ctrs.canceled.Load(),
+			Failed:    s.ctrs.failed.Load(),
+		},
+		Batches:      bm,
+		SolveLatency: s.lat.snapshot(),
+		Sessions: SessionMetrics{
+			Active:  active,
+			Expired: s.ctrs.expired.Load(),
+			Deleted: s.ctrs.deleted.Load(),
+		},
+		Ledger: LedgerMetrics{
+			UsedQubits:  used,
+			FreeQubits:  s.total - used,
+			TotalQubits: s.total,
+			EpochGen:    gen,
+		},
+		Admission: adm,
+	}
+}
