@@ -6,7 +6,7 @@ BENCH_OUT ?= BENCH_kernel.json
 BENCH_LABEL ?= current
 BENCH_TMP := $(shell mktemp -d 2>/dev/null || echo /tmp/quantumnet-bench)
 
-.PHONY: build test vet race tier1 bench bench-check list-solvers serve loadtest smoke-service clean
+.PHONY: build test vet race tier1 bench bench-check list-solvers serve loadtest smoke-service smoke-recovery clean
 
 build:
 	$(GO) build ./...
@@ -20,9 +20,11 @@ vet:
 # race runs the data-race detector over the packages with internal
 # concurrency: core's parallel all-pairs fan-out, sim's batch pool,
 # quantum's shared ledger (the mutex-serialized mutation contract and
-# lock-free read-only use), and service's admission loop + expiry wheel.
+# lock-free read-only use), service's admission loop + expiry wheel +
+# durability wiring, and the WAL's group-commit loop and snapshotter.
 race:
-	$(GO) test -race ./internal/core ./internal/sim ./internal/quantum ./internal/service
+	$(GO) test -race ./internal/core ./internal/sim ./internal/quantum \
+		./internal/service ./internal/wal ./internal/snapshot
 
 # tier1 is the repo's merge gate: build, full tests, vet, race.
 tier1: build test vet race
@@ -77,6 +79,13 @@ loadtest:
 # require a clean drain within 10s.
 smoke-service:
 	bash scripts/smoke_service.sh
+
+# smoke-recovery is the CI crash-durability check: boot muerpd with a data
+# directory, admit 20 long-TTL sessions over HTTP, SIGKILL, restart on the
+# same directory, and require >=95% of the sessions to be live again; ends
+# with an offline qrecover pass over the directory. See DESIGN.md §7.
+smoke-recovery:
+	bash scripts/smoke_recovery.sh
 
 clean:
 	$(GO) clean ./...

@@ -17,6 +17,9 @@
 //	-batch-wait  max batch fill wait            (default 2ms)
 //	-ttl         default session TTL            (default 30s)
 //	-max-ttl     TTL cap                        (default 10m)
+//	-data-dir    durable state directory (WAL + snapshots); crash recovery
+//	             restores every live session on restart (empty = in-memory)
+//	-snapshot-every / -snapshot-interval  snapshot cadence
 //	-version     print build info and exit
 //
 // API: POST /sessions {"users":[...],"ttl_ms":n} → 201 (admitted), 409
@@ -74,6 +77,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		batchWait = fs.Duration("batch-wait", 2*time.Millisecond, "max batch fill wait")
 		ttl       = fs.Duration("ttl", 30*time.Second, "default session TTL")
 		maxTTL    = fs.Duration("max-ttl", 10*time.Minute, "session TTL cap")
+		dataDir   = fs.String("data-dir", "", "durable state directory (WAL + snapshots); empty = in-memory only")
+		snapEvery = fs.Int("snapshot-every", 1024, "snapshot after this many WAL records")
+		snapInt   = fs.Duration("snapshot-interval", 30*time.Second, "snapshot at least this often")
 		version   = fs.Bool("version", false, "print build info and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -91,13 +97,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fmt.Fprintln(out, g)
 
 	svc, err := service.New(service.Config{
-		Graph:      g,
-		Params:     quantum.Params{Alpha: *alpha, SwapProb: *swapProb},
-		QueueSize:  *queueSize,
-		MaxBatch:   *batch,
-		MaxWait:    *batchWait,
-		DefaultTTL: *ttl,
-		MaxTTL:     *maxTTL,
+		Graph:            g,
+		Params:           quantum.Params{Alpha: *alpha, SwapProb: *swapProb},
+		QueueSize:        *queueSize,
+		MaxBatch:         *batch,
+		MaxWait:          *batchWait,
+		DefaultTTL:       *ttl,
+		MaxTTL:           *maxTTL,
+		DataDir:          *dataDir,
+		SnapshotEvery:    *snapEvery,
+		SnapshotInterval: *snapInt,
 	})
 	if err != nil {
 		return err
@@ -110,7 +119,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	bound := ln.Addr().String()
 	if *addrFile != "" {
-		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+		if err := writeFileAtomic(*addrFile, []byte(bound)); err != nil {
 			_ = ln.Close()
 			_ = svc.Close()
 			return fmt.Errorf("write addr file: %w", err)
@@ -145,6 +154,21 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "final admission summary:\n%s", svc.Metrics().Admission)
+	return nil
+}
+
+// writeFileAtomic stages the content next to path and renames it into
+// place, so a watcher polling the file (scripts/CI reading the bound
+// address) never reads a half-written value.
+func writeFileAtomic(path string, content []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, content, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
 	return nil
 }
 

@@ -143,6 +143,78 @@ func (l *Ledger) Release(path []graph.NodeID) {
 	}
 }
 
+// LedgerState is the serializable image of a ledger used by the durability
+// layer (internal/snapshot): the per-node free-qubit budgets plus the full
+// closure history. Free is indexed by graph.NodeID and carries 0 for users.
+type LedgerState struct {
+	Free   []int          `json:"free"`
+	Gen    uint64         `json:"gen"`
+	Closed []graph.NodeID `json:"closed,omitempty"`
+}
+
+// ExportState returns a deep copy of the ledger's state, suitable for
+// serialization. The caller must hold the ledger's mutation lock (the
+// single-mutator contract above) while exporting.
+func (l *Ledger) ExportState() LedgerState {
+	st := LedgerState{Free: make([]int, len(l.free)), Gen: l.gen}
+	copy(st.Free, l.free)
+	if len(l.closed) > 0 {
+		st.Closed = append(st.Closed, l.closed...)
+	}
+	return st
+}
+
+// ImportState overwrites the ledger's budgets and closure history with a
+// previously exported state, validating it against the graph: the free
+// vector must cover every node, stay within each switch's total budget,
+// charge users nothing, and keep reservations even (channels charge 2
+// qubits at a time).
+func (l *Ledger) ImportState(st LedgerState) error {
+	if len(st.Free) != len(l.free) {
+		return fmt.Errorf("quantum: ledger state covers %d nodes, graph has %d", len(st.Free), len(l.free))
+	}
+	for _, n := range l.g.Nodes() {
+		free := st.Free[n.ID]
+		if n.Kind == graph.KindSwitch {
+			if free < 0 || free > n.Qubits {
+				return fmt.Errorf("quantum: ledger state: switch %d free %d outside [0, %d]", n.ID, free, n.Qubits)
+			}
+			if (n.Qubits-free)%2 != 0 {
+				return fmt.Errorf("quantum: ledger state: switch %d holds odd reservation %d", n.ID, n.Qubits-free)
+			}
+		} else if free != 0 {
+			return fmt.Errorf("quantum: ledger state: user %d has free %d, want 0", n.ID, free)
+		}
+	}
+	for _, id := range st.Closed {
+		if id < 0 || int(id) >= len(l.free) || l.g.Node(id).Kind != graph.KindSwitch {
+			return fmt.Errorf("quantum: ledger state: closure log names invalid switch %d", id)
+		}
+	}
+	copy(l.free, st.Free)
+	l.gen = st.Gen
+	l.closed = append(l.closed[:0], st.Closed...)
+	return nil
+}
+
+// SyncEpoch adopts a later closure generation recorded by the durability
+// layer. A rolled-back routing attempt (cancelled or infeasible solve)
+// leaves the free budgets exactly as before but may have closed switches
+// and reopened them, which bumps the generation and clears the closure log;
+// replaying such an attempt is impossible, so recovery patches the epoch
+// directly with the generation the live ledger reached. Regressing the
+// generation is a replay-order bug and is rejected.
+func (l *Ledger) SyncEpoch(gen uint64) error {
+	if gen < l.gen {
+		return fmt.Errorf("quantum: SyncEpoch gen %d behind current %d", gen, l.gen)
+	}
+	if gen > l.gen {
+		l.gen = gen
+		l.closed = l.closed[:0]
+	}
+	return nil
+}
+
 // Clone returns an independent copy of the ledger, closure history included.
 func (l *Ledger) Clone() *Ledger {
 	c := &Ledger{free: make([]int, len(l.free)), g: l.g, gen: l.gen}

@@ -1,0 +1,121 @@
+package quantum
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"github.com/muerp/quantumnet/internal/graph"
+)
+
+// TestLedgerStateRoundTrip exports a mutated ledger, pushes the state
+// through JSON (as the snapshot layer does), imports it into a fresh
+// ledger, and requires identical budgets, epoch and closure log.
+func TestLedgerStateRoundTrip(t *testing.T) {
+	g := ledgerNetwork(t)
+	l := NewLedger(g)
+	path := []graph.NodeID{0, 1, 2, 3}
+	if err := l.Reserve(path); err != nil {
+		t.Fatalf("Reserve: %v", err)
+	}
+	st := l.ExportState()
+	blob, err := json.Marshal(st)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back LedgerState
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	restored := NewLedger(g)
+	if err := restored.ImportState(back); err != nil {
+		t.Fatalf("ImportState: %v", err)
+	}
+	if !reflect.DeepEqual(restored.ExportState(), st) {
+		t.Fatalf("restored state %+v != exported %+v", restored.ExportState(), st)
+	}
+	if restored.Epoch() != l.Epoch() {
+		t.Fatalf("restored epoch %+v != live %+v", restored.Epoch(), l.Epoch())
+	}
+	if restored.Free(1) != 2 || restored.Free(2) != 0 {
+		t.Fatalf("restored budgets: free(1)=%d free(2)=%d", restored.Free(1), restored.Free(2))
+	}
+	// The restored ledger continues the closure history: releasing the path
+	// reopens switch 2 and bumps the generation on both, identically.
+	l.Release(path)
+	restored.Release(path)
+	if restored.Epoch() != l.Epoch() {
+		t.Fatalf("post-release epoch %+v != live %+v", restored.Epoch(), l.Epoch())
+	}
+}
+
+// TestLedgerExportIsDeepCopy ensures later mutations don't alias the export.
+func TestLedgerExportIsDeepCopy(t *testing.T) {
+	g := ledgerNetwork(t)
+	l := NewLedger(g)
+	st := l.ExportState()
+	if err := l.Reserve([]graph.NodeID{0, 1, 2, 3}); err != nil {
+		t.Fatalf("Reserve: %v", err)
+	}
+	if st.Free[1] != 4 || len(st.Closed) != 0 {
+		t.Fatalf("export mutated by later Reserve: %+v", st)
+	}
+}
+
+func TestLedgerImportRejectsInvalidState(t *testing.T) {
+	g := ledgerNetwork(t)
+	l := NewLedger(g)
+	base := l.ExportState()
+
+	for name, mutate := range map[string]func(*LedgerState){
+		"wrong-length":    func(st *LedgerState) { st.Free = st.Free[:2] },
+		"over-budget":     func(st *LedgerState) { st.Free[1] = 6 },
+		"negative":        func(st *LedgerState) { st.Free[2] = -2 },
+		"odd-reservation": func(st *LedgerState) { st.Free[1] = 3 },
+		"charged-user":    func(st *LedgerState) { st.Free[0] = 2 },
+		"closed-user":     func(st *LedgerState) { st.Closed = []graph.NodeID{0} },
+		"closed-unknown":  func(st *LedgerState) { st.Closed = []graph.NodeID{99} },
+	} {
+		t.Run(name, func(t *testing.T) {
+			st := LedgerState{Free: append([]int(nil), base.Free...), Gen: base.Gen}
+			mutate(&st)
+			if err := l.ImportState(st); err == nil {
+				t.Fatalf("ImportState accepted %+v", st)
+			}
+		})
+	}
+	// The failed imports above must not have modified the ledger.
+	if !reflect.DeepEqual(l.ExportState(), base) {
+		t.Fatalf("ledger changed by rejected imports: %+v", l.ExportState())
+	}
+}
+
+func TestSyncEpoch(t *testing.T) {
+	g := ledgerNetwork(t)
+	l := NewLedger(g)
+	if err := l.Reserve([]graph.NodeID{0, 1, 2, 3}); err != nil {
+		t.Fatalf("Reserve: %v", err)
+	}
+	if n := len(l.ExportState().Closed); n != 1 {
+		t.Fatalf("closures = %d, want 1 (switch 2 closed)", n)
+	}
+	// Same generation: a no-op.
+	if err := l.SyncEpoch(l.Epoch().Gen); err != nil {
+		t.Fatalf("SyncEpoch same gen: %v", err)
+	}
+	if n := len(l.ExportState().Closed); n != 1 {
+		t.Fatalf("no-op SyncEpoch cleared the closure log")
+	}
+	// A later generation adopts it and clears the log, exactly what a
+	// rolled-back attempt's reopening Release would have done.
+	if err := l.SyncEpoch(l.Epoch().Gen + 3); err != nil {
+		t.Fatalf("SyncEpoch forward: %v", err)
+	}
+	if e := l.Epoch(); e.Gen != 3 || e.N != 0 {
+		t.Fatalf("epoch after sync = %+v, want gen 3 n 0", e)
+	}
+	// Going backwards is a replay bug.
+	if err := l.SyncEpoch(1); err == nil {
+		t.Fatal("SyncEpoch accepted a regressing generation")
+	}
+}

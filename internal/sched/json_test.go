@@ -1,0 +1,110 @@
+package sched
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/muerp/quantumnet/internal/quantum"
+	"github.com/muerp/quantumnet/internal/topology"
+)
+
+// TestSummaryJSONRoundTrip pins the Summary wire format: the daemon's
+// /metrics embeds a Summary and the durability layer snapshots documents
+// containing it, so both the field set and round-trip stability matter.
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	g, err := topology.Generate(topology.Default(), rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatalf("topology: %v", err)
+	}
+	w := Workload{Requests: 40, MeanInterarrival: 1, MeanHold: 5, MinUsers: 2, MaxUsers: 4}
+	requests, err := w.Generate(g, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	report, err := Simulate(g, requests, quantum.DefaultParams())
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	sum := report.Summary()
+	if sum.Sessions == 0 || sum.Accepted == 0 {
+		t.Fatalf("degenerate summary %+v", sum)
+	}
+
+	blob, err := json.Marshal(sum)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Summary
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(back, sum) {
+		t.Fatalf("round trip changed the summary:\nbefore %+v\nafter  %+v", sum, back)
+	}
+	// Marshal → unmarshal → marshal is a fixed point: no field is dropped,
+	// renamed, or reordered between the two serializations.
+	blob2, err := json.Marshal(back)
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	if string(blob2) != string(blob) {
+		t.Fatalf("serialization not stable:\nfirst  %s\nsecond %s", blob, blob2)
+	}
+
+	// The wire names are part of the contract (scripts and CI jq them).
+	var fields map[string]json.RawMessage
+	if err := json.Unmarshal(blob, &fields); err != nil {
+		t.Fatalf("decode as map: %v", err)
+	}
+	for _, key := range []string{
+		"sessions", "accepted", "rejected", "acceptance_ratio",
+		"mean_accepted_rate", "peak_qubits_in_use", "work",
+	} {
+		if _, ok := fields[key]; !ok {
+			t.Errorf("summary JSON lost field %q: %s", key, blob)
+		}
+	}
+	if len(fields) != 7 {
+		t.Errorf("summary JSON has %d fields, want 7: %s", len(fields), blob)
+	}
+}
+
+// TestReportJSONRoundTrip pins Report's serialization contract: a Report
+// marshals as its Summary (the aggregate view — per-request outcomes stay
+// in memory), and decoding that JSON as a Summary loses nothing.
+func TestReportJSONRoundTrip(t *testing.T) {
+	g, err := topology.Generate(topology.Default(), rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatalf("topology: %v", err)
+	}
+	w := Workload{Requests: 25, MeanInterarrival: 1, MeanHold: 4, MinUsers: 2, MaxUsers: 3}
+	requests, err := w.Generate(g, rand.New(rand.NewSource(10)))
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	report, err := Simulate(g, requests, quantum.DefaultParams())
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+
+	blob, err := json.Marshal(report)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	asSummary, err := json.Marshal(report.Summary())
+	if err != nil {
+		t.Fatalf("marshal summary: %v", err)
+	}
+	if string(blob) != string(asSummary) {
+		t.Fatalf("Report JSON is not its Summary JSON:\nreport  %s\nsummary %s", blob, asSummary)
+	}
+	var back Summary
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(back, report.Summary()) {
+		t.Fatalf("summary diverges after round trip:\nbefore %+v\nafter  %+v", report.Summary(), back)
+	}
+}

@@ -123,6 +123,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "shutting_down", "")
 		return
 	}
+	if s.dur != nil && s.dur.failed.Load() {
+		// A WAL append failed: in-memory state is fine but can no longer be
+		// promised across a crash. Operators should replace the node.
+		writeError(w, http.StatusServiceUnavailable, "durability_failed", ErrDurability.Error())
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
 }

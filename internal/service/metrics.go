@@ -161,4 +161,6 @@ type Metrics struct {
 	Sessions     SessionMetrics    `json:"sessions"`
 	Ledger       LedgerMetrics     `json:"ledger"`
 	Admission    sched.Summary     `json:"admission"`
+	// Durability reports the WAL/snapshot layer; nil without a data dir.
+	Durability *DurabilityMetrics `json:"durability,omitempty"`
 }

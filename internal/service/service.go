@@ -84,6 +84,23 @@ type Config struct {
 	RetryAfter time.Duration
 	// Clock defaults to SystemClock; tests inject a fake.
 	Clock Clock
+
+	// DataDir enables the durability layer (DESIGN.md §7): admission
+	// decisions are write-ahead logged under DataDir/wal and periodically
+	// folded into snapshots under DataDir/snap, and New recovers the
+	// pre-crash state from them. Empty means in-memory only.
+	DataDir string
+	// SnapshotEvery triggers a snapshot after this many WAL records.
+	// Default 1024.
+	SnapshotEvery int
+	// SnapshotInterval triggers a snapshot after this much wall time even
+	// when traffic is light. Default 30s.
+	SnapshotInterval time.Duration
+	// SnapshotKeep is how many snapshots Prune retains. Default 3.
+	SnapshotKeep int
+	// NoSync skips WAL fsyncs — only for benchmarks measuring the
+	// non-durable baseline; a crash can then lose acknowledged records.
+	NoSync bool
 }
 
 func (c Config) withDefaults() Config {
@@ -113,6 +130,15 @@ func (c Config) withDefaults() Config {
 	if c.Clock == nil {
 		c.Clock = SystemClock()
 	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 1024
+	}
+	if c.SnapshotInterval <= 0 {
+		c.SnapshotInterval = 30 * time.Second
+	}
+	if c.SnapshotKeep <= 0 {
+		c.SnapshotKeep = 3
+	}
 	return c
 }
 
@@ -129,12 +155,15 @@ type SessionInfo struct {
 	ExpiresAt  time.Time `json:"expires_at"`
 }
 
-// session is one admitted request holding ledger capacity.
+// session is one admitted request holding ledger capacity. Sessions live in
+// the expiry heap exactly as long as they live in the table: a release
+// (expiry or DELETE) removes the heap entry eagerly via heapIdx, which
+// keeps the heap's slice evolution a pure function of the admission/release
+// sequence — the property WAL replay relies on to rebuild it byte for byte.
 type session struct {
 	info      SessionInfo
 	tree      quantum.Tree
 	expiresAt time.Time
-	released  bool // set when capacity was refunded (expiry or DELETE)
 	heapIdx   int
 }
 
@@ -200,6 +229,9 @@ type Server struct {
 	nextID atomic.Uint64
 	ctrs   counters
 	lat    *histogram
+
+	// dur is the durability runtime (WAL + snapshots); nil without DataDir.
+	dur *durability
 }
 
 // New validates the configuration and starts the admission and expiry
@@ -229,9 +261,20 @@ func New(cfg Config) (*Server, error) {
 	for _, id := range cfg.Graph.Switches() {
 		s.total += cfg.Graph.Node(id).Qubits
 	}
+	if cfg.DataDir != "" {
+		// Recover the pre-crash state and open the WAL before any goroutine
+		// can mutate or observe it.
+		if err := s.openDurability(cfg); err != nil {
+			return nil, err
+		}
+	}
 	s.wg.Add(2)
 	go s.admissionLoop()
 	go s.expiryLoop()
+	if s.dur != nil {
+		s.wg.Add(1)
+		go s.snapshotLoop()
+	}
 	return s, nil
 }
 
@@ -300,14 +343,17 @@ func (s *Server) Session(id string) (SessionInfo, bool) {
 // sessions.
 func (s *Server) Delete(id string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	sess, ok := s.sessions[id]
 	if !ok {
+		s.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNoSession, id)
 	}
-	s.releaseLocked(sess)
+	s.releaseLocked(sess, releasedDeleted, s.clock.Now())
 	s.ctrs.deleted.Add(1)
-	return nil
+	ticket := s.enqueueRecordsLocked()
+	s.mu.Unlock()
+	// Write-ahead contract: the release is on disk before the 204.
+	return s.waitDurable(ticket)
 }
 
 // ActiveSessions returns the number of sessions currently holding capacity.
@@ -322,6 +368,7 @@ func (s *Server) ActiveSessions() int {
 // accepted work), stops the admission and expiry goroutines and returns.
 // Close is idempotent and safe to call concurrently.
 func (s *Server) Close() error {
+	var closeErr error
 	s.closeOnce.Do(func() {
 		s.closing.Store(true)
 		close(s.quit)
@@ -333,11 +380,13 @@ func (s *Server) Close() error {
 			case p := <-s.queue:
 				p.result <- admitResult{err: ErrClosed}
 			default:
+				// Final snapshot + WAL close: a clean restart replays nothing.
+				closeErr = s.closeDurability()
 				return
 			}
 		}
 	})
-	return nil
+	return closeErr
 }
 
 // admissionLoop is the single consumer of the queue: it drains requests in
@@ -418,14 +467,24 @@ func (s *Server) drain() {
 // incremental search cache never invalidates wholesale mid-batch.
 func (s *Server) admitBatch(batch []*pending) {
 	s.ctrs.noteBatch(len(batch))
+	results := make([]admitResult, len(batch))
 	s.mu.Lock()
 	now := s.clock.Now()
 	s.expireLocked(now)
-	for _, p := range batch {
+	for i, p := range batch {
 		info, err := s.admitOneLocked(now, p)
-		p.result <- admitResult{info: info, err: err}
+		results[i] = admitResult{info: info, err: err}
 	}
+	// Hand the batch's records (expiries + admits, in mutation order) to the
+	// WAL while still holding the lock: WAL order is mutation order.
+	ticket := s.enqueueRecordsLocked()
 	s.mu.Unlock()
+	// Write-ahead contract: decisions reach disk before any caller hears
+	// them. One fsync covers the whole batch (group commit).
+	_ = s.waitDurable(ticket)
+	for i, p := range batch {
+		p.result <- results[i]
+	}
 	s.wakeExpiry()
 }
 
@@ -435,6 +494,7 @@ func (s *Server) admitOneLocked(now time.Time, p *pending) (SessionInfo, error) 
 		return SessionInfo{}, err
 	}
 	var st core.SolveStats
+	genBefore := s.led.Epoch().Gen
 	t0 := time.Now()
 	tree, err := core.BuildGreedyTree(p.ctx, p.prob, s.led, &core.SolveOptions{Stats: &st})
 	s.lat.observe(time.Since(t0))
@@ -449,6 +509,12 @@ func (s *Server) admitOneLocked(now time.Time, p *pending) (SessionInfo, error) 
 			s.ctrs.rejected.Add(1)
 		default:
 			s.ctrs.failed.Add(1)
+		}
+		// A rolled-back attempt leaves the budgets untouched but its
+		// reopening releases may have bumped the closure generation; log the
+		// bump so replay lands on the identical epoch.
+		if gen := s.led.Epoch().Gen; gen != genBefore {
+			s.appendRecordLocked(walRecord{T: recEpoch, Epoch: &epochRecord{Gen: gen}})
 		}
 		return SessionInfo{}, err
 	}
@@ -472,6 +538,11 @@ func (s *Server) admitOneLocked(now time.Time, p *pending) (SessionInfo, error) 
 	if used := s.led.UsedQubits(); used > s.peak {
 		s.peak = used
 	}
+	s.appendRecordLocked(walRecord{T: recAdmit, Admit: &admitRecord{
+		Info:   sess.info,
+		Tree:   tree,
+		NextID: s.nextID.Load(),
+	}})
 	return sess.info, nil
 }
 
@@ -483,21 +554,28 @@ func (s *Server) expireLocked(now time.Time) {
 		if next.expiresAt.After(now) {
 			return
 		}
-		heap.Pop(&s.expiry)
-		if next.released {
-			continue // deleted earlier; this was its stale agenda entry
-		}
-		s.releaseLocked(next)
+		s.releaseLocked(next, releasedExpired, now)
 		s.ctrs.expired.Add(1)
 	}
 }
 
-// releaseLocked refunds a session's tree reservations and drops it from the
-// table. Its expiry-heap entry, if still present, is skipped lazily.
-func (s *Server) releaseLocked(sess *session) {
+// Release reasons recorded in the WAL.
+const (
+	releasedExpired = "expired"
+	releasedDeleted = "deleted"
+)
+
+// releaseLocked refunds a session's tree reservations, drops it from the
+// table, removes its expiry-heap entry eagerly, and stages the WAL record.
+func (s *Server) releaseLocked(sess *session, reason string, now time.Time) {
+	heap.Remove(&s.expiry, sess.heapIdx)
 	core.ReleaseTree(s.led, sess.tree)
-	sess.released = true
 	delete(s.sessions, sess.info.ID)
+	s.appendRecordLocked(walRecord{T: recRelease, Release: &releaseRecord{
+		ID:     sess.info.ID,
+		Reason: reason,
+		At:     now,
+	}})
 }
 
 // expiryLoop is the timer wheel: one goroutine that sleeps until the
@@ -513,7 +591,9 @@ func (s *Server) expiryLoop() {
 		if len(s.expiry) > 0 {
 			timer = s.clock.After(s.expiry[0].expiresAt.Sub(now))
 		}
+		ticket := s.enqueueRecordsLocked()
 		s.mu.Unlock()
+		_ = s.waitDurable(ticket)
 		select {
 		case <-s.quit:
 			return
@@ -591,6 +671,7 @@ func (s *Server) Metrics() Metrics {
 			TotalQubits: s.total,
 			EpochGen:    gen,
 		},
-		Admission: adm,
+		Admission:  adm,
+		Durability: s.durabilityMetrics(),
 	}
 }

@@ -33,24 +33,39 @@ func benchGraph(b *testing.B) *graph.Graph {
 // queue, the batching loop and the shared-ledger solver, with short TTLs so
 // the expiry wheel keeps reclaiming capacity under load. Sub-benchmarks
 // vary the micro-batch size; parallel clients stress the batch-fill path.
+// The durable variants run the same load with the WAL enabled, so the
+// delta is the group-commit cost: one fsync per admission batch, amortised
+// across every request that shares it.
 func BenchmarkAdmissionLoop(b *testing.B) {
 	for _, bench := range []struct {
 		name     string
 		maxBatch int
+		durable  bool
 	}{
-		{"batch1", 1},
-		{"batch16", 16},
+		{"batch1", 1, false},
+		{"batch16", 16, false},
+		{"batch1-durable", 1, true},
+		{"batch8-durable", 8, true},
+		{"batch16-durable", 16, true},
 	} {
 		b.Run(bench.name, func(b *testing.B) {
 			g := benchGraph(b)
-			s, err := New(Config{
+			cfg := Config{
 				Graph:      g,
 				QueueSize:  1024,
 				MaxBatch:   bench.maxBatch,
 				MaxWait:    200 * time.Microsecond,
 				DefaultTTL: 2 * time.Millisecond,
 				MaxTTL:     time.Second,
-			})
+			}
+			if bench.durable {
+				cfg.DataDir = b.TempDir()
+				// Push snapshots out of the window: the variant isolates
+				// the per-batch WAL fsync, not the snapshot cadence.
+				cfg.SnapshotEvery = 1 << 30
+				cfg.SnapshotInterval = time.Hour
+			}
+			s, err := New(cfg)
 			if err != nil {
 				b.Fatalf("New: %v", err)
 			}

@@ -1,0 +1,122 @@
+package snapshot
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+type state struct {
+	Name  string `json:"name"`
+	Count int    `json:"count"`
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	at := time.Unix(1700000000, 123456789)
+	m, err := Save(dir, 42, at, state{Name: "alpha", Count: 7})
+	if err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if m.Seq != 42 || m.Size == 0 {
+		t.Fatalf("meta = %+v", m)
+	}
+	var got state
+	loaded, err := Load(m.Path, &got)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if loaded.Seq != 42 || !loaded.TakenAt.Equal(at) {
+		t.Fatalf("loaded meta = %+v", loaded)
+	}
+	if got.Name != "alpha" || got.Count != 7 {
+		t.Fatalf("state = %+v", got)
+	}
+}
+
+func TestLatestPicksNewestValidAndSkipsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	for i, s := range []state{{"one", 1}, {"two", 2}, {"three", 3}} {
+		if _, err := Save(dir, uint64(10*(i+1)), time.Unix(int64(i), 0), s); err != nil {
+			t.Fatalf("Save %d: %v", i, err)
+		}
+	}
+	var got state
+	m, ok, err := Latest(dir, &got)
+	if err != nil || !ok || m.Seq != 30 || got.Name != "three" {
+		t.Fatalf("Latest: meta %+v ok %v err %v state %+v", m, ok, err, got)
+	}
+
+	// Corrupt the newest: Latest must fall back to the second newest.
+	b, err := os.ReadFile(m.Path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	b[len(b)/2] ^= 0xff
+	if err := os.WriteFile(m.Path, b, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	m, ok, err = Latest(dir, &got)
+	if err != nil || !ok || m.Seq != 20 || got.Name != "two" {
+		t.Fatalf("Latest after corruption: meta %+v ok %v err %v state %+v", m, ok, err, got)
+	}
+
+	// Truncate the second newest mid-file (a torn write): fall back again.
+	if err := os.WriteFile(m.Path, b[:10], 0o644); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	m, ok, err = Latest(dir, &got)
+	if err != nil || !ok || m.Seq != 10 || got.Name != "one" {
+		t.Fatalf("Latest after truncation: meta %+v ok %v err %v state %+v", m, ok, err, got)
+	}
+}
+
+func TestLatestEmptyDir(t *testing.T) {
+	if _, ok, err := Latest(t.TempDir(), nil); ok || err != nil {
+		t.Fatalf("empty dir: ok %v err %v", ok, err)
+	}
+	if _, ok, err := Latest(filepath.Join(t.TempDir(), "missing"), nil); ok || err != nil {
+		t.Fatalf("missing dir: ok %v err %v", ok, err)
+	}
+}
+
+func TestPruneKeepsNewest(t *testing.T) {
+	dir := t.TempDir()
+	for i := 1; i <= 5; i++ {
+		if _, err := Save(dir, uint64(i), time.Unix(int64(i), 0), state{Count: i}); err != nil {
+			t.Fatalf("Save %d: %v", i, err)
+		}
+	}
+	if err := Prune(dir, 2); err != nil {
+		t.Fatalf("Prune: %v", err)
+	}
+	metas, err := list(dir)
+	if err != nil || len(metas) != 2 {
+		t.Fatalf("after prune: %d snapshots (%v)", len(metas), err)
+	}
+	if metas[0].Seq != 5 || metas[1].Seq != 4 {
+		t.Fatalf("kept %d and %d, want 5 and 4", metas[0].Seq, metas[1].Seq)
+	}
+}
+
+func TestNoTempFilesLeftBehind(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Save(dir, 1, time.Unix(0, 0), state{}); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	// Unmarshalable state: Save fails before staging anything.
+	if _, err := Save(dir, 2, time.Unix(0, 0), func() {}); err == nil {
+		t.Fatal("Save of unmarshalable state succeeded")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("stray temp file %s", e.Name())
+		}
+	}
+}

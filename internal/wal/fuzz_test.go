@@ -1,0 +1,67 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// validLog builds a well-formed segment image with the given payloads.
+func validLog(payloads ...[]byte) []byte {
+	b := []byte(headerMagic)
+	for _, p := range payloads {
+		b = appendFrame(b, p)
+	}
+	return b
+}
+
+// FuzzScan feeds arbitrary bytes to the record decoder. Whatever the input
+// — truncated tails, flipped CRC bytes, zero-length or absurd-length
+// frames — Scan must return either a clean EOF or a typed *CorruptError,
+// never panic, and the valid prefix it reports must itself re-scan cleanly
+// to the same record count (the torn-tail truncation contract).
+func FuzzScan(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(headerMagic))
+	f.Add(validLog([]byte("hello"), []byte("world")))
+	f.Add(validLog(bytes.Repeat([]byte{0xab}, 300)))
+	// Torn tail: a valid record then a partial frame header.
+	f.Add(append(validLog([]byte("ok")), 0x05, 0x00))
+	// Zero-length frame after a valid record.
+	f.Add(append(validLog([]byte("ok")), 0, 0, 0, 0, 0, 0, 0, 0))
+	// Flipped CRC byte on the only record.
+	flipped := validLog([]byte("payload"))
+	flipped[len(flipped)-1] ^= 0xff
+	f.Add(flipped)
+	// Oversized length field.
+	f.Add(append([]byte(headerMagic), 0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		records, valid, err := Scan(bytes.NewReader(data), func(p []byte) error { return nil })
+		if valid < 0 || valid > int64(len(data)) {
+			t.Fatalf("valid prefix %d outside input length %d", valid, len(data))
+		}
+		var ce *CorruptError
+		if err != nil && !errors.As(err, &ce) {
+			t.Fatalf("scan returned untyped error %v", err)
+		}
+		if err != nil && ce.Offset != valid {
+			t.Fatalf("corrupt offset %d != valid prefix %d", ce.Offset, valid)
+		}
+		if valid == 0 {
+			if records != 0 {
+				t.Fatalf("%d records in a zero-length valid prefix", records)
+			}
+			return
+		}
+		// The reported valid prefix must be a clean, complete log image.
+		again, validAgain, err := Scan(bytes.NewReader(data[:valid]), nil)
+		if err != nil {
+			t.Fatalf("re-scan of valid prefix failed: %v", err)
+		}
+		if again != records || validAgain != valid {
+			t.Fatalf("re-scan: %d records / %d bytes, first scan: %d / %d",
+				again, validAgain, records, valid)
+		}
+	})
+}

@@ -1,0 +1,134 @@
+package wal
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// syncBucketCount is the number of finite fsync-latency buckets; one +Inf
+// overflow bucket follows.
+const syncBucketCount = 14
+
+// syncBuckets are the upper bounds of the fsync-latency histogram. Spinning
+// disks sit in the millisecond range, NVMe and battery-backed caches in the
+// tens of microseconds; the +Inf overflow bucket catches stalls.
+var syncBuckets = [syncBucketCount]time.Duration{
+	25 * time.Microsecond,
+	50 * time.Microsecond,
+	100 * time.Microsecond,
+	250 * time.Microsecond,
+	500 * time.Microsecond,
+	time.Millisecond,
+	2500 * time.Microsecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	25 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	250 * time.Millisecond,
+	time.Second,
+}
+
+// logMetrics are the log's monotonic counters. The commit goroutine is the
+// only writer of most of them, but Metrics() reads concurrently, so they
+// are atomics.
+type logMetrics struct {
+	records     atomic.Int64
+	batches     atomic.Int64
+	bytes       atomic.Int64
+	maxBatch    atomic.Int64
+	syncs       atomic.Int64
+	syncNanos   atomic.Int64
+	rotations   atomic.Int64
+	compactions atomic.Int64
+	syncCounts  [syncBucketCount + 1]atomic.Int64
+}
+
+func (m *logMetrics) noteBatch(records, bytes int) {
+	m.records.Add(int64(records))
+	m.batches.Add(1)
+	m.bytes.Add(int64(bytes))
+	for {
+		cur := m.maxBatch.Load()
+		if int64(records) <= cur || m.maxBatch.CompareAndSwap(cur, int64(records)) {
+			return
+		}
+	}
+}
+
+func (m *logMetrics) observeSync(d time.Duration) {
+	m.syncs.Add(1)
+	m.syncNanos.Add(int64(d))
+	for i, ub := range syncBuckets {
+		if d <= ub {
+			m.syncCounts[i].Add(1)
+			return
+		}
+	}
+	m.syncCounts[syncBucketCount].Add(1)
+}
+
+// Metrics is a point-in-time snapshot of a log's activity, shaped for the
+// daemon's /metrics document.
+type Metrics struct {
+	// Records is the number of records appended (committed) since open.
+	Records int64 `json:"records"`
+	// Batches is the number of group commits; Records/Batches is the
+	// achieved fsync amortization.
+	Batches int64 `json:"batches"`
+	// MeanBatch is Records/Batches.
+	MeanBatch float64 `json:"mean_batch"`
+	// MaxBatch is the largest single group commit.
+	MaxBatch int64 `json:"max_batch"`
+	// Bytes is the framed bytes written.
+	Bytes int64 `json:"bytes"`
+	// Syncs is the number of fsyncs issued (0 under NoSync).
+	Syncs int64 `json:"syncs"`
+	// SyncMeanMs and SyncP99Ms summarize fsync latency. P99 is the upper
+	// bound of the histogram bucket containing the 99th percentile.
+	SyncMeanMs float64 `json:"sync_mean_ms"`
+	SyncP99Ms  float64 `json:"sync_p99_ms"`
+	// Rotations and Compactions count segment rolls and snapshot-driven
+	// segment deletions.
+	Rotations   int64 `json:"rotations"`
+	Compactions int64 `json:"compactions"`
+}
+
+// Metrics returns a consistent-enough snapshot of the log's counters (each
+// counter is read atomically; the set is not a single atomic cut).
+func (l *Log) Metrics() Metrics {
+	m := Metrics{
+		Records:     l.m.records.Load(),
+		Batches:     l.m.batches.Load(),
+		MaxBatch:    l.m.maxBatch.Load(),
+		Bytes:       l.m.bytes.Load(),
+		Syncs:       l.m.syncs.Load(),
+		Rotations:   l.m.rotations.Load(),
+		Compactions: l.m.compactions.Load(),
+	}
+	if m.Batches > 0 {
+		m.MeanBatch = float64(m.Records) / float64(m.Batches)
+	}
+	if m.Syncs > 0 {
+		m.SyncMeanMs = float64(l.m.syncNanos.Load()) / float64(m.Syncs) / 1e6
+		m.SyncP99Ms = l.m.syncPercentile(0.99, m.Syncs)
+	}
+	return m
+}
+
+// syncPercentile returns the upper bound (in ms) of the bucket holding the
+// p-quantile of fsync latencies; 0 marks the +Inf overflow bucket.
+func (m *logMetrics) syncPercentile(p float64, total int64) float64 {
+	target := int64(p * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := range syncBuckets {
+		cum += m.syncCounts[i].Load()
+		if cum >= target {
+			return float64(syncBuckets[i]) / 1e6
+		}
+	}
+	return 0
+}
