@@ -6,7 +6,7 @@ BENCH_OUT ?= BENCH_kernel.json
 BENCH_LABEL ?= current
 BENCH_TMP := $(shell mktemp -d 2>/dev/null || echo /tmp/quantumnet-bench)
 
-.PHONY: build test vet race tier1 bench bench-check list-solvers serve loadtest smoke-service smoke-recovery clean
+.PHONY: build test vet race tier1 bench bench-service bench-check list-solvers serve loadtest smoke-service smoke-recovery clean
 
 build:
 	$(GO) build ./...
@@ -44,11 +44,25 @@ bench:
 	$(GO) run ./cmd/benchreport -label $(BENCH_LABEL) -o $(BENCH_OUT) \
 		$(BENCH_TMP)/kernel.txt $(BENCH_TMP)/engine.txt $(BENCH_TMP)/figs.txt
 
-# bench-check is the CI perf smoke: a quick (short-benchtime) pass over the
-# solver and engine benches, diffed against the committed baseline's newest
-# run. Exits non-zero when any shared benchmark is >15% slower ns/op; names
-# are paired ignoring the -N procs suffix so the committed baseline works
-# across machines. See `benchreport -check`.
+# bench-service refreshes the "speculative" run: the end-to-end admission
+# loop across batch sizes, durability, and the speculative scheduler's
+# worker sweep (big-workers{1,2,4}). The workersN/workers1 ratio is the
+# speculation speedup; it needs GOMAXPROCS >= N to show — on fewer cores
+# the sweep records speculation overhead instead (see EXPERIMENTS.md).
+bench-service:
+	mkdir -p $(BENCH_TMP)
+	$(GO) test -run '^$$' -bench 'BenchmarkAdmissionLoop' \
+		-benchtime 1s ./internal/service | tee $(BENCH_TMP)/service.txt
+	$(GO) run ./cmd/benchreport -label speculative -o $(BENCH_OUT) \
+		$(BENCH_TMP)/service.txt
+
+# bench-check is the CI perf smoke: quick (short-benchtime) passes over the
+# solver/engine benches and the admission loop, each diffed against the
+# committed baseline run that covers the same suite (kernel benches against
+# the newest overlapping run, admission benches against the "speculative"
+# run). Exits non-zero when any shared benchmark is >15% slower ns/op;
+# names are paired ignoring the -N procs suffix so the committed baseline
+# works across machines. See `benchreport -check`.
 bench-check:
 	mkdir -p $(BENCH_TMP)
 	$(GO) test -run '^$$' -bench 'BenchmarkAlgorithm1ChannelSearch|BenchmarkSolvers' \
@@ -58,6 +72,12 @@ bench-check:
 	$(GO) run ./cmd/benchreport -label smoke -o $(BENCH_TMP)/smoke.json \
 		$(BENCH_TMP)/smoke-kernel.txt $(BENCH_TMP)/smoke-engine.txt
 	$(GO) run ./cmd/benchreport -check $(BENCH_OUT) $(BENCH_TMP)/smoke.json
+	$(GO) test -run '^$$' -bench 'BenchmarkAdmissionLoop' \
+		-benchtime 0.3s ./internal/service | tee $(BENCH_TMP)/smoke-service.txt
+	$(GO) run ./cmd/benchreport -label smoke-service -o $(BENCH_TMP)/smoke-service.json \
+		$(BENCH_TMP)/smoke-service.txt
+	$(GO) run ./cmd/benchreport -check -against speculative \
+		$(BENCH_OUT) $(BENCH_TMP)/smoke-service.json
 
 # list-solvers prints every routing scheme in the registry, with labels and
 # per-scheme assumptions (sufficient capacity, randomness).

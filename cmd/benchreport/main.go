@@ -13,12 +13,17 @@
 //
 // Diff mode:
 //
-//	go run ./cmd/benchreport -check old.json new.json
+//	go run ./cmd/benchreport -check [-against LABEL] old.json new.json
 //
-// compares the newest run in each file benchmark-by-benchmark and exits
-// non-zero when any benchmark present in both slowed down by more than
-// -threshold (default 0.15 = 15% ns/op). Benchmarks only one side has are
-// reported but never fail the check.
+// compares a baseline run from old.json against the newest run in new.json
+// benchmark-by-benchmark and exits non-zero when any benchmark present in
+// both slowed down by more than -threshold (default 0.15 = 15% ns/op).
+// Benchmarks only one side has are reported but never fail the check. The
+// baseline is the run named by -against when given; otherwise the newest
+// run in old.json that shares at least one benchmark with the new run (a
+// results file accumulates runs covering different benchmark suites —
+// kernel, admission, speculation — so the file's newest run need not
+// overlap the suite under test).
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"github.com/muerp/quantumnet/internal/benchio"
 )
@@ -37,13 +43,14 @@ func main() {
 	out := flag.String("o", "BENCH_kernel.json", "results file to update")
 	check := flag.Bool("check", false, "diff mode: compare two results files instead of ingesting bench output")
 	threshold := flag.Float64("threshold", 0.15, "with -check, fail on ns/op regressions above this fraction")
+	against := flag.String("against", "", "with -check, compare against this labeled run of old.json (default: newest overlapping run)")
 	flag.Parse()
 
 	if *check {
 		if flag.NArg() != 2 {
-			log.Fatal("usage: benchreport -check [-threshold FRAC] old.json new.json")
+			log.Fatal("usage: benchreport -check [-threshold FRAC] [-against LABEL] old.json new.json")
 		}
-		os.Exit(runCheck(flag.Arg(0), flag.Arg(1), *threshold))
+		os.Exit(runCheck(flag.Arg(0), flag.Arg(1), *against, *threshold))
 	}
 
 	if flag.NArg() == 0 {
@@ -83,12 +90,12 @@ func main() {
 		len(merged.Results), *label, *out, len(file.Runs))
 }
 
-// runCheck diffs the newest run of two results files and returns the
-// process exit code: 0 when no shared benchmark regressed past the
-// threshold, 1 otherwise.
-func runCheck(oldPath, newPath string, threshold float64) int {
-	oldRun := lastRun(oldPath)
+// runCheck diffs a baseline run of oldPath against the newest run of
+// newPath and returns the process exit code: 0 when no shared benchmark
+// regressed past the threshold, 1 otherwise.
+func runCheck(oldPath, newPath, against string, threshold float64) int {
 	newRun := lastRun(newPath)
+	oldRun := baselineRun(oldPath, against, newRun)
 	deltas := benchio.Compare(oldRun, newRun)
 	if len(deltas) == 0 {
 		log.Fatalf("no shared benchmarks between %s (%q) and %s (%q)",
@@ -126,4 +133,36 @@ func lastRun(path string) benchio.Report {
 		log.Fatalf("%s holds no benchmark runs", path)
 	}
 	return f.Runs[len(f.Runs)-1]
+}
+
+// baselineRun picks the comparison baseline out of a results file: the
+// newest run with the requested label, or — with no label — the newest run
+// sharing at least one benchmark with the run under test.
+func baselineRun(path, label string, newRun benchio.Report) benchio.Report {
+	f, err := benchio.Load(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(f.Runs) == 0 {
+		log.Fatalf("%s holds no benchmark runs", path)
+	}
+	labels := make([]string, 0, len(f.Runs))
+	for i := len(f.Runs) - 1; i >= 0; i-- {
+		run := f.Runs[i]
+		labels = append(labels, fmt.Sprintf("%q", run.Label))
+		if label != "" {
+			if run.Label == label {
+				return run
+			}
+			continue
+		}
+		if len(benchio.Compare(run, newRun)) > 0 {
+			return run
+		}
+	}
+	if label != "" {
+		log.Fatalf("%s holds no run labeled %q (have %s)", path, label, strings.Join(labels, ", "))
+	}
+	log.Fatalf("no run in %s shares benchmarks with %q (have %s)", path, newRun.Label, strings.Join(labels, ", "))
+	return benchio.Report{}
 }

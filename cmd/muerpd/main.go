@@ -15,6 +15,8 @@
 //	-queue       admission queue bound          (default 256)
 //	-batch       max admission batch size       (default 16)
 //	-batch-wait  max batch fill wait            (default 2ms)
+//	-workers     parallel admission solvers     (default GOMAXPROCS; >1 runs
+//	             the speculative scheduler, DESIGN.md §8)
 //	-ttl         default session TTL            (default 30s)
 //	-max-ttl     TTL cap                        (default 10m)
 //	-data-dir    durable state directory (WAL + snapshots); crash recovery
@@ -39,6 +41,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -75,6 +78,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		queueSize = fs.Int("queue", 256, "admission queue bound")
 		batch     = fs.Int("batch", 16, "max admission batch size")
 		batchWait = fs.Duration("batch-wait", 2*time.Millisecond, "max batch fill wait")
+		workers   = fs.Int("workers", runtime.GOMAXPROCS(0), "parallel admission solvers (>1 enables speculative admission)")
 		ttl       = fs.Duration("ttl", 30*time.Second, "default session TTL")
 		maxTTL    = fs.Duration("max-ttl", 10*time.Minute, "session TTL cap")
 		dataDir   = fs.String("data-dir", "", "durable state directory (WAL + snapshots); empty = in-memory only")
@@ -102,6 +106,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		QueueSize:        *queueSize,
 		MaxBatch:         *batch,
 		MaxWait:          *batchWait,
+		Workers:          *workers,
 		DefaultTTL:       *ttl,
 		MaxTTL:           *maxTTL,
 		DataDir:          *dataDir,
@@ -125,8 +130,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return fmt.Errorf("write addr file: %w", err)
 		}
 	}
-	fmt.Fprintf(out, "muerpd listening on http://%s (batch<=%d wait=%v queue=%d ttl=%v)\n",
-		bound, *batch, *batchWait, *queueSize, *ttl)
+	fmt.Fprintf(out, "muerpd listening on http://%s (batch<=%d wait=%v queue=%d ttl=%v workers=%d)\n",
+		bound, *batch, *batchWait, *queueSize, *ttl, *workers)
 
 	srv := &http.Server{Handler: svc.Handler()}
 	serveErr := make(chan error, 1)

@@ -235,13 +235,28 @@ func printServerMetrics(ctx context.Context, client *http.Client, base string, o
 			MeanSize float64 `json:"mean_size"`
 			MaxSize  int64   `json:"max_size"`
 		} `json:"batches"`
-		Admission sched.Summary `json:"admission"`
+		Admission   sched.Summary `json:"admission"`
+		Speculation *struct {
+			Workers          int     `json:"workers"`
+			Solves           int64   `json:"solves"`
+			Commits          int64   `json:"commits"`
+			Conflicts        int64   `json:"conflicts"`
+			Resolves         int64   `json:"resolves"`
+			Fallbacks        int64   `json:"fallbacks"`
+			WastedSolveRatio float64 `json:"wasted_solve_ratio"`
+			MaxParallel      int64   `json:"max_parallel"`
+		} `json:"speculation"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "server batches: %d (mean %.2f, max %d)\n",
 		m.Batches.Count, m.Batches.MeanSize, m.Batches.MaxSize)
+	if sp := m.Speculation; sp != nil {
+		fmt.Fprintf(out, "speculation:    workers %d, solves %d, commits %d, conflicts %d (resolved %d, fallback %d), wasted %.1f%%, max parallel %d\n",
+			sp.Workers, sp.Solves, sp.Commits, sp.Conflicts, sp.Resolves, sp.Fallbacks,
+			sp.WastedSolveRatio*100, sp.MaxParallel)
+	}
 	fmt.Fprintf(out, "server summary:\n%s", indent(m.Admission.String(), "  "))
 	return nil
 }

@@ -97,7 +97,7 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "  ledger:    %d qubits reserved, closure gen %d (%d closed)\n", used, st.Ledger.Gen, len(st.Ledger.Closed))
 
 	if !*noVerify {
-		if err := verify(g, params, st); err != nil {
+		if err := service.VerifyState(g, params, st); err != nil {
 			return fmt.Errorf("verification failed: %w", err)
 		}
 		fmt.Fprintf(out, "  verify:    trees valid, occupancy matches, IDs consistent\n")
@@ -106,32 +106,6 @@ func run(args []string, out io.Writer) error {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		return enc.Encode(st)
-	}
-	return nil
-}
-
-// verify cross-checks a recovered state against the topology it claims to
-// describe: per-session tree validity, exact ledger occupancy, ID sanity.
-func verify(g *graph.Graph, params quantum.Params, st service.State) error {
-	check := quantum.NewLedger(g)
-	for _, ss := range st.Sessions {
-		if err := quantum.ValidateTree(g, ss.Info.Users, ss.Tree, params); err != nil {
-			return fmt.Errorf("session %s: %w", ss.Info.ID, err)
-		}
-		for _, c := range ss.Tree.Channels {
-			if err := check.Reserve(c.Nodes); err != nil {
-				return fmt.Errorf("session %s: re-reserve: %w", ss.Info.ID, err)
-			}
-		}
-		var n uint64
-		if _, err := fmt.Sscanf(ss.Info.ID, "s-%d", &n); err != nil || n > st.NextID {
-			return fmt.Errorf("session %s: ID outside recovered counter %d", ss.Info.ID, st.NextID)
-		}
-	}
-	for _, id := range g.Switches() {
-		if got, want := st.Ledger.Free[id], check.Free(id); got != want {
-			return fmt.Errorf("switch %d: recovered %d free qubits, re-reserving every session leaves %d", id, got, want)
-		}
 	}
 	return nil
 }

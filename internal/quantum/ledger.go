@@ -215,7 +215,12 @@ func (l *Ledger) SyncEpoch(gen uint64) error {
 	return nil
 }
 
-// Clone returns an independent copy of the ledger, closure history included.
+// Clone returns an independent copy of the ledger, closure history
+// included. It is the cheap in-process snapshot — two slice copies, no
+// serialization — and the way to take a consistent view of a shared ledger
+// for speculative work: callers hold the ledger's mutation lock for the
+// Clone call only, then solve against the copy freely. Prefer CopyFrom when
+// the same scratch ledger is refreshed repeatedly.
 func (l *Ledger) Clone() *Ledger {
 	c := &Ledger{free: make([]int, len(l.free)), g: l.g, gen: l.gen}
 	copy(c.free, l.free)
@@ -223,6 +228,65 @@ func (l *Ledger) Clone() *Ledger {
 		c.closed = append(c.closed, l.closed...)
 	}
 	return c
+}
+
+// CopyFrom overwrites l with src's budgets and closure history. Both
+// ledgers must be over the same graph (it panics otherwise — mixing
+// topologies would corrupt budgets silently). It is Clone without the
+// allocations: a worker that re-snapshots a shared ledger before every
+// speculative solve reuses one scratch ledger instead of allocating a copy
+// per attempt. The caller must hold src's mutation lock for the duration of
+// the call.
+func (l *Ledger) CopyFrom(src *Ledger) {
+	if l.g != src.g {
+		panic("quantum: CopyFrom across different graphs")
+	}
+	copy(l.free, src.free)
+	l.gen = src.gen
+	l.closed = append(l.closed[:0], src.closed...)
+}
+
+// Fits reports whether the ledger can absorb the given per-switch qubit
+// load right now — the authoritative validation a speculative solve runs
+// under the mutation lock before committing a tree built against a stale
+// view (load is Tree.QubitLoad's shape: switch → qubits demanded).
+func (l *Ledger) Fits(load map[graph.NodeID]int) bool {
+	for id, need := range load {
+		l.check(id)
+		if l.free[id] < need {
+			return false
+		}
+	}
+	return true
+}
+
+// LoadTouches reports whether any switch in ids carries load — the
+// conflict pre-filter between a candidate tree's footprint and the
+// switches ClosedSince reports closed after the tree's base epoch. No
+// touch (with an unbroken epoch and per-switch demand ≤ 2) proves every
+// switch the tree needs still has the 2 free qubits a channel charges,
+// without reading the budgets.
+func LoadTouches(load map[graph.NodeID]int, ids []graph.NodeID) bool {
+	for _, id := range ids {
+		if load[id] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxLoad returns the largest per-switch demand in a load map (0 when
+// empty). Demand above 2 at any switch means the epoch pre-filter alone
+// cannot prove capacity — concurrent commits may have drained a still-open
+// switch below the demand — and the caller must fall back to Fits.
+func MaxLoad(load map[graph.NodeID]int) int {
+	max := 0
+	for _, n := range load {
+		if n > max {
+			max = n
+		}
+	}
+	return max
 }
 
 // UsedQubits returns the total number of qubits currently reserved across

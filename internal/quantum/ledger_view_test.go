@@ -1,0 +1,98 @@
+package quantum
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/muerp/quantumnet/internal/graph"
+)
+
+func TestLedgerCopyFrom(t *testing.T) {
+	g := ledgerNetwork(t)
+	l := NewLedger(g)
+	if err := l.Reserve([]graph.NodeID{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	l.Release([]graph.NodeID{0, 1, 2, 3}) // reopen switch 2: gen bump
+	if err := l.Reserve([]graph.NodeID{0, 1, 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	view := NewLedger(g)
+	// Dirty the scratch ledger first: CopyFrom must overwrite, not merge.
+	if err := view.Reserve([]graph.NodeID{0, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	view.CopyFrom(l)
+	if !reflect.DeepEqual(view.ExportState(), l.ExportState()) {
+		t.Fatalf("CopyFrom state %+v != source %+v", view.ExportState(), l.ExportState())
+	}
+	// The view is independent: mutating it leaves the source untouched.
+	view.Release([]graph.NodeID{0, 1, 3})
+	if l.Free(1) != 2 {
+		t.Fatal("view mutation leaked into the source ledger")
+	}
+	// And vice versa: the closure log is copied, not aliased.
+	before := len(view.ExportState().Closed)
+	if err := l.Reserve([]graph.NodeID{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(view.ExportState().Closed); got != before {
+		t.Fatalf("source closure log grew into the view: %d -> %d entries", before, got)
+	}
+}
+
+func TestLedgerCopyFromForeignGraphPanics(t *testing.T) {
+	g := ledgerNetwork(t)
+	l := NewLedger(g)
+	other := NewLedger(ledgerNetwork(t))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CopyFrom across graphs did not panic")
+		}
+	}()
+	l.CopyFrom(other)
+}
+
+func TestLedgerFits(t *testing.T) {
+	g := ledgerNetwork(t) // switch 1: 4 qubits, switch 2: 2 qubits
+	l := NewLedger(g)
+	if !l.Fits(map[graph.NodeID]int{1: 4, 2: 2}) {
+		t.Fatal("full budgets reported as not fitting")
+	}
+	if l.Fits(map[graph.NodeID]int{1: 6}) {
+		t.Fatal("demand above the total budget fits")
+	}
+	if err := l.Reserve([]graph.NodeID{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	// Switch 1 has 2 free left, switch 2 none.
+	if !l.Fits(map[graph.NodeID]int{1: 2}) {
+		t.Fatal("available residual capacity reported as not fitting")
+	}
+	if l.Fits(map[graph.NodeID]int{1: 2, 2: 2}) {
+		t.Fatal("demand on an exhausted switch fits")
+	}
+	if !l.Fits(nil) {
+		t.Fatal("empty load must always fit")
+	}
+}
+
+func TestLoadTouchesAndMaxLoad(t *testing.T) {
+	load := map[graph.NodeID]int{1: 2, 5: 4}
+	if LoadTouches(load, []graph.NodeID{2, 3}) {
+		t.Fatal("disjoint closure set reported as touching")
+	}
+	if !LoadTouches(load, []graph.NodeID{3, 5}) {
+		t.Fatal("overlapping closure set reported as disjoint")
+	}
+	if LoadTouches(load, nil) {
+		t.Fatal("empty closure set touches")
+	}
+	if got := MaxLoad(load); got != 4 {
+		t.Fatalf("MaxLoad = %d, want 4", got)
+	}
+	if got := MaxLoad(nil); got != 0 {
+		t.Fatalf("MaxLoad(nil) = %d, want 0", got)
+	}
+}

@@ -144,6 +144,39 @@ var (
 	ErrBadRequest = errors.New("sched: invalid request")
 )
 
+// Verdict classifies one admission attempt's outcome. It is the ONE
+// decision semantics shared by the offline simulator and the online
+// daemon's schedulers (serial and speculative), which is what lets the
+// differential tests compare them decision for decision.
+type Verdict int
+
+const (
+	// VerdictAccepted: the solve produced a tree and its reservations hold.
+	VerdictAccepted Verdict = iota
+	// VerdictRejected: genuine infeasibility under residual capacity with a
+	// live context — the only outcome that counts as a loss-network block.
+	VerdictRejected
+	// VerdictAborted: the context ended (a cancelled solve can surface a
+	// spurious "unreachable" partial result, so the ctx check wins even when
+	// the error also wraps ErrInfeasible) or the solver faulted internally.
+	VerdictAborted
+)
+
+// Classify maps a routing attempt's (context error, solve error) pair onto
+// the shared Verdict space.
+func Classify(ctxErr, solveErr error) Verdict {
+	switch {
+	case solveErr == nil:
+		return VerdictAccepted
+	case ctxErr != nil:
+		return VerdictAborted
+	case errors.Is(solveErr, core.ErrInfeasible):
+		return VerdictRejected
+	default:
+		return VerdictAborted
+	}
+}
+
 // session is one admitted request awaiting departure.
 type session struct {
 	departAt float64
@@ -199,19 +232,17 @@ func SimulateContext(ctx context.Context, g *graph.Graph, requests []Request, pa
 			return Report{}, fmt.Errorf("sched: request %d: %w", req.ID, err)
 		}
 		tree, err := core.BuildGreedyTree(ctx, prob, led, &core.SolveOptions{Stats: &report.Work})
-		if err != nil {
-			// Only genuine infeasibility counts as a rejection. Everything
-			// else — context cancellation, solver/ledger faults — aborts the
-			// whole simulation with the error; a cancelled solve can surface
-			// a spurious "unreachable" partial result, so the ctx check wins
-			// even when the error also wraps ErrInfeasible.
-			if errors.Is(err, core.ErrInfeasible) && ctx.Err() == nil {
-				report.Outcomes = append(report.Outcomes, Outcome{
-					Request: req, Accepted: false, Reason: err.Error(),
-				})
-				report.Rejected++
-				continue
-			}
+		// Only VerdictRejected (genuine infeasibility, live context) counts
+		// as a loss-network block. VerdictAborted — context cancellation,
+		// solver/ledger faults — aborts the whole simulation with the error.
+		switch Classify(ctx.Err(), err) {
+		case VerdictRejected:
+			report.Outcomes = append(report.Outcomes, Outcome{
+				Request: req, Accepted: false, Reason: err.Error(),
+			})
+			report.Rejected++
+			continue
+		case VerdictAborted:
 			return Report{}, fmt.Errorf("sched: request %d: %w", req.ID, err)
 		}
 		active = append(active, session{departAt: req.Arrival + req.Hold, tree: tree})

@@ -80,7 +80,26 @@ func seconds(x float64) time.Duration {
 // identical admission decisions and identical accepted rates. This pins the
 // daemon's semantics to the paper's admission model: the serving layer is
 // sched.Simulate made online.
+//
+// It runs once per scheduler: the serial scheduler directly, and the
+// speculative scheduler forced on with one worker — a single worker leaves
+// nothing able to move between a view snapshot and its validation, so the
+// speculative pipeline must collapse to the exact serial decision sequence
+// (DESIGN.md §8).
 func TestDifferentialAgainstSimulate(t *testing.T) {
+	for _, mode := range []struct {
+		name      string
+		scheduler string
+		workers   int
+	}{
+		{name: "serial", scheduler: SchedulerSerial},
+		{name: "speculative-workers-1", scheduler: SchedulerSpeculative, workers: 1},
+	} {
+		t.Run(mode.name, func(t *testing.T) { differentialAgainstSimulate(t, mode.scheduler, mode.workers) })
+	}
+}
+
+func differentialAgainstSimulate(t *testing.T, scheduler string, workers int) {
 	for _, seed := range []int64{1, 7, 42} {
 		cfg := topology.Default()
 		cfg.Users = 8
@@ -109,6 +128,8 @@ func TestDifferentialAgainstSimulate(t *testing.T) {
 			MaxBatch:  1, // serialized replay: one decision per arrival instant
 			MaxTTL:    1000 * time.Hour,
 			Clock:     fc,
+			Scheduler: scheduler,
+			Workers:   workers,
 		})
 		if err != nil {
 			t.Fatalf("seed %d: New: %v", seed, err)

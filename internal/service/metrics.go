@@ -163,4 +163,7 @@ type Metrics struct {
 	Admission    sched.Summary     `json:"admission"`
 	// Durability reports the WAL/snapshot layer; nil without a data dir.
 	Durability *DurabilityMetrics `json:"durability,omitempty"`
+	// Speculation reports the speculative scheduler's commit/conflict
+	// counters (speculative.go); nil when the serial scheduler is active.
+	Speculation *SpeculationMetrics `json:"speculation,omitempty"`
 }

@@ -1,0 +1,176 @@
+package service
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/muerp/quantumnet/internal/core"
+	"github.com/muerp/quantumnet/internal/quantum"
+	"github.com/muerp/quantumnet/internal/sched"
+)
+
+// scheduler is the admission-execution seam (DESIGN.md §8): the admission
+// loop fills micro-batches and hands each one to the configured scheduler,
+// which decides every request (solve, commit or reject, make it durable)
+// and delivers each result on its pending channel before decide returns.
+//
+// Two implementations exist today:
+//
+//   - serialScheduler: the PR-4 micro-batch loop — every solve runs against
+//     the live ledger under one mutex acquisition per batch.
+//   - speculativeScheduler: N workers solve in parallel against consistent
+//     ledger views and validate-and-commit under the mutex using the
+//     closure epochs (speculative.go).
+//
+// The seam is also where per-tenant quotas, priority classes and sharding
+// plug in later (ROADMAP): those are alternative decide orderings over the
+// same commit machinery.
+type scheduler interface {
+	// decide decides a whole micro-batch. It must deliver exactly one
+	// result per request and only return once every decision is durable.
+	decide(batch []*pending)
+	// speculation reports the scheduler's speculation counters for
+	// /metrics; nil when the scheduler never speculates.
+	speculation() *SpeculationMetrics
+}
+
+// Scheduler names accepted by Config.Scheduler.
+const (
+	SchedulerSerial      = "serial"
+	SchedulerSpeculative = "speculative"
+)
+
+// newScheduler resolves the configured scheduler. An empty name picks by
+// worker count: one worker runs serial, more run speculative.
+func newScheduler(s *Server, cfg Config) (scheduler, error) {
+	name := cfg.Scheduler
+	if name == "" {
+		if cfg.Workers > 1 {
+			name = SchedulerSpeculative
+		} else {
+			name = SchedulerSerial
+		}
+	}
+	switch name {
+	case SchedulerSerial:
+		return &serialScheduler{s: s}, nil
+	case SchedulerSpeculative:
+		return newSpeculativeScheduler(s, cfg), nil
+	default:
+		return nil, fmt.Errorf("service: unknown scheduler %q (want %q or %q)",
+			cfg.Scheduler, SchedulerSerial, SchedulerSpeculative)
+	}
+}
+
+// serialScheduler decides a whole batch under one lock acquisition: expiry
+// runs once at the batch's admission instant, then every request solves
+// against the shared ledger in arrival order. Keeping Release out of the
+// solve sequence keeps ledger epochs monotone across the batch, so the
+// incremental search cache never invalidates wholesale mid-batch.
+type serialScheduler struct {
+	s *Server
+}
+
+func (sc *serialScheduler) speculation() *SpeculationMetrics { return nil }
+
+func (sc *serialScheduler) decide(batch []*pending) {
+	s := sc.s
+	s.ctrs.noteBatch(len(batch))
+	results := make([]admitResult, len(batch))
+	s.mu.Lock()
+	now := s.clock.Now()
+	s.expireLocked(now)
+	for i, p := range batch {
+		info, err := s.admitOneLocked(now, p)
+		results[i] = admitResult{info: info, err: err}
+	}
+	// Hand the batch's records (expiries + admits, in mutation order) to the
+	// WAL while still holding the lock: WAL order is mutation order.
+	ticket := s.enqueueRecordsLocked()
+	s.mu.Unlock()
+	// Write-ahead contract: decisions reach disk before any caller hears
+	// them. One fsync covers the whole batch (group commit).
+	_ = s.waitDurable(ticket)
+	for i, p := range batch {
+		p.result <- results[i]
+	}
+	s.wakeExpiry()
+}
+
+// admitOneLocked decides one request against the live ledger under s.mu —
+// the serial scheduler's per-request step, and the speculative scheduler's
+// authoritative fallback once a request exhausts its retry budget.
+func (s *Server) admitOneLocked(now time.Time, p *pending) (SessionInfo, error) {
+	if err := p.ctx.Err(); err != nil {
+		s.ctrs.canceled.Add(1)
+		return SessionInfo{}, err
+	}
+	var st core.SolveStats
+	genBefore := s.led.Epoch().Gen
+	t0 := time.Now()
+	tree, err := core.BuildGreedyTree(p.ctx, p.prob, s.led, &core.SolveOptions{Stats: &st})
+	s.lat.observe(time.Since(t0))
+	s.work.Merge(&st)
+	if err != nil {
+		switch sched.Classify(p.ctx.Err(), err) {
+		case sched.VerdictRejected:
+			s.ctrs.rejected.Add(1)
+		case sched.VerdictAborted:
+			if p.ctx.Err() != nil {
+				// The request's deadline fired mid-solve; BuildGreedyTree
+				// rolled every reservation back.
+				s.ctrs.canceled.Add(1)
+			} else {
+				s.ctrs.failed.Add(1)
+			}
+		}
+		// A rolled-back attempt leaves the budgets untouched but its
+		// reopening releases may have bumped the closure generation; log the
+		// bump so replay lands on the identical epoch.
+		if gen := s.led.Epoch().Gen; gen != genBefore {
+			s.appendRecordLocked(walRecord{T: recEpoch, Epoch: &epochRecord{Gen: gen}})
+		}
+		return SessionInfo{}, err
+	}
+	return s.commitAdmitLocked(now, p, tree), nil
+}
+
+// commitAdmitLocked installs an admitted session whose tree reservations
+// are already charged to the live ledger: it assigns the ID, inserts the
+// session into the table and expiry heap, updates the aggregates and
+// stages the WAL admit record. Callers hold s.mu.
+func (s *Server) commitAdmitLocked(now time.Time, p *pending, tree quantum.Tree) SessionInfo {
+	id := fmt.Sprintf("s-%d", s.nextID.Add(1))
+	sess := &session{
+		info: SessionInfo{
+			ID:         id,
+			Users:      p.users,
+			Rate:       tree.Rate(),
+			Channels:   len(tree.Channels),
+			AdmittedAt: now,
+			ExpiresAt:  now.Add(p.ttl),
+		},
+		tree:      tree,
+		expiresAt: now.Add(p.ttl),
+	}
+	s.sessions[id] = sess
+	heap.Push(&s.expiry, sess)
+	s.ctrs.accepted.Add(1)
+	s.sumRate += sess.info.Rate
+	if used := s.led.UsedQubits(); used > s.peak {
+		s.peak = used
+	}
+	s.appendRecordLocked(walRecord{T: recAdmit, Admit: &admitRecord{
+		Info:   sess.info,
+		Tree:   tree,
+		NextID: s.nextID.Load(),
+	}})
+	return sess.info
+}
+
+// errSpecConflict reports a speculative validation failure: the live
+// ledger moved past the view the solve ran against. Internal to the
+// speculative scheduler's retry loop; never delivered to callers.
+var errSpecConflict = errors.New("service: speculative validation conflict")

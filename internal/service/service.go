@@ -4,23 +4,27 @@
 // ⌊Q_r/2⌋-bounded switch capacity via the ledger, depart and free it) into
 // a long-running service.
 //
-// Architecture (see DESIGN.md §6):
+// Architecture (see DESIGN.md §6, §8):
 //
-//	HTTP/Submit → bounded queue → batching admission loop → BuildGreedyTree
-//	                                      │ (one mutex)          │
-//	                                      └── live Ledger ←──────┘
-//	                                             ▲
-//	                              expiry wheel ──┘ (TTL / DELETE releases)
+//	HTTP/Submit → bounded queue → admission loop → scheduler → BuildGreedyTree
+//	                                                  │ (one mutex)   │
+//	                                                  └── live Ledger ←┘
+//	                                                         ▲
+//	                                          expiry wheel ──┘ (TTL / DELETE)
 //
 // Requests are enqueued onto a bounded channel (a full queue is immediate
-// backpressure — ErrQueueFull / HTTP 429) and drained in micro-batches so
-// consecutive solves share one lock acquisition and one warm ledger epoch
-// stretch for the incremental search cache. Accepted sessions hold their
-// tree's switch qubits until their TTL expires or they are deleted; a
-// single expiry-wheel goroutine releases capacity exactly as
+// backpressure — ErrQueueFull / HTTP 429) and drained in micro-batches,
+// each handed to the configured scheduler (scheduler.go): the serial
+// scheduler solves every request under one lock acquisition so consecutive
+// solves share a warm ledger-epoch stretch for the incremental search
+// cache; the speculative scheduler (speculative.go, Config.Workers > 1)
+// solves in parallel against consistent ledger views and validates-and-
+// commits under the mutex via the closure epochs. Accepted sessions hold
+// their tree's switch qubits until their TTL expires or they are deleted;
+// a single expiry-wheel goroutine releases capacity exactly as
 // sched.Simulate's expireSessions does, which is what makes the daemon's
-// serialized admission decisions match the offline simulator trace for
-// trace (pinned by the differential test).
+// admission decisions match the offline simulator trace for trace (pinned
+// by the differential test).
 //
 // Concurrency: the ledger, session table and expiry heap are guarded by
 // one mutex shared by the admission loop and the expiry wheel (the
@@ -74,6 +78,18 @@ type Config struct {
 	// after its first request arrives; 0 drains only what is already
 	// queued. Default 2ms.
 	MaxWait time.Duration
+	// Workers is the solve parallelism: how many goroutines the speculative
+	// scheduler solves a micro-batch with. Default 1.
+	Workers int
+	// Scheduler names the admission scheduler (SchedulerSerial or
+	// SchedulerSpeculative). Empty picks by Workers: 1 runs serial, more run
+	// speculative. (Forcing SchedulerSpeculative with Workers=1 is how the
+	// differential test pins the speculative path to serial decisions.)
+	Scheduler string
+	// SpecRetries bounds how many times a speculative solve is retried after
+	// a validation conflict before the request is decided serially under the
+	// mutex. Default 3.
+	SpecRetries int
 	// DefaultTTL is the session lifetime when a request does not name one.
 	// Default 30s.
 	DefaultTTL time.Duration
@@ -126,6 +142,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.SpecRetries <= 0 {
+		c.SpecRetries = 3
 	}
 	if c.Clock == nil {
 		c.Clock = SystemClock()
@@ -230,6 +252,9 @@ type Server struct {
 	ctrs   counters
 	lat    *histogram
 
+	// sched decides micro-batches (scheduler.go); chosen once at New.
+	sched scheduler
+
 	// dur is the durability runtime (WAL + snapshots); nil without DataDir.
 	dur *durability
 }
@@ -260,6 +285,10 @@ func New(cfg Config) (*Server, error) {
 	}
 	for _, id := range cfg.Graph.Switches() {
 		s.total += cfg.Graph.Node(id).Qubits
+	}
+	var err error
+	if s.sched, err = newScheduler(s, cfg); err != nil {
+		return nil, err
 	}
 	if cfg.DataDir != "" {
 		// Recover the pre-crash state and open the WAL before any goroutine
@@ -399,7 +428,7 @@ func (s *Server) admissionLoop() {
 			s.drain()
 			return
 		case p := <-s.queue:
-			s.admitBatch(s.fillBatch(p))
+			s.sched.decide(s.fillBatch(p))
 		}
 	}
 }
@@ -453,97 +482,11 @@ func (s *Server) drain() {
 				}
 			}
 		decide:
-			s.admitBatch(batch)
+			s.sched.decide(batch)
 		default:
 			return
 		}
 	}
-}
-
-// admitBatch decides a whole batch under one lock acquisition: expiry runs
-// once at the batch's admission instant, then every request solves against
-// the shared ledger in arrival order. Keeping Release out of the solve
-// sequence keeps ledger epochs monotone across the batch, so the
-// incremental search cache never invalidates wholesale mid-batch.
-func (s *Server) admitBatch(batch []*pending) {
-	s.ctrs.noteBatch(len(batch))
-	results := make([]admitResult, len(batch))
-	s.mu.Lock()
-	now := s.clock.Now()
-	s.expireLocked(now)
-	for i, p := range batch {
-		info, err := s.admitOneLocked(now, p)
-		results[i] = admitResult{info: info, err: err}
-	}
-	// Hand the batch's records (expiries + admits, in mutation order) to the
-	// WAL while still holding the lock: WAL order is mutation order.
-	ticket := s.enqueueRecordsLocked()
-	s.mu.Unlock()
-	// Write-ahead contract: decisions reach disk before any caller hears
-	// them. One fsync covers the whole batch (group commit).
-	_ = s.waitDurable(ticket)
-	for i, p := range batch {
-		p.result <- results[i]
-	}
-	s.wakeExpiry()
-}
-
-func (s *Server) admitOneLocked(now time.Time, p *pending) (SessionInfo, error) {
-	if err := p.ctx.Err(); err != nil {
-		s.ctrs.canceled.Add(1)
-		return SessionInfo{}, err
-	}
-	var st core.SolveStats
-	genBefore := s.led.Epoch().Gen
-	t0 := time.Now()
-	tree, err := core.BuildGreedyTree(p.ctx, p.prob, s.led, &core.SolveOptions{Stats: &st})
-	s.lat.observe(time.Since(t0))
-	s.work.Merge(&st)
-	if err != nil {
-		switch {
-		case p.ctx.Err() != nil:
-			// The request's deadline fired mid-solve; BuildGreedyTree rolled
-			// every reservation back.
-			s.ctrs.canceled.Add(1)
-		case errors.Is(err, core.ErrInfeasible):
-			s.ctrs.rejected.Add(1)
-		default:
-			s.ctrs.failed.Add(1)
-		}
-		// A rolled-back attempt leaves the budgets untouched but its
-		// reopening releases may have bumped the closure generation; log the
-		// bump so replay lands on the identical epoch.
-		if gen := s.led.Epoch().Gen; gen != genBefore {
-			s.appendRecordLocked(walRecord{T: recEpoch, Epoch: &epochRecord{Gen: gen}})
-		}
-		return SessionInfo{}, err
-	}
-	id := fmt.Sprintf("s-%d", s.nextID.Add(1))
-	sess := &session{
-		info: SessionInfo{
-			ID:         id,
-			Users:      p.users,
-			Rate:       tree.Rate(),
-			Channels:   len(tree.Channels),
-			AdmittedAt: now,
-			ExpiresAt:  now.Add(p.ttl),
-		},
-		tree:      tree,
-		expiresAt: now.Add(p.ttl),
-	}
-	s.sessions[id] = sess
-	heap.Push(&s.expiry, sess)
-	s.ctrs.accepted.Add(1)
-	s.sumRate += sess.info.Rate
-	if used := s.led.UsedQubits(); used > s.peak {
-		s.peak = used
-	}
-	s.appendRecordLocked(walRecord{T: recAdmit, Admit: &admitRecord{
-		Info:   sess.info,
-		Tree:   tree,
-		NextID: s.nextID.Load(),
-	}})
-	return sess.info, nil
 }
 
 // expireLocked releases every session whose expiry is at or before now —
@@ -671,7 +614,8 @@ func (s *Server) Metrics() Metrics {
 			TotalQubits: s.total,
 			EpochGen:    gen,
 		},
-		Admission:  adm,
-		Durability: s.durabilityMetrics(),
+		Admission:   adm,
+		Durability:  s.durabilityMetrics(),
+		Speculation: s.sched.speculation(),
 	}
 }

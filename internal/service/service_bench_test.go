@@ -29,6 +29,22 @@ func benchGraph(b *testing.B) *graph.Graph {
 	return g
 }
 
+// benchGraphBig is the solve-bound network the speculative variants run on:
+// 12 users and 64 well-provisioned switches make each BuildGreedyTree search
+// long enough that parallel solving, not lock hand-off, dominates.
+func benchGraphBig(b *testing.B) *graph.Graph {
+	b.Helper()
+	cfg := topology.Default()
+	cfg.Users = 12
+	cfg.Switches = 64
+	cfg.SwitchQubits = 8
+	g, err := topology.Generate(cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatalf("topology: %v", err)
+	}
+	return g
+}
+
 // BenchmarkAdmissionLoop measures end-to-end Submit latency through the
 // queue, the batching loop and the shared-ledger solver, with short TTLs so
 // the expiry wheel keeps reclaiming capacity under load. Sub-benchmarks
@@ -36,20 +52,35 @@ func benchGraph(b *testing.B) *graph.Graph {
 // The durable variants run the same load with the WAL enabled, so the
 // delta is the group-commit cost: one fsync per admission batch, amortised
 // across every request that shares it.
+//
+// The big* variants move to the solve-bound benchGraphBig and sweep the
+// speculative scheduler's worker count against the big-workers1 serial
+// baseline: the workersN / workers1 ratio is the speculation speedup, and
+// it only materialises with GOMAXPROCS >= N — on a single-core runner the
+// variants measure speculation overhead (snapshot + validate) instead.
 func BenchmarkAdmissionLoop(b *testing.B) {
 	for _, bench := range []struct {
 		name     string
 		maxBatch int
 		durable  bool
+		workers  int
+		big      bool
 	}{
-		{"batch1", 1, false},
-		{"batch16", 16, false},
-		{"batch1-durable", 1, true},
-		{"batch8-durable", 8, true},
-		{"batch16-durable", 16, true},
+		{name: "batch1", maxBatch: 1},
+		{name: "batch16", maxBatch: 16},
+		{name: "batch1-durable", maxBatch: 1, durable: true},
+		{name: "batch8-durable", maxBatch: 8, durable: true},
+		{name: "batch16-durable", maxBatch: 16, durable: true},
+		{name: "big-workers1", maxBatch: 16, big: true},
+		{name: "big-workers2", maxBatch: 16, workers: 2, big: true},
+		{name: "big-workers4", maxBatch: 16, workers: 4, big: true},
+		{name: "big-workers4-durable", maxBatch: 16, workers: 4, big: true, durable: true},
 	} {
 		b.Run(bench.name, func(b *testing.B) {
 			g := benchGraph(b)
+			if bench.big {
+				g = benchGraphBig(b)
+			}
 			cfg := Config{
 				Graph:      g,
 				QueueSize:  1024,
@@ -57,6 +88,7 @@ func BenchmarkAdmissionLoop(b *testing.B) {
 				MaxWait:    200 * time.Microsecond,
 				DefaultTTL: 2 * time.Millisecond,
 				MaxTTL:     time.Second,
+				Workers:    bench.workers,
 			}
 			if bench.durable {
 				cfg.DataDir = b.TempDir()
@@ -72,6 +104,12 @@ func BenchmarkAdmissionLoop(b *testing.B) {
 			defer func() { _ = s.Close() }()
 			users := g.Users()
 			var accepted, rejected, other atomic.Int64
+			if bench.big {
+				// Keep several clients per core in flight so micro-batches
+				// actually fill and the worker sweep has work to spread, even
+				// on small runners.
+				b.SetParallelism(8)
+			}
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				rng := rand.New(rand.NewSource(benchSeed.Add(1)))
@@ -105,6 +143,11 @@ func BenchmarkAdmissionLoop(b *testing.B) {
 			m := s.Metrics()
 			if m.Batches.Count > 0 {
 				b.ReportMetric(m.Batches.MeanSize, "batch-size")
+			}
+			if sp := m.Speculation; sp != nil && sp.Solves > 0 && total > 0 {
+				b.ReportMetric(sp.WastedSolveRatio, "wasted-solves")
+				b.ReportMetric(float64(sp.Fallbacks)/float64(total), "fallback-ratio")
+				b.ReportMetric(float64(sp.MaxParallel), "max-parallel")
 			}
 		})
 	}

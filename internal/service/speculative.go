@@ -1,0 +1,316 @@
+// Speculative parallel admission (DESIGN.md §8): the serialized micro-batch
+// loop leaves every core but one idle while a batch solves, because each
+// solve holds the one server mutex. The ledger's closure epochs (PR 3) are
+// a readymade optimistic-concurrency primitive, so this scheduler runs the
+// classic optimistic play instead:
+//
+//	snapshot ─▶ solve (no lock) ─▶ validate under the lock ─▶ commit
+//	    ▲                                   │ conflict
+//	    └────────────── retry ◀─────────────┘  (bounded; then serial fallback)
+//
+// Each worker takes a consistent view of the live ledger (Ledger.CopyFrom
+// under the mutex — two slice copies, no serialization), solves against the
+// view with core.BuildGreedyTree, and records the view's Epoch. Validation
+// re-acquires the mutex and asks what moved:
+//
+//   - Admit candidates: ClosedSince(epoch) lists the switches that closed
+//     after the view was taken. An unbroken epoch whose closures miss the
+//     tree's footprint proves every switch the tree transits still has the
+//     2 free qubits a channel charges — commit without reading budgets.
+//     Trees that stack channels on one switch (demand > 2) and stale
+//     epochs fall back to Ledger.Fits, the authoritative budget re-check.
+//     Committing replays the tree's reservations on the live ledger in
+//     tree order, which is exactly what WAL replay does — so the live
+//     budgets AND closure log evolve as if the solve had run serially.
+//   - Reject candidates: within one closure generation capacity only
+//     shrinks, so "infeasible against the view" stays true at commit time
+//     unless some Release reopened a switch since (generation bump). A
+//     fresh generation commits the rejection; a stale one retries.
+//
+// Conflicts requeue the request against a fresh view for SpecRetries
+// attempts; after that the request is decided serially under the mutex
+// (admitOneLocked), which always terminates. WAL order stays mutation
+// order because records are staged and enqueued inside the same locked
+// section that mutates the ledger — the PR-5 invariant, untouched.
+//
+// With one worker the pipeline degenerates to snapshot → solve → commit in
+// arrival order with nothing able to move between snapshot and validation,
+// so decisions are identical to the serial scheduler (and to
+// sched.Simulate) — pinned by TestDifferentialAgainstSimulate.
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/muerp/quantumnet/internal/core"
+	"github.com/muerp/quantumnet/internal/quantum"
+	"github.com/muerp/quantumnet/internal/sched"
+)
+
+// speculativeScheduler fans a micro-batch out over a fixed worker set.
+// Workers are spawned per batch (decide is called by the one admission
+// goroutine, so the scratch views never race); each worker owns one
+// pre-allocated ledger view refreshed by CopyFrom per attempt.
+type speculativeScheduler struct {
+	s       *Server
+	workers int
+	retries int
+	views   []*quantum.Ledger
+
+	ctrs specCounters
+}
+
+// specCounters are the speculation-plane event counts surfaced in the
+// /metrics speculation section.
+type specCounters struct {
+	solves    atomic.Int64 // speculative solve attempts, retries included
+	commits   atomic.Int64 // admits that validated against the live ledger
+	rejects   atomic.Int64 // infeasible decisions committed via the epoch check
+	conflicts atomic.Int64 // validations lost to concurrent commits/releases
+	retries   atomic.Int64 // re-solves after a conflict
+	fallbacks atomic.Int64 // decisions made serially after the retry budget
+	inflight  atomic.Int64 // solves running right now
+	maxPar    atomic.Int64 // high-water inflight
+	batches   atomic.Int64 // batches decided
+	sumPar    atomic.Int64 // sum over batches of scheduled workers
+}
+
+func newSpeculativeScheduler(s *Server, cfg Config) *speculativeScheduler {
+	sp := &speculativeScheduler{s: s, workers: cfg.Workers, retries: cfg.SpecRetries}
+	if sp.workers < 1 {
+		sp.workers = 1
+	}
+	sp.views = make([]*quantum.Ledger, sp.workers)
+	for i := range sp.views {
+		sp.views[i] = quantum.NewLedger(cfg.Graph)
+	}
+	return sp
+}
+
+func (sp *speculativeScheduler) decide(batch []*pending) {
+	s := sp.s
+	s.ctrs.noteBatch(len(batch))
+	// Expiry runs once at the batch's admission instant, exactly as in the
+	// serial scheduler; its release records are enqueued in the same locked
+	// section (WAL order == mutation order).
+	s.mu.Lock()
+	now := s.clock.Now()
+	s.expireLocked(now)
+	ticket := s.enqueueRecordsLocked()
+	s.mu.Unlock()
+	_ = s.waitDurable(ticket)
+
+	par := sp.workers
+	if len(batch) < par {
+		par = len(batch)
+	}
+	sp.ctrs.batches.Add(1)
+	sp.ctrs.sumPar.Add(int64(par))
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func(view *quantum.Ledger) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(batch) {
+					return
+				}
+				sp.decideOne(batch[i], now, view)
+			}
+		}(sp.views[w])
+	}
+	wg.Wait()
+	s.wakeExpiry()
+}
+
+// decideOne runs one request through the snapshot → solve → validate →
+// commit loop and delivers its result once durable.
+func (sp *speculativeScheduler) decideOne(p *pending, now time.Time, view *quantum.Ledger) {
+	s := sp.s
+	for attempt := 0; ; attempt++ {
+		if err := p.ctx.Err(); err != nil {
+			s.ctrs.canceled.Add(1)
+			p.result <- admitResult{err: err}
+			return
+		}
+		if attempt > sp.retries {
+			// Retry budget spent: decide authoritatively under the mutex.
+			// admitOneLocked solves against the live ledger, so it cannot
+			// conflict; this bounds every request to retries+1 speculative
+			// solves plus one serial one.
+			sp.ctrs.fallbacks.Add(1)
+			s.mu.Lock()
+			info, err := s.admitOneLocked(now, p)
+			ticket := s.enqueueRecordsLocked()
+			s.mu.Unlock()
+			_ = s.waitDurable(ticket)
+			p.result <- admitResult{info: info, err: err}
+			return
+		}
+		if attempt > 0 {
+			sp.ctrs.retries.Add(1)
+		}
+
+		// Consistent view: budgets + closure history under the mutex, then
+		// solve lock-free against the copy. The view's reservations are
+		// scratch — CopyFrom resets them on the next attempt.
+		s.mu.Lock()
+		view.CopyFrom(s.led)
+		s.mu.Unlock()
+		epoch := view.Epoch()
+
+		var st core.SolveStats
+		sp.noteSolveStart()
+		t0 := time.Now()
+		tree, solveErr := core.BuildGreedyTree(p.ctx, p.prob, view, &core.SolveOptions{Stats: &st})
+		s.lat.observe(time.Since(t0))
+		sp.ctrs.inflight.Add(-1)
+
+		info, err := sp.validateAndCommitLocked(p, now, epoch, tree, solveErr, &st)
+		if err == errSpecConflict {
+			sp.ctrs.conflicts.Add(1)
+			continue
+		}
+		p.result <- admitResult{info: info, err: err}
+		return
+	}
+}
+
+// validateAndCommitLocked takes the mutex, folds the attempt's work
+// counters in, and either commits the speculative outcome (admit or
+// reject), making it durable before returning, or reports errSpecConflict
+// when the live ledger moved past the view.
+func (sp *speculativeScheduler) validateAndCommitLocked(p *pending, now time.Time,
+	epoch quantum.Epoch, tree quantum.Tree, solveErr error, st *core.SolveStats) (SessionInfo, error) {
+	s := sp.s
+	s.mu.Lock()
+	s.work.Merge(st)
+
+	switch sched.Classify(p.ctx.Err(), solveErr) {
+	case sched.VerdictAborted:
+		// No ledger impact to validate: the solve only touched the scratch
+		// view, so (unlike the serial path) a rolled-back attempt never
+		// bumps the live closure generation and needs no epoch record.
+		s.mu.Unlock()
+		if p.ctx.Err() != nil {
+			s.ctrs.canceled.Add(1)
+		} else {
+			s.ctrs.failed.Add(1)
+		}
+		return SessionInfo{}, solveErr
+
+	case sched.VerdictRejected:
+		// Within one generation capacity is monotone non-increasing, so the
+		// view's infeasibility still holds iff no Release reopened a switch
+		// since the view was taken.
+		if _, fresh := s.led.ClosedSince(epoch); !fresh {
+			s.mu.Unlock()
+			return SessionInfo{}, errSpecConflict
+		}
+		s.ctrs.rejected.Add(1)
+		sp.ctrs.rejects.Add(1)
+		s.mu.Unlock()
+		return SessionInfo{}, solveErr
+	}
+
+	// Admit candidate: prove the tree still fits. The epoch pre-filter
+	// (unbroken generation, no closure touching the footprint, per-switch
+	// demand ≤ 2) proves it without reading budgets; otherwise Fits is the
+	// authoritative residual-capacity check.
+	load := tree.QubitLoad()
+	closed, fresh := s.led.ClosedSince(epoch)
+	valid := fresh && !quantum.LoadTouches(load, closed) && quantum.MaxLoad(load) <= 2
+	if !valid {
+		valid = s.led.Fits(load)
+	}
+	if !valid {
+		s.mu.Unlock()
+		return SessionInfo{}, errSpecConflict
+	}
+	// Commit: replay the reservations on the live ledger in tree order —
+	// the same discipline WAL replay uses, so budgets and closure log land
+	// exactly where a serial solve would have left them. Reserve cannot
+	// fail after Fits; the ledger's own capacity check still guards it.
+	for i, ch := range tree.Channels {
+		if err := s.led.Reserve(ch.Nodes); err != nil {
+			for j := 0; j < i; j++ {
+				s.led.Release(tree.Channels[j].Nodes)
+			}
+			s.mu.Unlock()
+			return SessionInfo{}, errSpecConflict
+		}
+	}
+	info := s.commitAdmitLocked(now, p, tree)
+	sp.ctrs.commits.Add(1)
+	ticket := s.enqueueRecordsLocked()
+	s.mu.Unlock()
+	// Write-ahead contract: the admit record reaches disk before the caller
+	// hears the decision; concurrent workers share one group-commit fsync.
+	_ = s.waitDurable(ticket)
+	return info, nil
+}
+
+func (sp *speculativeScheduler) noteSolveStart() {
+	sp.ctrs.solves.Add(1)
+	in := sp.ctrs.inflight.Add(1)
+	for {
+		cur := sp.ctrs.maxPar.Load()
+		if in <= cur || sp.ctrs.maxPar.CompareAndSwap(cur, in) {
+			return
+		}
+	}
+}
+
+func (sp *speculativeScheduler) speculation() *SpeculationMetrics {
+	m := &SpeculationMetrics{
+		Workers:     sp.workers,
+		Retries:     sp.retries,
+		Solves:      sp.ctrs.solves.Load(),
+		Commits:     sp.ctrs.commits.Load(),
+		Rejects:     sp.ctrs.rejects.Load(),
+		Conflicts:   sp.ctrs.conflicts.Load(),
+		Resolves:    sp.ctrs.retries.Load(),
+		Fallbacks:   sp.ctrs.fallbacks.Load(),
+		MaxParallel: sp.ctrs.maxPar.Load(),
+	}
+	if m.Solves > 0 {
+		m.WastedSolveRatio = float64(m.Conflicts) / float64(m.Solves)
+	}
+	if b := sp.ctrs.batches.Load(); b > 0 {
+		m.MeanBatchParallelism = float64(sp.ctrs.sumPar.Load()) / float64(b)
+	}
+	return m
+}
+
+// SpeculationMetrics is the /metrics speculation section, present only
+// when the speculative scheduler is active.
+type SpeculationMetrics struct {
+	// Workers is the configured solve parallelism; Retries the per-request
+	// conflict-retry budget before the serial fallback.
+	Workers int `json:"workers"`
+	Retries int `json:"retries"`
+	// Solves counts speculative solve attempts (re-solves included);
+	// Commits and Rejects the attempts whose outcome validated and
+	// committed; Conflicts the attempts thrown away because the live
+	// ledger moved past their view.
+	Solves    int64 `json:"solves"`
+	Commits   int64 `json:"commits"`
+	Rejects   int64 `json:"rejects"`
+	Conflicts int64 `json:"conflicts"`
+	// Resolves counts conflict-triggered re-solves; Fallbacks the requests
+	// decided serially under the mutex after the retry budget.
+	Resolves  int64 `json:"resolves"`
+	Fallbacks int64 `json:"fallbacks"`
+	// WastedSolveRatio is Conflicts / Solves — the fraction of solve work
+	// speculation discarded.
+	WastedSolveRatio float64 `json:"wasted_solve_ratio"`
+	// MaxParallel is the high-water mark of concurrently running solves;
+	// MeanBatchParallelism the mean number of workers scheduled per batch.
+	MaxParallel          int64   `json:"max_parallel"`
+	MeanBatchParallelism float64 `json:"mean_batch_parallelism"`
+}

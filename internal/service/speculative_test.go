@@ -1,0 +1,206 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/muerp/quantumnet/internal/core"
+	"github.com/muerp/quantumnet/internal/graph"
+	"github.com/muerp/quantumnet/internal/quantum"
+	"github.com/muerp/quantumnet/internal/topology"
+)
+
+// specGraph builds a mid-size random network with enough capacity that a
+// concurrent burst mixes accepts and rejects.
+func specGraph(t testing.TB, seed int64) *graph.Graph {
+	t.Helper()
+	cfg := topology.Default()
+	cfg.Users = 10
+	cfg.Switches = 24
+	cfg.SwitchQubits = 4
+	g, err := topology.Generate(cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("topology: %v", err)
+	}
+	return g
+}
+
+// specBurst fires submitters goroutines of perG requests each at the server
+// (random 2-3 user sets, hour-long TTLs so nothing expires mid-test) and
+// returns the accept/reject counts.
+func specBurst(t *testing.T, s *Server, g *graph.Graph, submitters, perG int) (accepted, rejected int64) {
+	t.Helper()
+	users := g.Users()
+	var acc, rej atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < submitters; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perG; i++ {
+				size := 2 + rng.Intn(2)
+				perm := rng.Perm(len(users))
+				set := make([]graph.NodeID, size)
+				for j := range set {
+					set[j] = users[perm[j]]
+				}
+				for {
+					_, err := s.Submit(context.Background(), set, time.Hour)
+					switch {
+					case err == nil:
+						acc.Add(1)
+					case errors.Is(err, core.ErrInfeasible):
+						rej.Add(1)
+					case errors.Is(err, ErrQueueFull):
+						time.Sleep(100 * time.Microsecond)
+						continue
+					default:
+						t.Errorf("Submit: %v", err)
+					}
+					break
+				}
+			}
+		}(int64(1000 + w))
+	}
+	wg.Wait()
+	return acc.Load(), rej.Load()
+}
+
+// TestSpeculativeConcurrentRevalidation is the qrecover-style cross-check
+// for the speculative scheduler: after a concurrent burst decided by 4
+// workers, the server's state dump must pass VerifyState — every admitted
+// tree revalidates against the topology, and re-reserving every session's
+// channels on a fresh ledger reproduces the live per-switch occupancy
+// exactly. Any speculative commit that double-booked a qubit (validated
+// against a stale view without being caught) breaks the occupancy
+// re-derivation. Run under -race this also exercises the view/commit
+// synchronization.
+func TestSpeculativeConcurrentRevalidation(t *testing.T) {
+	g := specGraph(t, 11)
+	s := newTestServer(t, Config{
+		Graph:    g,
+		Workers:  4,
+		MaxBatch: 8,
+		MaxTTL:   time.Hour,
+	})
+
+	accepted, rejected := specBurst(t, s, g, 8, 25)
+	if accepted == 0 || rejected == 0 {
+		t.Fatalf("degenerate burst (%d accepts, %d rejects) — retune the workload", accepted, rejected)
+	}
+
+	st := s.StateDump()
+	if got := int64(len(st.Sessions)); got != accepted {
+		t.Fatalf("%d live sessions for %d accepts", got, accepted)
+	}
+	if err := VerifyState(g, quantum.DefaultParams(), st); err != nil {
+		t.Fatalf("revalidation after concurrent admission: %v", err)
+	}
+
+	m := s.Metrics()
+	sp := m.Speculation
+	if sp == nil {
+		t.Fatal("speculative scheduler reported no speculation metrics")
+	}
+	if sp.Workers != 4 {
+		t.Fatalf("speculation workers = %d, want 4", sp.Workers)
+	}
+	// Every decision is a commit, an epoch-validated reject, or a serial
+	// fallback; every conflict either triggered a re-solve or spent the
+	// retry budget.
+	if sp.Commits+sp.Rejects+sp.Fallbacks != accepted+rejected {
+		t.Fatalf("decisions %d+%d+%d don't cover %d requests",
+			sp.Commits, sp.Rejects, sp.Fallbacks, accepted+rejected)
+	}
+	if sp.Conflicts != sp.Resolves+sp.Fallbacks {
+		t.Fatalf("conflicts %d != resolves %d + fallbacks %d", sp.Conflicts, sp.Resolves, sp.Fallbacks)
+	}
+	if sp.Solves < sp.Commits+sp.Rejects {
+		t.Fatalf("solves %d below committed outcomes %d", sp.Solves, sp.Commits+sp.Rejects)
+	}
+	if m.Requests.Accepted != accepted || m.Requests.Rejected != rejected {
+		t.Fatalf("request counters %d/%d vs observed %d/%d",
+			m.Requests.Accepted, m.Requests.Rejected, accepted, rejected)
+	}
+}
+
+// TestSpeculativeDurableRecovery runs a concurrent speculative burst with
+// the WAL enabled, deletes a few sessions, and requires the recovered state
+// to be byte-identical to the live dump — the speculative commit path must
+// stage records in mutation order exactly as the serial one does, or replay
+// diverges.
+func TestSpeculativeDurableRecovery(t *testing.T) {
+	dir := t.TempDir()
+	g := specGraph(t, 23)
+	s, err := New(Config{
+		Graph:    g,
+		Workers:  4,
+		MaxBatch: 8,
+		MaxTTL:   time.Hour,
+		DataDir:  dir,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+
+	accepted, _ := specBurst(t, s, g, 4, 10)
+	if accepted == 0 {
+		t.Fatal("burst admitted nothing")
+	}
+	// Free a little capacity through the DELETE path so releases interleave
+	// with the speculative records in the WAL.
+	st := s.StateDump()
+	for i := 0; i < len(st.Sessions) && i < 3; i++ {
+		if err := s.Delete(st.Sessions[i].Info.ID); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+	}
+	specBurst(t, s, g, 2, 5)
+
+	want := dumpJSON(t, s.StateDump())
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	rec, err := Recover(dir, g)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if got := dumpJSON(t, rec.State); string(got) != string(want) {
+		t.Fatalf("recovered state differs\nlive:      %s\nrecovered: %s", want, got)
+	}
+	if err := VerifyState(g, quantum.DefaultParams(), rec.State); err != nil {
+		t.Fatalf("recovered state fails verification: %v", err)
+	}
+}
+
+// TestSchedulerSelection pins newScheduler's resolution rules: explicit
+// names win, empty picks by worker count, unknown names fail construction.
+func TestSchedulerSelection(t *testing.T) {
+	g := bottleneck(t)
+	for _, tc := range []struct {
+		name        string
+		cfg         Config
+		speculative bool
+	}{
+		{"default-serial", Config{Graph: g}, false},
+		{"auto-speculative", Config{Graph: g, Workers: 3}, true},
+		{"forced-serial", Config{Graph: g, Workers: 3, Scheduler: SchedulerSerial}, false},
+		{"forced-speculative", Config{Graph: g, Scheduler: SchedulerSpeculative}, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := newTestServer(t, tc.cfg)
+			if got := s.Metrics().Speculation != nil; got != tc.speculative {
+				t.Fatalf("speculative = %v, want %v", got, tc.speculative)
+			}
+		})
+	}
+	if _, err := New(Config{Graph: g, Scheduler: "bogus"}); err == nil {
+		t.Fatal("unknown scheduler name accepted")
+	}
+}

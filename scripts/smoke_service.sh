@@ -6,12 +6,15 @@
 # Environment knobs:
 #   SESSIONS  number of replayed sessions   (default 50)
 #   UNIT      real duration of one workload time unit (default 5ms)
+#   WORKERS   muerpd admission workers      (default 4 — exercises the
+#             speculative scheduler regardless of runner core count)
 #   GO        go binary                     (default go)
 set -euo pipefail
 
 GO=${GO:-go}
 SESSIONS=${SESSIONS:-50}
 UNIT=${UNIT:-5ms}
+WORKERS=${WORKERS:-4}
 
 workdir=$(mktemp -d)
 daemon_pid=""
@@ -27,9 +30,9 @@ echo "smoke: building muerpd and qload"
 "$GO" build -o "$workdir/muerpd" ./cmd/muerpd
 "$GO" build -o "$workdir/qload" ./cmd/qload
 
-echo "smoke: starting muerpd on a random port"
+echo "smoke: starting muerpd on a random port (workers=$WORKERS)"
 "$workdir/muerpd" -addr 127.0.0.1:0 -addr-file "$workdir/addr" \
-  -users 8 -switches 16 -ttl 2s >"$workdir/muerpd.log" 2>&1 &
+  -users 8 -switches 16 -ttl 2s -workers "$WORKERS" >"$workdir/muerpd.log" 2>&1 &
 daemon_pid=$!
 
 addr=""
@@ -52,8 +55,18 @@ if [[ -z "$addr" ]]; then
 fi
 echo "smoke: daemon at $addr"
 
-# The load driver itself gates on at least one accepted session.
-"$workdir/qload" -addr "$addr" -sessions "$SESSIONS" -unit "$UNIT" -min-accepted 1
+# The load driver itself gates on at least one accepted session. With
+# workers > 1 the speculative scheduler must be active and reporting its
+# counters through /metrics (qload prints them as a "speculation:" line).
+qload_out="$workdir/qload.out"
+"$workdir/qload" -addr "$addr" -sessions "$SESSIONS" -unit "$UNIT" -min-accepted 1 \
+  | tee "$qload_out"
+if [[ "$WORKERS" -gt 1 ]]; then
+  grep -q "^speculation: " "$qload_out" || {
+    echo "smoke: workers=$WORKERS but no speculation counters in qload output" >&2
+    exit 1
+  }
+fi
 
 echo "smoke: sending SIGTERM"
 kill -TERM "$daemon_pid"
