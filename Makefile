@@ -6,7 +6,7 @@ BENCH_OUT ?= BENCH_kernel.json
 BENCH_LABEL ?= current
 BENCH_TMP := $(shell mktemp -d 2>/dev/null || echo /tmp/quantumnet-bench)
 
-.PHONY: build test vet race tier1 bench bench-service bench-check list-solvers serve loadtest smoke-service smoke-recovery clean
+.PHONY: build test vet race tier1 bench bench-service bench-check list-solvers serve loadtest smoke-service smoke-service-sharded smoke-recovery smoke-recovery-sharded clean
 
 build:
 	$(GO) build ./...
@@ -21,10 +21,11 @@ vet:
 # concurrency: core's parallel all-pairs fan-out, sim's batch pool,
 # quantum's shared ledger (the mutex-serialized mutation contract and
 # lock-free read-only use), service's admission loop + expiry wheel +
-# durability wiring, and the WAL's group-commit loop and snapshotter.
+# durability wiring + sharded two-phase router, the WAL's group-commit loop
+# and snapshotter, and topology's partitioner (read concurrently by shards).
 race:
 	$(GO) test -race ./internal/core ./internal/sim ./internal/quantum \
-		./internal/service ./internal/wal ./internal/snapshot
+		./internal/service ./internal/wal ./internal/snapshot ./internal/topology
 
 # tier1 is the repo's merge gate: build, full tests, vet, race.
 tier1: build test vet race
@@ -45,13 +46,15 @@ bench:
 		$(BENCH_TMP)/kernel.txt $(BENCH_TMP)/engine.txt $(BENCH_TMP)/figs.txt
 
 # bench-service refreshes the "speculative" run: the end-to-end admission
-# loop across batch sizes, durability, and the speculative scheduler's
-# worker sweep (big-workers{1,2,4}). The workersN/workers1 ratio is the
-# speculation speedup; it needs GOMAXPROCS >= N to show — on fewer cores
-# the sweep records speculation overhead instead (see EXPERIMENTS.md).
+# loop across batch sizes, durability, the speculative scheduler's worker
+# sweep (big-workers{1,2,4}), and the sharded admission plane
+# (sharded-shards{1,2,4}). The workersN/workers1 ratio is the speculation
+# speedup and shardsN/shards1 the sharding speedup; both need
+# GOMAXPROCS >= N to show — on fewer cores the sweeps record coordination
+# overhead instead (see EXPERIMENTS.md).
 bench-service:
 	mkdir -p $(BENCH_TMP)
-	$(GO) test -run '^$$' -bench 'BenchmarkAdmissionLoop' \
+	$(GO) test -run '^$$' -bench 'BenchmarkAdmissionLoop|BenchmarkShardedAdmission' \
 		-benchtime 1s ./internal/service | tee $(BENCH_TMP)/service.txt
 	$(GO) run ./cmd/benchreport -label speculative -o $(BENCH_OUT) \
 		$(BENCH_TMP)/service.txt
@@ -100,12 +103,24 @@ loadtest:
 smoke-service:
 	bash scripts/smoke_service.sh
 
+# smoke-service-sharded reruns the serving smoke against a 4-shard daemon:
+# qload must detect the partition, print the per-shard breakdown, and the
+# router counters must surface through /metrics.
+smoke-service-sharded:
+	SHARDS=4 bash scripts/smoke_service.sh
+
 # smoke-recovery is the CI crash-durability check: boot muerpd with a data
 # directory, admit 20 long-TTL sessions over HTTP, SIGKILL, restart on the
 # same directory, and require >=95% of the sessions to be live again; ends
 # with an offline qrecover pass over the directory. See DESIGN.md §7.
 smoke-recovery:
 	bash scripts/smoke_recovery.sh
+
+# smoke-recovery-sharded reruns the crash-durability smoke against a
+# two-shard daemon: per-shard WAL streams replay independently and qrecover
+# must verify and compose both shards offline.
+smoke-recovery-sharded:
+	SHARDS=2 bash scripts/smoke_recovery.sh
 
 clean:
 	$(GO) clean ./...

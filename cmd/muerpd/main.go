@@ -19,6 +19,12 @@
 //	             the speculative scheduler, DESIGN.md §8)
 //	-ttl         default session TTL            (default 30s)
 //	-max-ttl     TTL cap                        (default 10m)
+//	-shards      admission shards; >1 partitions the topology into regions,
+//	             runs one admission plane per region and two-phase-commits
+//	             cross-region sessions (DESIGN.md §9; default 1)
+//	-partition-seed  region partitioner seed    (default 1)
+//	-cross-retries   cross-region re-solve budget before the global
+//	             fallback (default 3)
 //	-data-dir    durable state directory (WAL + snapshots); crash recovery
 //	             restores every live session on restart (empty = in-memory)
 //	-snapshot-every / -snapshot-interval  snapshot cadence
@@ -81,6 +87,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		workers   = fs.Int("workers", runtime.GOMAXPROCS(0), "parallel admission solvers (>1 enables speculative admission)")
 		ttl       = fs.Duration("ttl", 30*time.Second, "default session TTL")
 		maxTTL    = fs.Duration("max-ttl", 10*time.Minute, "session TTL cap")
+		shards    = fs.Int("shards", 1, "admission shards (>1 partitions the topology into regions)")
+		partSeed  = fs.Int64("partition-seed", 1, "region partitioner seed")
+		crossTry  = fs.Int("cross-retries", 3, "cross-region re-solve budget before the global fallback")
 		dataDir   = fs.String("data-dir", "", "durable state directory (WAL + snapshots); empty = in-memory only")
 		snapEvery = fs.Int("snapshot-every", 1024, "snapshot after this many WAL records")
 		snapInt   = fs.Duration("snapshot-interval", 30*time.Second, "snapshot at least this often")
@@ -100,7 +109,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	fmt.Fprintln(out, g)
 
-	svc, err := service.New(service.Config{
+	base := service.Config{
 		Graph:            g,
 		Params:           quantum.Params{Alpha: *alpha, SwapProb: *swapProb},
 		QueueSize:        *queueSize,
@@ -112,34 +121,63 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		DataDir:          *dataDir,
 		SnapshotEvery:    *snapEvery,
 		SnapshotInterval: *snapInt,
-	})
-	if err != nil {
-		return err
+	}
+	// One daemon, two shapes: the single admission plane, or -shards region
+	// planes behind the cross-region router. Both serve the same API.
+	var (
+		handler   http.Handler
+		closeSvc  func() error
+		admission func() string
+	)
+	if *shards > 1 {
+		svc, err := service.NewSharded(service.ShardedConfig{
+			Config:        base,
+			Shards:        *shards,
+			PartitionSeed: *partSeed,
+			CrossRetries:  *crossTry,
+		})
+		if err != nil {
+			return err
+		}
+		part := svc.Partition()
+		fmt.Fprintf(out, "partitioned into %d regions (seed=%d boundary=%d cut=%d)\n",
+			part.K, part.Seed, len(part.Boundary), part.CutEdges)
+		handler = svc.Handler()
+		closeSvc = svc.Close
+		admission = func() string { return svc.Metrics().Admission.String() }
+	} else {
+		svc, err := service.New(base)
+		if err != nil {
+			return err
+		}
+		handler = svc.Handler()
+		closeSvc = svc.Close
+		admission = func() string { return svc.Metrics().Admission.String() }
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		_ = svc.Close()
+		_ = closeSvc()
 		return err
 	}
 	bound := ln.Addr().String()
 	if *addrFile != "" {
 		if err := writeFileAtomic(*addrFile, []byte(bound)); err != nil {
 			_ = ln.Close()
-			_ = svc.Close()
+			_ = closeSvc()
 			return fmt.Errorf("write addr file: %w", err)
 		}
 	}
-	fmt.Fprintf(out, "muerpd listening on http://%s (batch<=%d wait=%v queue=%d ttl=%v workers=%d)\n",
-		bound, *batch, *batchWait, *queueSize, *ttl, *workers)
+	fmt.Fprintf(out, "muerpd listening on http://%s (batch<=%d wait=%v queue=%d ttl=%v workers=%d shards=%d)\n",
+		bound, *batch, *batchWait, *queueSize, *ttl, *workers, *shards)
 
-	srv := &http.Server{Handler: svc.Handler()}
+	srv := &http.Server{Handler: handler}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
 	select {
 	case err := <-serveErr:
-		_ = svc.Close()
+		_ = closeSvc()
 		return err
 	case <-ctx.Done():
 	}
@@ -155,10 +193,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	if err := svc.Close(); err != nil {
+	if err := closeSvc(); err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "final admission summary:\n%s", svc.Metrics().Admission)
+	fmt.Fprintf(out, "final admission summary:\n%s", admission())
 	return nil
 }
 

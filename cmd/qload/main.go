@@ -18,8 +18,15 @@
 //	-unit           real duration of one unit    (default 10ms)
 //	-timeout        per-request HTTP timeout     (default 5s)
 //	-min-accepted   fail unless >= this many accepted (default 1)
+//	-min-rps        fail unless achieved throughput >= this (default 0 = off)
 //	-v              print every outcome
 //	-version        print build info and exit
+//
+// Against a sharded daemon (muerpd -shards N) qload fetches GET /partition,
+// classifies every request by its users' regions, and prints a per-shard
+// throughput/latency breakdown — single-region traffic per home shard plus
+// one "cross" row for the sessions that went through the two-phase
+// cross-region path — alongside the server's router counters.
 package main
 
 import (
@@ -40,6 +47,7 @@ import (
 	"github.com/muerp/quantumnet/internal/buildinfo"
 	"github.com/muerp/quantumnet/internal/graph"
 	"github.com/muerp/quantumnet/internal/sched"
+	"github.com/muerp/quantumnet/internal/topology"
 )
 
 func main() {
@@ -69,6 +77,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		unit        = fs.Duration("unit", 10*time.Millisecond, "real duration of one workload time unit")
 		timeout     = fs.Duration("timeout", 5*time.Second, "per-request HTTP timeout")
 		minAccepted = fs.Int("min-accepted", 1, "fail unless at least this many sessions are accepted")
+		minRPS      = fs.Float64("min-rps", 0, "fail unless achieved request throughput is at least this (0 = no gate)")
 		verbose     = fs.Bool("v", false, "print every outcome")
 		version     = fs.Bool("version", false, "print build info and exit")
 	)
@@ -89,6 +98,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	client := &http.Client{Timeout: *timeout}
 
 	g, err := fetchTopology(ctx, client, base)
+	if err != nil {
+		return err
+	}
+	part, err := fetchPartition(ctx, client, base)
 	if err != nil {
 		return err
 	}
@@ -169,13 +182,72 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			q(0.50).Round(time.Microsecond), q(0.95).Round(time.Microsecond),
 			latencies[len(latencies)-1].Round(time.Microsecond))
 	}
+	if part != nil {
+		printShardBreakdown(out, part, requests, outcomes)
+	}
 	if err := printServerMetrics(ctx, client, base, out); err != nil {
 		fmt.Fprintf(out, "metrics:        unavailable (%v)\n", err)
 	}
 	if accepted < *minAccepted {
 		return fmt.Errorf("accepted %d sessions, need at least %d", accepted, *minAccepted)
 	}
+	if rps := float64(len(requests)) / elapsed.Seconds(); *minRPS > 0 && rps < *minRPS {
+		return fmt.Errorf("achieved %.1f req/s, need at least %.1f", rps, *minRPS)
+	}
 	return nil
+}
+
+// requestClass maps a request onto the shard that would decide it: its
+// users' common region, or -1 for the cross-region path.
+func requestClass(part *topology.Partition, users []graph.NodeID) int {
+	r := part.RegionOf(users[0])
+	for _, u := range users[1:] {
+		if part.RegionOf(u) != r {
+			return -1
+		}
+	}
+	return r
+}
+
+// printShardBreakdown splits the replay's outcomes by deciding shard and
+// prints one throughput/latency row per shard plus one for the cross-region
+// path.
+func printShardBreakdown(out io.Writer, part *topology.Partition, requests []sched.Request, outcomes []outcome) {
+	type row struct {
+		total, accepted int
+		lats            []time.Duration
+	}
+	rows := make([]row, part.K+1) // rows[K] is the cross-region class
+	for i, req := range requests {
+		cls := requestClass(part, req.Users)
+		if cls < 0 {
+			cls = part.K
+		}
+		rows[cls].total++
+		if outcomes[i].status == http.StatusCreated {
+			rows[cls].accepted++
+		}
+		if outcomes[i].err == nil {
+			rows[cls].lats = append(rows[cls].lats, outcomes[i].latency)
+		}
+	}
+	fmt.Fprintf(out, "shard breakdown (%d regions):\n", part.K)
+	for cls, r := range rows {
+		if r.total == 0 {
+			continue
+		}
+		name := fmt.Sprintf("shard %d", cls)
+		if cls == part.K {
+			name = "cross  "
+		}
+		line := fmt.Sprintf("  %s  %4d requests  %4d accepted", name, r.total, r.accepted)
+		if len(r.lats) > 0 {
+			sort.Slice(r.lats, func(i, j int) bool { return r.lats[i] < r.lats[j] })
+			q := func(p float64) time.Duration { return r.lats[int(p*float64(len(r.lats)-1))] }
+			line += fmt.Sprintf("  p50 %v  p95 %v", q(0.50).Round(time.Microsecond), q(0.95).Round(time.Microsecond))
+		}
+		fmt.Fprintln(out, line)
+	}
 }
 
 func fire(ctx context.Context, client *http.Client, base string, req sched.Request, unit time.Duration) outcome {
@@ -217,6 +289,31 @@ func fetchTopology(ctx context.Context, client *http.Client, base string) (*grap
 	return graph.ReadJSON(resp.Body)
 }
 
+// fetchPartition asks the daemon for its region partition; nil without
+// error means the daemon is unsharded (404).
+func fetchPartition(ctx context.Context, client *http.Client, base string) (*topology.Partition, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/partition", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("fetch partition: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fetch partition: status %d", resp.StatusCode)
+	}
+	var p topology.Partition
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		return nil, fmt.Errorf("decode partition: %w", err)
+	}
+	return &p, nil
+}
+
 // printServerMetrics surfaces the daemon-side view after the run: the
 // shared admission summary plus batching and cache effectiveness.
 func printServerMetrics(ctx context.Context, client *http.Client, base string, out io.Writer) error {
@@ -235,7 +332,18 @@ func printServerMetrics(ctx context.Context, client *http.Client, base string, o
 			MeanSize float64 `json:"mean_size"`
 			MaxSize  int64   `json:"max_size"`
 		} `json:"batches"`
-		Admission   sched.Summary `json:"admission"`
+		Admission sched.Summary `json:"admission"`
+		Router    *struct {
+			Shards          int     `json:"shards"`
+			SingleRegion    int64   `json:"single_region"`
+			CrossRegion     int64   `json:"cross_region"`
+			CrossRegionRate float64 `json:"cross_region_rate"`
+			Prepares        int64   `json:"prepares"`
+			Conflicts       int64   `json:"conflicts"`
+			Retries         int64   `json:"retries"`
+			Aborts          int64   `json:"aborts"`
+			GlobalFallbacks int64   `json:"global_fallbacks"`
+		} `json:"router"`
 		Speculation *struct {
 			Workers          int     `json:"workers"`
 			Solves           int64   `json:"solves"`
@@ -252,6 +360,11 @@ func printServerMetrics(ctx context.Context, client *http.Client, base string, o
 	}
 	fmt.Fprintf(out, "server batches: %d (mean %.2f, max %d)\n",
 		m.Batches.Count, m.Batches.MeanSize, m.Batches.MaxSize)
+	if r := m.Router; r != nil {
+		fmt.Fprintf(out, "router:         %d shards, %d single-region, %d cross-region (%.1f%%), 2pc prepares %d conflicts %d retries %d aborts %d fallbacks %d\n",
+			r.Shards, r.SingleRegion, r.CrossRegion, r.CrossRegionRate*100,
+			r.Prepares, r.Conflicts, r.Retries, r.Aborts, r.GlobalFallbacks)
+	}
 	if sp := m.Speculation; sp != nil {
 		fmt.Fprintf(out, "speculation:    workers %d, solves %d, commits %d, conflicts %d (resolved %d, fallback %d), wasted %.1f%%, max parallel %d\n",
 			sp.Workers, sp.Solves, sp.Commits, sp.Conflicts, sp.Resolves, sp.Fallbacks,

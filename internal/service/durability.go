@@ -67,11 +67,18 @@ type walRecord struct {
 
 // admitRecord persists one accepted session: its public info, the routed
 // tree whose channels replay reserves in order, and the ID-counter value
-// after the admit so recovery continues the "s-N" sequence without reuse.
+// after the admit so recovery continues the ID sequence without reuse.
+// Cross-region sessions (Shards non-empty) replay by reserving Load — this
+// shard's slice of the tree's per-switch demand — instead of the tree; the
+// tree itself is recorded only on the session's home shard (Secondary
+// false) for inspection and cross-shard verification.
 type admitRecord struct {
-	Info   SessionInfo  `json:"info"`
-	Tree   quantum.Tree `json:"tree"`
-	NextID uint64       `json:"next_id"`
+	Info      SessionInfo         `json:"info"`
+	Tree      quantum.Tree        `json:"tree"`
+	NextID    uint64              `json:"next_id"`
+	Load      []quantum.LoadEntry `json:"load,omitempty"`
+	Shards    []int               `json:"shards,omitempty"`
+	Secondary bool                `json:"secondary,omitempty"`
 }
 
 // releaseRecord persists one capacity refund (TTL expiry or DELETE).
@@ -87,10 +94,14 @@ type epochRecord struct {
 	Gen uint64 `json:"gen"`
 }
 
-// SessionState is one live session as persisted in a snapshot.
+// SessionState is one live session as persisted in a snapshot. Load, Shards
+// and Secondary mirror the session's cross-region fields (admitRecord).
 type SessionState struct {
-	Info SessionInfo  `json:"info"`
-	Tree quantum.Tree `json:"tree"`
+	Info      SessionInfo         `json:"info"`
+	Tree      quantum.Tree        `json:"tree"`
+	Load      []quantum.LoadEntry `json:"load,omitempty"`
+	Shards    []int               `json:"shards,omitempty"`
+	Secondary bool                `json:"secondary,omitempty"`
 }
 
 // State is the serializable image of the daemon's admission state: the
@@ -108,6 +119,7 @@ type State struct {
 // unset. recs, snapSeq and snapMeta are guarded by the server mutex.
 type durability struct {
 	dir      string
+	snaps    string // snapshot directory: snap/ or snap/s<ii>/ for a shard
 	log      *wal.Log
 	every    uint64
 	interval time.Duration
@@ -187,7 +199,10 @@ func (s *Server) stateLocked() State {
 		Sessions: make([]SessionState, len(s.expiry)),
 	}
 	for i, sess := range s.expiry {
-		st.Sessions[i] = SessionState{Info: sess.info, Tree: sess.tree}
+		st.Sessions[i] = SessionState{
+			Info: sess.info, Tree: sess.tree,
+			Load: sess.load, Shards: sess.shards, Secondary: sess.secondary,
+		}
 	}
 	return st
 }
@@ -233,7 +248,7 @@ func (s *Server) snapshotNow() {
 	st := s.stateLocked()
 	s.mu.Unlock()
 
-	meta, err := snapshot.Save(snapDir(s.dur.dir), seq, s.clock.Now(), st)
+	meta, err := snapshot.Save(s.dur.snaps, seq, s.clock.Now(), st)
 	if err != nil {
 		s.dur.snapErrs.Add(1)
 		return
@@ -245,15 +260,22 @@ func (s *Server) snapshotNow() {
 	if _, err := s.dur.log.Compact(seq); err != nil && !errors.Is(err, wal.ErrClosed) {
 		s.dur.snapErrs.Add(1)
 	}
-	if err := snapshot.Prune(snapDir(s.dur.dir), s.dur.keep); err != nil {
+	if err := snapshot.Prune(s.dur.snaps, s.dur.keep); err != nil {
 		s.dur.snapErrs.Add(1)
 	}
 }
 
-// Data-directory layout: wal/ (segments), snap/ (snapshots),
-// topology.json + params.json (pinned environment).
+// Data-directory layout: wal/ (segments; a sharded server interleaves one
+// WAL stream per shard in the same directory), snap/ (snapshots; shard i
+// snapshots under snap/s<ii>/), topology.json + params.json (pinned
+// environment) and partition.json (pinned region partition, sharded only).
 func walDir(dataDir string) string  { return filepath.Join(dataDir, "wal") }
 func snapDir(dataDir string) string { return filepath.Join(dataDir, "snap") }
+
+// shardSnapDir returns shard i's snapshot directory inside a data dir.
+func shardSnapDir(dataDir string, shard int) string {
+	return filepath.Join(dataDir, "snap", fmt.Sprintf("s%02d", shard))
+}
 
 // TopologyPath returns the pinned-topology file inside a data directory.
 func TopologyPath(dataDir string) string { return filepath.Join(dataDir, "topology.json") }
@@ -338,7 +360,10 @@ func (rs *replayState) restore(st State) error {
 		if _, dup := rs.sessions[ss.Info.ID]; dup {
 			return fmt.Errorf("service: snapshot lists session %q twice", ss.Info.ID)
 		}
-		sess := &session{info: ss.Info, tree: ss.Tree, expiresAt: ss.Info.ExpiresAt, heapIdx: i}
+		sess := &session{
+			info: ss.Info, tree: ss.Tree, expiresAt: ss.Info.ExpiresAt, heapIdx: i,
+			load: ss.Load, shards: ss.Shards, secondary: ss.Secondary,
+		}
 		rs.sessions[ss.Info.ID] = sess
 		rs.expiry = append(rs.expiry, sess)
 	}
@@ -360,12 +385,22 @@ func (rs *replayState) apply(seq uint64, payload []byte) error {
 		if _, dup := rs.sessions[a.Info.ID]; dup {
 			return fmt.Errorf("service: WAL record %d admits duplicate session %q", seq, a.Info.ID)
 		}
-		for _, c := range a.Tree.Channels {
-			if err := rs.led.Reserve(c.Nodes); err != nil {
+		if len(a.Shards) > 0 {
+			// Cross-region: this shard holds a load slice, not the tree.
+			if err := rs.led.ReserveLoad(a.Load); err != nil {
 				return fmt.Errorf("service: WAL record %d (admit %s): %w", seq, a.Info.ID, err)
 			}
+		} else {
+			for _, c := range a.Tree.Channels {
+				if err := rs.led.Reserve(c.Nodes); err != nil {
+					return fmt.Errorf("service: WAL record %d (admit %s): %w", seq, a.Info.ID, err)
+				}
+			}
 		}
-		sess := &session{info: a.Info, tree: a.Tree, expiresAt: a.Info.ExpiresAt}
+		sess := &session{
+			info: a.Info, tree: a.Tree, expiresAt: a.Info.ExpiresAt,
+			load: a.Load, shards: a.Shards, secondary: a.Secondary,
+		}
 		rs.sessions[a.Info.ID] = sess
 		heap.Push(&rs.expiry, sess)
 		if a.NextID > rs.nextID {
@@ -380,7 +415,11 @@ func (rs *replayState) apply(seq uint64, payload []byte) error {
 			return fmt.Errorf("service: WAL record %d releases unknown session %q", seq, rec.Release.ID)
 		}
 		heap.Remove(&rs.expiry, sess.heapIdx)
-		core.ReleaseTree(rs.led, sess.tree)
+		if sess.shards != nil {
+			rs.led.ReleaseLoad(sess.load)
+		} else {
+			core.ReleaseTree(rs.led, sess.tree)
+		}
 		delete(rs.sessions, sess.info.ID)
 	case recEpoch:
 		if rec.Epoch == nil {
@@ -402,7 +441,10 @@ func (rs *replayState) dump() State {
 		Sessions: make([]SessionState, len(rs.expiry)),
 	}
 	for i, sess := range rs.expiry {
-		st.Sessions[i] = SessionState{Info: sess.info, Tree: sess.tree}
+		st.Sessions[i] = SessionState{
+			Info: sess.info, Tree: sess.tree,
+			Load: sess.load, Shards: sess.shards, Secondary: sess.secondary,
+		}
 	}
 	return st
 }
@@ -428,11 +470,25 @@ type Recovered struct {
 // top. It never mutates the directory, so it is safe to run offline
 // (cmd/qrecover) or repeatedly.
 func Recover(dataDir string, g *graph.Graph) (*Recovered, error) {
+	return recoverDirs(walDir(dataDir), snapDir(dataDir), 0, false, g)
+}
+
+// RecoverShard rebuilds one shard's admission state from its WAL stream and
+// snapshot directory inside a shared data dir. g must be the shard's region
+// graph (RegionGraph), not the full topology: the shard's ledger budgets are
+// defined over it. Shards recover independently — no cross-stream order.
+func RecoverShard(dataDir string, shard int, g *graph.Graph) (*Recovered, error) {
+	return recoverDirs(walDir(dataDir), shardSnapDir(dataDir, shard), wal.StreamID(shard), true, g)
+}
+
+// recoverDirs is the shared snapshot-restore + WAL-replay engine behind
+// Recover (v1 log) and RecoverShard (one v2 stream).
+func recoverDirs(wdir, sdir string, stream wal.StreamID, streamed bool, g *graph.Graph) (*Recovered, error) {
 	rs := newReplayState(g)
 	rec := &Recovered{rs: rs}
 
 	var st State
-	meta, ok, err := snapshot.Latest(snapDir(dataDir), &st)
+	meta, ok, err := snapshot.Latest(sdir, &st)
 	if err != nil {
 		return nil, fmt.Errorf("service: load snapshot: %w", err)
 	}
@@ -446,10 +502,16 @@ func Recover(dataDir string, g *graph.Graph) (*Recovered, error) {
 		rec.SnapshotPath = meta.Path
 	}
 
-	end, err := wal.Replay(walDir(dataDir), from, func(seq uint64, payload []byte) error {
+	apply := func(seq uint64, payload []byte) error {
 		rec.WALRecords++
 		return rs.apply(seq, payload)
-	})
+	}
+	var end uint64
+	if streamed {
+		end, err = wal.ReplayStream(wdir, stream, from, apply)
+	} else {
+		end, err = wal.Replay(wdir, from, apply)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("service: replay WAL: %w", err)
 	}
@@ -468,10 +530,20 @@ func Recover(dataDir string, g *graph.Graph) (*Recovered, error) {
 // opens the WAL for appending. Called from New before the goroutines start.
 func (s *Server) openDurability(cfg Config) error {
 	t0 := time.Now()
-	if err := pinEnvironment(cfg.DataDir, cfg.Graph, cfg.Params); err != nil {
-		return err
+	var rec *Recovered
+	var err error
+	sdir := snapDir(cfg.DataDir)
+	if sh := cfg.shard; sh != nil {
+		// Shard of a ShardedServer: the sharded layer pinned the environment;
+		// recover this shard's stream + snapshot dir against the region graph.
+		sdir = shardSnapDir(cfg.DataDir, sh.index)
+		rec, err = RecoverShard(cfg.DataDir, sh.index, cfg.Graph)
+	} else {
+		if err := pinEnvironment(cfg.DataDir, cfg.Graph, cfg.Params); err != nil {
+			return err
+		}
+		rec, err = Recover(cfg.DataDir, cfg.Graph)
 	}
-	rec, err := Recover(cfg.DataDir, cfg.Graph)
 	if err != nil {
 		return err
 	}
@@ -480,12 +552,18 @@ func (s *Server) openDurability(cfg Config) error {
 	s.expiry = rec.rs.expiry
 	s.nextID.Store(rec.rs.nextID)
 
-	log, err := wal.Create(walDir(cfg.DataDir), rec.NextSeq, wal.Options{NoSync: cfg.NoSync})
+	var log *wal.Log
+	if sh := cfg.shard; sh != nil {
+		log, err = wal.CreateStream(walDir(cfg.DataDir), wal.StreamID(sh.index), rec.NextSeq, wal.Options{NoSync: cfg.NoSync})
+	} else {
+		log, err = wal.Create(walDir(cfg.DataDir), rec.NextSeq, wal.Options{NoSync: cfg.NoSync})
+	}
 	if err != nil {
 		return fmt.Errorf("service: open WAL: %w", err)
 	}
 	s.dur = &durability{
 		dir:      cfg.DataDir,
+		snaps:    sdir,
 		log:      log,
 		every:    uint64(cfg.SnapshotEvery),
 		interval: cfg.SnapshotInterval,

@@ -59,18 +59,19 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	info, err := s.Submit(r.Context(), req.Users, time.Duration(req.TTLMs)*time.Millisecond)
 	if err != nil {
-		s.writeSubmitError(w, r, err)
+		writeSubmitError(w, s.cfg.RetryAfter, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, info)
 }
 
-// writeSubmitError maps a Submit outcome onto the HTTP status space.
-func (s *Server) writeSubmitError(w http.ResponseWriter, r *http.Request, err error) {
+// writeSubmitError maps a Submit outcome onto the HTTP status space; shared
+// by the standalone and sharded handlers.
+func writeSubmitError(w http.ResponseWriter, retryAfter time.Duration, err error) {
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		// Backpressure: tell the client when to come back.
-		secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+		secs := int((retryAfter + time.Second - 1) / time.Second)
 		w.Header().Set("Retry-After", fmt.Sprint(secs))
 		writeError(w, http.StatusTooManyRequests, "queue_full", err.Error())
 	case errors.Is(err, ErrClosed):

@@ -142,7 +142,7 @@ func (s *Server) admitOneLocked(now time.Time, p *pending) (SessionInfo, error) 
 // session into the table and expiry heap, updates the aggregates and
 // stages the WAL admit record. Callers hold s.mu.
 func (s *Server) commitAdmitLocked(now time.Time, p *pending, tree quantum.Tree) SessionInfo {
-	id := fmt.Sprintf("s-%d", s.nextID.Add(1))
+	id := fmt.Sprintf("%s%d", s.idPrefix, s.nextID.Add(1))
 	sess := &session{
 		info: SessionInfo{
 			ID:         id,

@@ -117,6 +117,18 @@ type Config struct {
 	// NoSync skips WAL fsyncs — only for benchmarks measuring the
 	// non-durable baseline; a crash can then lose acknowledged records.
 	NoSync bool
+
+	// shard marks this Server as one shard of a ShardedServer (sharded.go):
+	// session IDs take the "s<shard>-<n>" form, and the durability layer
+	// writes the shard's own WAL stream and snapshot directory inside the
+	// shared DataDir instead of pinning the environment itself (the sharded
+	// layer pins the full topology, params and partition once).
+	shard *shardEnv
+}
+
+// shardEnv carries a shard Server's identity within a ShardedServer.
+type shardEnv struct {
+	index int
 }
 
 func (c Config) withDefaults() Config {
@@ -187,6 +199,15 @@ type session struct {
 	tree      quantum.Tree
 	expiresAt time.Time
 	heapIdx   int
+
+	// Cross-region sessions (sharded.go) hold per-switch load slices instead
+	// of whole trees on each involved shard: load is this shard's slice,
+	// shards the ascending list of involved shard indices (nil for ordinary
+	// single-shard sessions), and secondary marks the copies living on every
+	// involved shard other than the session's home.
+	load      []quantum.LoadEntry
+	shards    []int
+	secondary bool
 }
 
 // expiryHeap is a min-heap of live sessions by expiry time — the timer
@@ -248,9 +269,10 @@ type Server struct {
 	sumRate  float64         // sum of accepted session rates
 	peak     int             // high-water mark of reserved qubits
 
-	nextID atomic.Uint64
-	ctrs   counters
-	lat    *histogram
+	nextID   atomic.Uint64
+	idPrefix string // "s-" standalone, "s<shard>-" inside a ShardedServer
+	ctrs     counters
+	lat      *histogram
 
 	// sched decides micro-batches (scheduler.go); chosen once at New.
 	sched scheduler
@@ -282,6 +304,10 @@ func New(cfg Config) (*Server, error) {
 		quit:     make(chan struct{}),
 		kick:     make(chan struct{}, 1),
 		lat:      newHistogram(),
+		idPrefix: "s-",
+	}
+	if cfg.shard != nil {
+		s.idPrefix = fmt.Sprintf("s%d-", cfg.shard.index)
 	}
 	for _, id := range cfg.Graph.Switches() {
 		s.total += cfg.Graph.Node(id).Qubits
@@ -392,6 +418,48 @@ func (s *Server) ActiveSessions() int {
 	return len(s.sessions)
 }
 
+// sessionCounts returns the live session count and, of those, how many are
+// secondary copies of cross-region sessions homed on another shard.
+func (s *Server) sessionCounts() (active, secondary int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sess := range s.sessions {
+		if sess.secondary {
+			secondary++
+		}
+	}
+	return len(s.sessions), secondary
+}
+
+// sessionShards returns a cross-region session's involved-shard list (nil
+// for ordinary sessions); ShardedServer.Delete fans releases out over it.
+func (s *Server) sessionShards(id string) ([]int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return nil, false
+	}
+	return sess.shards, true
+}
+
+// deleteQuiet releases a session like Delete but without the deleted
+// counter, and treats an already-gone session as success — the shape a
+// cross-region fan-out needs on secondary shards, whose copies the home
+// shard's delete does not own and whose expiry wheel may race the fan-out.
+func (s *Server) deleteQuiet(id string) error {
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil
+	}
+	s.releaseLocked(sess, releasedDeleted, s.clock.Now())
+	ticket := s.enqueueRecordsLocked()
+	s.mu.Unlock()
+	return s.waitDurable(ticket)
+}
+
 // Close stops accepting new requests, drains everything already queued
 // (each still gets a real admission decision — SIGTERM does not drop
 // accepted work), stops the admission and expiry goroutines and returns.
@@ -498,7 +566,11 @@ func (s *Server) expireLocked(now time.Time) {
 			return
 		}
 		s.releaseLocked(next, releasedExpired, now)
-		s.ctrs.expired.Add(1)
+		// A cross-region session expires on every involved shard; only its
+		// home shard counts it, so aggregated counters stay session-accurate.
+		if !next.secondary {
+			s.ctrs.expired.Add(1)
+		}
 	}
 }
 
@@ -508,11 +580,17 @@ const (
 	releasedDeleted = "deleted"
 )
 
-// releaseLocked refunds a session's tree reservations, drops it from the
-// table, removes its expiry-heap entry eagerly, and stages the WAL record.
+// releaseLocked refunds a session's reservations — the whole tree for
+// ordinary sessions, this shard's load slice for cross-region ones — drops
+// it from the table, removes its expiry-heap entry eagerly, and stages the
+// WAL record.
 func (s *Server) releaseLocked(sess *session, reason string, now time.Time) {
 	heap.Remove(&s.expiry, sess.heapIdx)
-	core.ReleaseTree(s.led, sess.tree)
+	if sess.shards != nil {
+		s.led.ReleaseLoad(sess.load)
+	} else {
+		core.ReleaseTree(s.led, sess.tree)
+	}
 	delete(s.sessions, sess.info.ID)
 	s.appendRecordLocked(walRecord{T: recRelease, Release: &releaseRecord{
 		ID:     sess.info.ID,

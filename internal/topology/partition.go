@@ -1,0 +1,318 @@
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/muerp/quantumnet/internal/graph"
+)
+
+// Partition is a deterministic k-way split of a topology's switches into
+// regions, produced by PartitionRegions. Regions index per-shard admission
+// state: each switch belongs to exactly one region, users are attached to
+// the region of a neighboring switch, and boundary switches (those with a
+// fiber to a switch in another region) are annotated for the cross-region
+// reservation protocol.
+type Partition struct {
+	// K is the number of regions (0..K-1).
+	K int `json:"k"`
+	// Seed is the RNG seed the partitioner was run with; recorded so a
+	// persisted partition can be re-derived and pinned.
+	Seed int64 `json:"seed"`
+	// Region maps every NodeID (users included) to its region index.
+	Region []int `json:"region"`
+	// Boundary lists, in ascending NodeID order, every switch incident to
+	// a switch-switch fiber whose other endpoint lies in another region.
+	Boundary []graph.NodeID `json:"boundary"`
+	// CutEdges counts switch-switch fibers crossing region boundaries.
+	CutEdges int `json:"cut_edges"`
+
+	// regionSwitches[r] lists region r's switches in ascending ID order.
+	regionSwitches [][]graph.NodeID
+}
+
+// Partitioner errors.
+var (
+	ErrBadRegionCount = errors.New("topology: region count must be >= 1 and <= switch count")
+	ErrPartitionGraph = errors.New("topology: partition does not match graph")
+)
+
+// RegionOf returns the region of id.
+func (p *Partition) RegionOf(id graph.NodeID) int { return p.Region[id] }
+
+// Switches returns region r's switches in ascending NodeID order. The
+// returned slice is shared; callers must not mutate it.
+func (p *Partition) Switches(r int) []graph.NodeID { return p.regionSwitches[r] }
+
+// IsBoundary reports whether id is an annotated boundary switch.
+func (p *Partition) IsBoundary(id graph.NodeID) bool {
+	i := sort.Search(len(p.Boundary), func(i int) bool { return p.Boundary[i] >= id })
+	return i < len(p.Boundary) && p.Boundary[i] == id
+}
+
+// Rebuild recomputes the derived per-region switch lists after the exported
+// fields were populated externally (e.g. decoded from JSON), and validates
+// the partition against g: Region must cover every node with a value in
+// [0, K), and the boundary/cut annotations must match the graph.
+func (p *Partition) Rebuild(g *graph.Graph) error {
+	if p.K < 1 || len(p.Region) != g.NumNodes() {
+		return fmt.Errorf("%w: k=%d regions=%d nodes=%d",
+			ErrPartitionGraph, p.K, len(p.Region), g.NumNodes())
+	}
+	for id, r := range p.Region {
+		if r < 0 || r >= p.K {
+			return fmt.Errorf("%w: node %d in region %d of %d", ErrPartitionGraph, id, r, p.K)
+		}
+	}
+	boundary, cut := boundaryOf(g, p.Region)
+	if cut != p.CutEdges || len(boundary) != len(p.Boundary) {
+		return fmt.Errorf("%w: boundary/cut annotation mismatch", ErrPartitionGraph)
+	}
+	for i, id := range boundary {
+		if p.Boundary[i] != id {
+			return fmt.Errorf("%w: boundary annotation mismatch at %d", ErrPartitionGraph, id)
+		}
+	}
+	p.regionSwitches = make([][]graph.NodeID, p.K)
+	for _, sw := range g.Switches() {
+		r := p.Region[sw]
+		p.regionSwitches[r] = append(p.regionSwitches[r], sw)
+	}
+	return nil
+}
+
+// PartitionRegions splits g's switches into k regions, minimizing the number
+// of cut fibers with a deterministic greedy refinement. The algorithm is:
+// farthest-point seeding over switch-hop distance (the seed RNG picks only
+// the first seed; ties and unreachable components are resolved in ascending
+// NodeID order, so k seeds spread across disconnected components), a
+// deterministic multi-source BFS growing the regions, then bounded local
+// refinement passes moving switches to the neighboring region that reduces
+// the cut (never emptying a region). Identical (g, k, seed) inputs always
+// produce identical partitions — the routing and durability layers depend
+// on this for replay.
+func PartitionRegions(g *graph.Graph, k int, seed int64) (*Partition, error) {
+	switches := g.Switches()
+	if k < 1 || k > len(switches) {
+		return nil, fmt.Errorf("%w: k=%d switches=%d", ErrBadRegionCount, k, len(switches))
+	}
+
+	n := g.NumNodes()
+	region := make([]int, n)
+	for i := range region {
+		region[i] = -1
+	}
+
+	seeds := pickSeeds(g, switches, k, seed)
+
+	// Multi-source BFS over the switch-switch subgraph. The queue is seeded
+	// in region order and neighbors are visited in ascending ID order, so
+	// the assignment is deterministic; ties (two regions reaching a switch
+	// in the same round) resolve to the earlier-queued, i.e. lower, region.
+	queue := make([]graph.NodeID, 0, len(switches))
+	for r, s := range seeds {
+		region[s] = r
+		queue = append(queue, s)
+	}
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		for _, nb := range g.NeighborIDs(cur) {
+			if g.Node(nb).Kind != graph.KindSwitch || region[nb] >= 0 {
+				continue
+			}
+			region[nb] = region[cur]
+			queue = append(queue, nb)
+		}
+	}
+
+	// Switch components with no seed stay unassigned; fold each one into
+	// the currently smallest region (ties to the lower index). Scanning in
+	// ID order keeps this deterministic.
+	counts := make([]int, k)
+	for _, sw := range switches {
+		if region[sw] >= 0 {
+			counts[region[sw]]++
+		}
+	}
+	for _, sw := range switches {
+		if region[sw] >= 0 {
+			continue
+		}
+		best := 0
+		for r := 1; r < k; r++ {
+			if counts[r] < counts[best] {
+				best = r
+			}
+		}
+		comp := switchComponent(g, sw, region)
+		for _, id := range comp {
+			region[id] = best
+		}
+		counts[best] += len(comp)
+	}
+
+	refine(g, switches, region, counts, k)
+
+	// Users adopt the region of their lowest-ID switch neighbor (NeighborIDs
+	// is in insertion order, so scan for the minimum); isolated users — or
+	// users wired only to users — fall back to region 0.
+	for _, u := range g.Users() {
+		best := -1
+		for _, nb := range g.NeighborIDs(u) {
+			if g.Node(nb).Kind != graph.KindSwitch {
+				continue
+			}
+			if best < 0 || nb < graph.NodeID(best) {
+				best = int(nb)
+			}
+		}
+		if best >= 0 {
+			region[u] = region[best]
+		} else {
+			region[u] = 0
+		}
+	}
+
+	boundary, cut := boundaryOf(g, region)
+	p := &Partition{K: k, Seed: seed, Region: region, Boundary: boundary, CutEdges: cut}
+	p.regionSwitches = make([][]graph.NodeID, k)
+	for _, sw := range switches {
+		p.regionSwitches[region[sw]] = append(p.regionSwitches[region[sw]], sw)
+	}
+	return p, nil
+}
+
+// pickSeeds chooses k switch seeds by farthest-point sampling in hop
+// distance over the switch subgraph. Only the first seed consumes
+// randomness; every later pick maximizes the distance to the chosen set,
+// breaking ties toward the lowest ID, and unreachable switches (disconnected
+// components) count as infinitely far, so components are seeded first.
+func pickSeeds(g *graph.Graph, switches []graph.NodeID, k int, seed int64) []graph.NodeID {
+	rng := rand.New(rand.NewSource(seed))
+	seeds := make([]graph.NodeID, 0, k)
+	first := switches[rng.Intn(len(switches))]
+	seeds = append(seeds, first)
+
+	const inf = int(^uint(0) >> 1)
+	dist := make([]int, g.NumNodes())
+	for i := range dist {
+		dist[i] = inf
+	}
+	bfsUpdate := func(src graph.NodeID) {
+		if dist[src] == 0 {
+			return
+		}
+		dist[src] = 0
+		queue := []graph.NodeID{src}
+		for head := 0; head < len(queue); head++ {
+			cur := queue[head]
+			for _, nb := range g.NeighborIDs(cur) {
+				if g.Node(nb).Kind != graph.KindSwitch || dist[nb] <= dist[cur]+1 {
+					continue
+				}
+				dist[nb] = dist[cur] + 1
+				queue = append(queue, nb)
+			}
+		}
+	}
+	bfsUpdate(first)
+	for len(seeds) < k {
+		var next graph.NodeID = -1
+		bestDist := -1
+		for _, sw := range switches {
+			if dist[sw] > bestDist {
+				bestDist = dist[sw]
+				next = sw
+			}
+		}
+		seeds = append(seeds, next)
+		bfsUpdate(next)
+	}
+	return seeds
+}
+
+// switchComponent returns the unassigned switch component containing start,
+// in BFS order.
+func switchComponent(g *graph.Graph, start graph.NodeID, region []int) []graph.NodeID {
+	comp := []graph.NodeID{start}
+	seen := map[graph.NodeID]bool{start: true}
+	for head := 0; head < len(comp); head++ {
+		for _, nb := range g.NeighborIDs(comp[head]) {
+			if g.Node(nb).Kind != graph.KindSwitch || region[nb] >= 0 || seen[nb] {
+				continue
+			}
+			seen[nb] = true
+			comp = append(comp, nb)
+		}
+	}
+	return comp
+}
+
+// refine runs bounded greedy passes moving switches to the adjacent region
+// holding the majority of their switch neighbors, which strictly reduces the
+// cut. A move never empties a region, passes scan switches in ascending ID
+// order, and ties keep the current region — all deterministic.
+func refine(g *graph.Graph, switches []graph.NodeID, region, counts []int, k int) {
+	if k < 2 {
+		return
+	}
+	adj := make([]int, k)
+	const maxPasses = 4
+	for pass := 0; pass < maxPasses; pass++ {
+		moved := false
+		for _, sw := range switches {
+			cur := region[sw]
+			if counts[cur] <= 1 {
+				continue
+			}
+			for r := range adj {
+				adj[r] = 0
+			}
+			for _, nb := range g.NeighborIDs(sw) {
+				if g.Node(nb).Kind == graph.KindSwitch {
+					adj[region[nb]]++
+				}
+			}
+			best := cur
+			for r := 0; r < k; r++ {
+				if adj[r] > adj[best] {
+					best = r
+				}
+			}
+			if best != cur {
+				region[sw] = best
+				counts[cur]--
+				counts[best]++
+				moved = true
+			}
+		}
+		if !moved {
+			return
+		}
+	}
+}
+
+// boundaryOf computes the boundary switch set (ascending ID order) and the
+// cut-fiber count for an assignment.
+func boundaryOf(g *graph.Graph, region []int) ([]graph.NodeID, int) {
+	var boundary []graph.NodeID
+	cut := 0
+	for _, sw := range g.Switches() {
+		isBoundary := false
+		for _, nb := range g.NeighborIDs(sw) {
+			if g.Node(nb).Kind != graph.KindSwitch || region[nb] == region[sw] {
+				continue
+			}
+			isBoundary = true
+			if nb > sw { // count each cut fiber once
+				cut++
+			}
+		}
+		if isBoundary {
+			boundary = append(boundary, sw)
+		}
+	}
+	return boundary, cut
+}

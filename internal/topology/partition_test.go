@@ -1,0 +1,216 @@
+package topology
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/muerp/quantumnet/internal/graph"
+)
+
+func partitionTestGraph(t *testing.T, seed int64) *graph.Graph {
+	t.Helper()
+	cfg := Default()
+	cfg.Users = 8
+	cfg.Switches = 40
+	g, err := Generate(cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return g
+}
+
+// clusters builds a graph of c fully disconnected switch clusters (size
+// switches each) with users/2 users attached to each of the first two
+// clusters... actually one user pair per cluster.
+func disconnectedClusters(t *testing.T, c, switchesPer, usersPer, qubits int) *graph.Graph {
+	t.Helper()
+	g := graph.New(0, 0)
+	for ci := 0; ci < c; ci++ {
+		var users, sws []graph.NodeID
+		for i := 0; i < usersPer; i++ {
+			users = append(users, g.AddUser(float64(ci*1000+i), 0))
+		}
+		for i := 0; i < switchesPer; i++ {
+			sws = append(sws, g.AddSwitch(float64(ci*1000+i), 100, qubits))
+		}
+		for i := 1; i < len(sws); i++ {
+			g.MustAddEdge(sws[i-1], sws[i], 100)
+		}
+		for i, u := range users {
+			g.MustAddEdge(u, sws[i%len(sws)], 100)
+		}
+	}
+	return g
+}
+
+// Every switch lands in exactly one region in [0, k), every region is
+// non-empty, and users get a valid region too.
+func TestPartitionCoversSwitches(t *testing.T) {
+	g := partitionTestGraph(t, 11)
+	for _, k := range []int{1, 2, 4, 8} {
+		p, err := PartitionRegions(g, k, 7)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if p.K != k || len(p.Region) != g.NumNodes() {
+			t.Fatalf("k=%d: got K=%d len(region)=%d", k, p.K, len(p.Region))
+		}
+		counts := make([]int, k)
+		for _, sw := range g.Switches() {
+			r := p.RegionOf(sw)
+			if r < 0 || r >= k {
+				t.Fatalf("k=%d: switch %d in region %d", k, sw, r)
+			}
+			counts[r]++
+		}
+		total := 0
+		for r, c := range counts {
+			if c == 0 {
+				t.Errorf("k=%d: region %d empty", k, r)
+			}
+			if got := len(p.Switches(r)); got != c {
+				t.Errorf("k=%d: Switches(%d) has %d entries, want %d", k, r, got, c)
+			}
+			total += c
+		}
+		if total != len(g.Switches()) {
+			t.Fatalf("k=%d: %d switches assigned, want %d", k, total, len(g.Switches()))
+		}
+		for _, u := range g.Users() {
+			if r := p.RegionOf(u); r < 0 || r >= k {
+				t.Fatalf("k=%d: user %d in region %d", k, u, r)
+			}
+		}
+	}
+}
+
+// The boundary annotation must match an independent recomputation: a switch
+// is boundary iff it has a switch neighbor in another region, and CutEdges
+// counts each crossing switch-switch fiber once.
+func TestPartitionBoundaryCorrect(t *testing.T) {
+	g := partitionTestGraph(t, 23)
+	for _, k := range []int{1, 2, 4, 8} {
+		p, err := PartitionRegions(g, k, 3)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		want := map[graph.NodeID]bool{}
+		cut := 0
+		for _, e := range g.Edges() {
+			a, b := e.A, e.B
+			if g.Node(a).Kind != graph.KindSwitch || g.Node(b).Kind != graph.KindSwitch {
+				continue
+			}
+			if p.RegionOf(a) != p.RegionOf(b) {
+				want[a], want[b] = true, true
+				cut++
+			}
+		}
+		if cut != p.CutEdges {
+			t.Errorf("k=%d: CutEdges=%d, recomputed %d", k, p.CutEdges, cut)
+		}
+		if len(want) != len(p.Boundary) {
+			t.Errorf("k=%d: %d boundary switches annotated, recomputed %d",
+				k, len(p.Boundary), len(want))
+		}
+		for _, sw := range g.Switches() {
+			if want[sw] != p.IsBoundary(sw) {
+				t.Errorf("k=%d: switch %d boundary=%v, want %v", k, sw, p.IsBoundary(sw), want[sw])
+			}
+		}
+		if k == 1 && (p.CutEdges != 0 || len(p.Boundary) != 0) {
+			t.Errorf("k=1 must have no boundary, got cut=%d boundary=%d", p.CutEdges, len(p.Boundary))
+		}
+	}
+}
+
+// A fixed (graph, k, seed) input must always produce the same partition.
+func TestPartitionDeterministic(t *testing.T) {
+	g := partitionTestGraph(t, 31)
+	for _, k := range []int{1, 2, 4, 8} {
+		a, err := PartitionRegions(g, k, 42)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		for rep := 0; rep < 3; rep++ {
+			b, err := PartitionRegions(g.Clone(), k, 42)
+			if err != nil {
+				t.Fatalf("k=%d rep=%d: %v", k, rep, err)
+			}
+			if !reflect.DeepEqual(a.Region, b.Region) ||
+				!reflect.DeepEqual(a.Boundary, b.Boundary) || a.CutEdges != b.CutEdges {
+				t.Fatalf("k=%d rep=%d: partition not deterministic", k, rep)
+			}
+		}
+	}
+}
+
+// k disconnected clusters with k regions must partition along the components
+// with an empty cut, and users must follow their cluster's switches.
+func TestPartitionDisconnectedClusters(t *testing.T) {
+	const clusters = 4
+	g := disconnectedClusters(t, clusters, 5, 3, 4)
+	p, err := PartitionRegions(g, clusters, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CutEdges != 0 || len(p.Boundary) != 0 {
+		t.Fatalf("disconnected clusters must cut nothing: cut=%d boundary=%d",
+			p.CutEdges, len(p.Boundary))
+	}
+	// All switches of one component share a region, and users match their
+	// attached switches.
+	for _, comp := range g.Components() {
+		want := -1
+		for _, id := range comp {
+			if g.Node(id).Kind != graph.KindSwitch {
+				continue
+			}
+			if want < 0 {
+				want = p.RegionOf(id)
+			} else if p.RegionOf(id) != want {
+				t.Fatalf("component split across regions at node %d", id)
+			}
+		}
+		for _, id := range comp {
+			if g.Node(id).Kind == graph.KindUser && p.RegionOf(id) != want {
+				t.Fatalf("user %d in region %d, cluster in %d", id, p.RegionOf(id), want)
+			}
+		}
+	}
+}
+
+// Rebuild must accept a partition round-tripped through its exported fields
+// and reject tampered annotations.
+func TestPartitionRebuild(t *testing.T) {
+	g := partitionTestGraph(t, 5)
+	p, err := PartitionRegions(g, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &Partition{K: p.K, Seed: p.Seed, Region: append([]int(nil), p.Region...),
+		Boundary: append([]graph.NodeID(nil), p.Boundary...), CutEdges: p.CutEdges}
+	if err := q.Rebuild(g); err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	for r := 0; r < q.K; r++ {
+		if !reflect.DeepEqual(p.Switches(r), q.Switches(r)) {
+			t.Fatalf("region %d switch list mismatch after rebuild", r)
+		}
+	}
+	q.CutEdges++
+	if err := q.Rebuild(g); err == nil {
+		t.Fatal("rebuild accepted a tampered cut count")
+	}
+}
+
+func TestPartitionBadInputs(t *testing.T) {
+	g := partitionTestGraph(t, 2)
+	if _, err := PartitionRegions(g, 0, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := PartitionRegions(g, len(g.Switches())+1, 1); err == nil {
+		t.Error("k > switches accepted")
+	}
+}

@@ -1,0 +1,221 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Two streams plus a v1 log share one directory; each replay must see only
+// its own records, in its own sequence space.
+func TestStreamIsolation(t *testing.T) {
+	dir := t.TempDir()
+
+	v1, err := Create(dir, 0, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, err := CreateStream(dir, 0, 0, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := CreateStream(dir, 1, 0, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 5; i++ {
+		if err := v1.Append([]byte(fmt.Sprintf("v1-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := s0.Append([]byte(fmt.Sprintf("s0-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 7; i++ {
+		if err := s1.Append([]byte(fmt.Sprintf("s1-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, l := range []*Log{v1, s0, s1} {
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var got []string
+	next, err := Replay(dir, 0, func(seq uint64, p []byte) error {
+		got = append(got, fmt.Sprintf("%d:%s", seq, p))
+		return nil
+	})
+	if err != nil || next != 5 || len(got) != 5 || got[0] != "0:v1-0" || got[4] != "4:v1-4" {
+		t.Fatalf("v1 replay: next=%d err=%v got=%v", next, err, got)
+	}
+
+	for stream, want := range map[StreamID]int{0: 3, 1: 7} {
+		var recs []string
+		next, err := ReplayStream(dir, stream, 0, func(seq uint64, p []byte) error {
+			recs = append(recs, fmt.Sprintf("%d:%s", seq, p))
+			return nil
+		})
+		if err != nil || int(next) != want || len(recs) != want {
+			t.Fatalf("stream %d replay: next=%d err=%v recs=%v", stream, next, err, recs)
+		}
+		for i, r := range recs {
+			if r != fmt.Sprintf("%d:s%d-%d", i, stream, i) {
+				t.Fatalf("stream %d record %d = %q", stream, i, r)
+			}
+		}
+	}
+
+	// An absent stream replays empty.
+	next, err = ReplayStream(dir, 9, 0, nil)
+	if err != nil || next != 0 {
+		t.Fatalf("empty stream: next=%d err=%v", next, err)
+	}
+}
+
+// A stream segment's header pins its stream id: scanning it as another
+// stream, or as a v1 segment, must fail up front.
+func TestStreamHeaderMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s2, err := CreateStream(dir, 2, 0, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := streamSegmentPath(dir, 2, 0)
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, _, err := ScanStream(f, 3, nil); err == nil {
+		t.Fatal("wrong stream id accepted")
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Scan(f, nil); err == nil {
+		t.Fatal("v1 Scan accepted a v2 stream segment")
+	}
+}
+
+// Torn tails truncate silently on a stream's newest segment, and a gap in a
+// stream's segments is corruption — the same contract as the v1 log.
+func TestStreamTornTailAndGap(t *testing.T) {
+	dir := t.TempDir()
+	l, err := CreateStream(dir, 4, 0, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("r%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := streamSegmentPath(dir, 4, 0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	next, err := ReplayStream(dir, 4, 0, nil)
+	if err != nil || next != 3 {
+		t.Fatalf("torn tail: next=%d err=%v, want 3 records", next, err)
+	}
+
+	// Fabricate a gap: a second segment starting past the truncated tail.
+	l2, err := CreateStream(dir, 4, 9, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Append([]byte("later")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayStream(dir, 4, 0, nil); !errors.Is(err, ErrCorruptLog) {
+		t.Fatalf("gap not detected: %v", err)
+	}
+}
+
+// Stream compaction must rotate and delete only the stream's own segments.
+func TestStreamCompact(t *testing.T) {
+	dir := t.TempDir()
+	other, err := CreateStream(dir, 1, 0, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Append([]byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err := CreateStream(dir, 0, 0, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("r%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	boundary, err := l.Compact(10)
+	if err != nil || boundary != 10 {
+		t.Fatalf("compact: boundary=%d err=%v", boundary, err)
+	}
+	for i := 10; i < 12; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("r%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	count := 0
+	next, err := ReplayStream(dir, 0, 10, func(seq uint64, p []byte) error {
+		if string(p) != fmt.Sprintf("r%d", seq) {
+			t.Fatalf("record %d = %q", seq, p)
+		}
+		count++
+		return nil
+	})
+	if err != nil || next != 12 || count != 2 {
+		t.Fatalf("post-compact replay: next=%d count=%d err=%v", next, count, err)
+	}
+	// Stream 1 is untouched by stream 0's compaction.
+	if next, err := ReplayStream(dir, 1, 0, nil); err != nil || next != 1 {
+		t.Fatalf("stream 1 after compaction: next=%d err=%v", next, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "wal-s00000000-") &&
+			e.Name() < filepath.Base(streamSegmentPath(dir, 0, 10)) {
+			t.Fatalf("compacted segment %s still present", e.Name())
+		}
+	}
+}

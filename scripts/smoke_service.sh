@@ -8,6 +8,8 @@
 #   UNIT      real duration of one workload time unit (default 5ms)
 #   WORKERS   muerpd admission workers      (default 4 — exercises the
 #             speculative scheduler regardless of runner core count)
+#   SHARDS    admission shards              (default 1; >1 partitions the
+#             topology and routes through the sharded admission plane)
 #   GO        go binary                     (default go)
 set -euo pipefail
 
@@ -15,6 +17,7 @@ GO=${GO:-go}
 SESSIONS=${SESSIONS:-50}
 UNIT=${UNIT:-5ms}
 WORKERS=${WORKERS:-4}
+SHARDS=${SHARDS:-1}
 
 workdir=$(mktemp -d)
 daemon_pid=""
@@ -30,9 +33,10 @@ echo "smoke: building muerpd and qload"
 "$GO" build -o "$workdir/muerpd" ./cmd/muerpd
 "$GO" build -o "$workdir/qload" ./cmd/qload
 
-echo "smoke: starting muerpd on a random port (workers=$WORKERS)"
+echo "smoke: starting muerpd on a random port (workers=$WORKERS shards=$SHARDS)"
 "$workdir/muerpd" -addr 127.0.0.1:0 -addr-file "$workdir/addr" \
-  -users 8 -switches 16 -ttl 2s -workers "$WORKERS" >"$workdir/muerpd.log" 2>&1 &
+  -users 8 -switches 16 -ttl 2s -workers "$WORKERS" -shards "$SHARDS" \
+  >"$workdir/muerpd.log" 2>&1 &
 daemon_pid=$!
 
 addr=""
@@ -64,6 +68,18 @@ qload_out="$workdir/qload.out"
 if [[ "$WORKERS" -gt 1 ]]; then
   grep -q "^speculation: " "$qload_out" || {
     echo "smoke: workers=$WORKERS but no speculation counters in qload output" >&2
+    exit 1
+  }
+fi
+# Against a sharded daemon, qload must detect the partition and print both
+# the per-shard breakdown and the router's two-phase-commit counters.
+if [[ "$SHARDS" -gt 1 ]]; then
+  grep -q "^shard breakdown " "$qload_out" || {
+    echo "smoke: shards=$SHARDS but no per-shard breakdown in qload output" >&2
+    exit 1
+  }
+  grep -q "^router: " "$qload_out" || {
+    echo "smoke: shards=$SHARDS but no router counters in qload output" >&2
     exit 1
   }
 fi
