@@ -45,27 +45,29 @@ bench:
 	$(GO) run ./cmd/benchreport -label $(BENCH_LABEL) -o $(BENCH_OUT) \
 		$(BENCH_TMP)/kernel.txt $(BENCH_TMP)/engine.txt $(BENCH_TMP)/figs.txt
 
-# bench-service refreshes the "speculative" run: the end-to-end admission
+# bench-service refreshes the "footprint" run: the end-to-end admission
 # loop across batch sizes, durability, the speculative scheduler's worker
-# sweep (big-workers{1,2,4}), and the sharded admission plane
-# (sharded-shards{1,2,4}). The workersN/workers1 ratio is the speculation
-# speedup and shardsN/shards1 the sharding speedup; both need
-# GOMAXPROCS >= N to show — on fewer cores the sweeps record coordination
-# overhead instead (see EXPERIMENTS.md).
+# sweep (big-workers{1,2,4}), the solve-cache hot-repeats pair, and the
+# sharded admission plane (sharded-shards{1,2,4}). The workersN/workers1
+# ratio is the speculation speedup and shardsN/shards1 the sharding
+# speedup; both need GOMAXPROCS >= N to show — on fewer cores the sweeps
+# record coordination overhead instead (see EXPERIMENTS.md). Recorded with
+# -benchmem so the alloc regression gate arms against this run.
 bench-service:
 	mkdir -p $(BENCH_TMP)
 	$(GO) test -run '^$$' -bench 'BenchmarkAdmissionLoop|BenchmarkShardedAdmission' \
-		-benchtime 1s ./internal/service | tee $(BENCH_TMP)/service.txt
-	$(GO) run ./cmd/benchreport -label speculative -o $(BENCH_OUT) \
+		-benchmem -benchtime 1s ./internal/service | tee $(BENCH_TMP)/service.txt
+	$(GO) run ./cmd/benchreport -label footprint -o $(BENCH_OUT) \
 		$(BENCH_TMP)/service.txt
 
 # bench-check is the CI perf smoke: quick (short-benchtime) passes over the
 # solver/engine benches and the admission loop, each diffed against the
 # committed baseline run that covers the same suite (kernel benches against
-# the newest overlapping run, admission benches against the "speculative"
-# run). Exits non-zero when any shared benchmark is >15% slower ns/op;
-# names are paired ignoring the -N procs suffix so the committed baseline
-# works across machines. See `benchreport -check`.
+# the newest overlapping run, admission benches against the "footprint"
+# run). Exits non-zero when any shared benchmark is >15% worse in ns/op,
+# B/op or allocs/op (the alloc gates arm only where both sides carry
+# -benchmem columns); names are paired ignoring the -N procs suffix so the
+# committed baseline works across machines. See `benchreport -check`.
 bench-check:
 	mkdir -p $(BENCH_TMP)
 	$(GO) test -run '^$$' -bench 'BenchmarkAlgorithm1ChannelSearch|BenchmarkSolvers' \
@@ -76,10 +78,10 @@ bench-check:
 		$(BENCH_TMP)/smoke-kernel.txt $(BENCH_TMP)/smoke-engine.txt
 	$(GO) run ./cmd/benchreport -check $(BENCH_OUT) $(BENCH_TMP)/smoke.json
 	$(GO) test -run '^$$' -bench 'BenchmarkAdmissionLoop' \
-		-benchtime 0.3s ./internal/service | tee $(BENCH_TMP)/smoke-service.txt
+		-benchmem -benchtime 0.3s ./internal/service | tee $(BENCH_TMP)/smoke-service.txt
 	$(GO) run ./cmd/benchreport -label smoke-service -o $(BENCH_TMP)/smoke-service.json \
 		$(BENCH_TMP)/smoke-service.txt
-	$(GO) run ./cmd/benchreport -check -against speculative \
+	$(GO) run ./cmd/benchreport -check -against footprint \
 		$(BENCH_OUT) $(BENCH_TMP)/smoke-service.json
 
 # list-solvers prints every routing scheme in the registry, with labels and

@@ -17,8 +17,11 @@
 //
 // compares a baseline run from old.json against the newest run in new.json
 // benchmark-by-benchmark and exits non-zero when any benchmark present in
-// both slowed down by more than -threshold (default 0.15 = 15% ns/op).
-// Benchmarks only one side has are reported but never fail the check. The
+// both slowed down by more than -threshold (default 0.15 = 15%) in ns/op,
+// B/op or allocs/op. The allocation gates only arm when both sides carry
+// -benchmem columns, so baselines recorded without them keep gating on
+// ns/op alone. Benchmarks only one side has are reported but never fail
+// the check. The
 // baseline is the run named by -against when given; otherwise the newest
 // run in old.json that shares at least one benchmark with the new run (a
 // results file accumulates runs covering different benchmark suites —
@@ -102,17 +105,21 @@ func runCheck(oldPath, newPath, against string, threshold float64) int {
 			oldPath, oldRun.Label, newPath, newRun.Label)
 	}
 
-	fmt.Printf("comparing %q (%s) -> %q (%s), threshold %+.0f%%\n",
+	fmt.Printf("comparing %q (%s) -> %q (%s), threshold %+.0f%% (ns/op, B/op, allocs/op)\n",
 		oldRun.Label, oldPath, newRun.Label, newPath, threshold*100)
 	regressed := 0
 	for _, d := range deltas {
 		verdict := "ok"
-		if d.Regressed(threshold) {
+		switch {
+		case d.Regressed(threshold):
 			verdict = "REGRESSED"
 			regressed++
+		case d.AllocRegressed(threshold):
+			verdict = "REGRESSED(alloc)"
+			regressed++
 		}
-		fmt.Printf("  %-60s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n",
-			d.Name, d.OldNs, d.NewNs, (d.Ratio()-1)*100, verdict)
+		fmt.Printf("  %-60s %12.0f -> %12.0f ns/op  %+6.1f%%%s  %s\n",
+			d.Name, d.OldNs, d.NewNs, (d.Ratio()-1)*100, allocCols(d), verdict)
 	}
 	if regressed > 0 {
 		fmt.Printf("%d of %d shared benchmarks regressed >%.0f%%\n",
@@ -121,6 +128,16 @@ func runCheck(oldPath, newPath, against string, threshold float64) int {
 	}
 	fmt.Printf("all %d shared benchmarks within threshold\n", len(deltas))
 	return 0
+}
+
+// allocCols renders a delta's allocation movement, empty when either side
+// was recorded without -benchmem.
+func allocCols(d benchio.Delta) string {
+	if d.OldBytes < 0 || d.NewBytes < 0 {
+		return ""
+	}
+	return fmt.Sprintf("  %d -> %d B/op  %d -> %d allocs/op",
+		d.OldBytes, d.NewBytes, d.OldAllocs, d.NewAllocs)
 }
 
 // lastRun loads a results file and returns its newest (last) run.

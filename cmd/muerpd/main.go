@@ -28,6 +28,13 @@
 //	-data-dir    durable state directory (WAL + snapshots); crash recovery
 //	             restores every live session on restart (empty = in-memory)
 //	-snapshot-every / -snapshot-interval  snapshot cadence
+//	-solve-cache solve-cache entries per admission plane (0 = default 256,
+//	             negative disables caching)
+//	-pprof       expose net/http/pprof on this side address (e.g.
+//	             127.0.0.1:6060; empty = off). The profiler listens on its
+//	             own socket, never on the service API. With -addr-file the
+//	             bound profiler address is written to <addr-file>.pprof.
+//	             See EXPERIMENTS.md for the profiling workflow.
 //	-version     print build info and exit
 //
 // API: POST /sessions {"users":[...],"ttl_ms":n} → 201 (admitted), 409
@@ -45,6 +52,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on the DefaultServeMux for the -pprof side listener
 	"os"
 	"os/signal"
 	"runtime"
@@ -93,6 +101,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		dataDir   = fs.String("data-dir", "", "durable state directory (WAL + snapshots); empty = in-memory only")
 		snapEvery = fs.Int("snapshot-every", 1024, "snapshot after this many WAL records")
 		snapInt   = fs.Duration("snapshot-interval", 30*time.Second, "snapshot at least this often")
+		cacheSize = fs.Int("solve-cache", 0, "solve-cache entries per admission plane (0 = default, negative disables)")
+		pprofAddr = fs.String("pprof", "", "expose net/http/pprof on this side address (empty = off)")
 		version   = fs.Bool("version", false, "print build info and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -121,6 +131,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		DataDir:          *dataDir,
 		SnapshotEvery:    *snapEvery,
 		SnapshotInterval: *snapInt,
+		SolveCacheSize:   *cacheSize,
 	}
 	// One daemon, two shapes: the single admission plane, or -shards region
 	// planes behind the cross-region router. Both serve the same API.
@@ -167,6 +178,27 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			_ = closeSvc()
 			return fmt.Errorf("write addr file: %w", err)
 		}
+	}
+	// The profiler gets its own socket so /debug/pprof/ never leaks onto the
+	// service API; the blank net/http/pprof import put its handlers on the
+	// DefaultServeMux, which only this listener serves.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			_ = ln.Close()
+			_ = closeSvc()
+			return fmt.Errorf("pprof listen: %w", err)
+		}
+		defer func() { _ = pln.Close() }()
+		if *addrFile != "" {
+			if err := writeFileAtomic(*addrFile+".pprof", []byte(pln.Addr().String())); err != nil {
+				_ = ln.Close()
+				_ = closeSvc()
+				return fmt.Errorf("write pprof addr file: %w", err)
+			}
+		}
+		go func() { _ = http.Serve(pln, nil) }()
+		fmt.Fprintf(out, "pprof listening on http://%s/debug/pprof/\n", pln.Addr())
 	}
 	fmt.Fprintf(out, "muerpd listening on http://%s (batch<=%d wait=%v queue=%d ttl=%v workers=%d shards=%d)\n",
 		bound, *batch, *batchWait, *queueSize, *ttl, *workers, *shards)

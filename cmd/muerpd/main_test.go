@@ -148,3 +148,64 @@ func TestServeAndGracefulShutdown(t *testing.T) {
 		t.Fatalf("missing final summary:\n%s", buf.String())
 	}
 }
+
+// -pprof must serve the profiler on its own listener and keep it off the
+// service API surface.
+func TestPprofSideListener(t *testing.T) {
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var buf bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0", "-addr-file", addrFile,
+			"-pprof", "127.0.0.1:0",
+			"-users", "6", "-switches", "12",
+		}, &buf)
+	}()
+
+	readAddr := func(path string) string {
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			if b, err := os.ReadFile(path); err == nil && len(b) > 0 {
+				return string(b)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never appeared", path)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	apiAddr := readAddr(addrFile)
+	pprofAddr := readAddr(addrFile + ".pprof")
+
+	resp, err := http.Get("http://" + pprofAddr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("GET pprof cmdline: %v", err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline status = %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get("http://" + apiAddr + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("GET service /debug/pprof/: %v", err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("profiler leaked onto the service API listener")
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v; output:\n%s", err, buf.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon did not shut down within 10s; output:\n%s", buf.String())
+	}
+}

@@ -14,6 +14,7 @@
 //	-interarrival   mean inter-arrival (units)   (default 1)
 //	-hold           mean session hold (units)    (default 5)
 //	-group-min/max  session size bounds          (default 2..4)
+//	-affinity       single-region rewrite probability, sharded only (default -1 = off)
 //	-seed           RNG seed                     (default 1)
 //	-unit           real duration of one unit    (default 10ms)
 //	-timeout        per-request HTTP timeout     (default 5s)
@@ -26,7 +27,11 @@
 // classifies every request by its users' regions, and prints a per-shard
 // throughput/latency breakdown — single-region traffic per home shard plus
 // one "cross" row for the sessions that went through the two-phase
-// cross-region path — alongside the server's router counters.
+// cross-region path — alongside the server's router counters. The -affinity
+// knob controls that mix: each generated session is rewritten with the given
+// probability to draw all its users from a single region (regions rotate
+// round-robin), so sweeps can dial the cross-region share from
+// workload-natural (-affinity -1 or 0) down to almost none (-affinity 1).
 package main
 
 import (
@@ -73,6 +78,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		hold        = fs.Float64("hold", 5, "mean session hold (workload units)")
 		groupMin    = fs.Int("group-min", 2, "minimum users per session")
 		groupMax    = fs.Int("group-max", 4, "maximum users per session")
+		affinity    = fs.Float64("affinity", -1, "probability a session is rewritten to a single region (sharded daemon only, -1 = off)")
 		seed        = fs.Int64("seed", 1, "RNG seed")
 		unit        = fs.Duration("unit", 10*time.Millisecond, "real duration of one workload time unit")
 		timeout     = fs.Duration("timeout", 5*time.Second, "per-request HTTP timeout")
@@ -122,6 +128,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 		return requests[i].ID < requests[j].ID
 	})
+	if *affinity >= 0 {
+		if *affinity > 1 {
+			return fmt.Errorf("-affinity must be in [0, 1], got %v", *affinity)
+		}
+		if part == nil {
+			return fmt.Errorf("-affinity needs a sharded daemon (no /partition at %s)", base)
+		}
+		applyAffinity(requests, part, g, *affinity, rand.New(rand.NewSource(*seed+1)))
+	}
 
 	fmt.Fprintf(out, "qload: %d sessions against %s (unit=%v)\n", len(requests), base, *unit)
 	outcomes := make([]outcome, len(requests))
@@ -195,6 +210,46 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("achieved %.1f req/s, need at least %.1f", rps, *minRPS)
 	}
 	return nil
+}
+
+// applyAffinity rewrites each request, with the given probability, to draw
+// all its users from one region, preserving the group size. Regions rotate
+// round-robin among those with enough users for the group, so forced
+// single-region load spreads across shards; sessions that lose the coin
+// flip — or that no region can host — keep their generated user set, making
+// affinity a lower bound on the single-region share, not an exact one.
+func applyAffinity(requests []sched.Request, part *topology.Partition, g *graph.Graph, affinity float64, rng *rand.Rand) {
+	regionUsers := make([][]graph.NodeID, part.K)
+	for _, u := range g.Users() {
+		r := part.RegionOf(u)
+		regionUsers[r] = append(regionUsers[r], u)
+	}
+	next := 0
+	for i := range requests {
+		if rng.Float64() >= affinity {
+			continue
+		}
+		size := len(requests[i].Users)
+		chosen := -1
+		for probe := 0; probe < part.K; probe++ {
+			r := (next + probe) % part.K
+			if len(regionUsers[r]) >= size {
+				chosen = r
+				next = r + 1
+				break
+			}
+		}
+		if chosen < 0 {
+			continue
+		}
+		pool := regionUsers[chosen]
+		perm := rng.Perm(len(pool))
+		users := make([]graph.NodeID, size)
+		for j := range users {
+			users[j] = pool[perm[j]]
+		}
+		requests[i].Users = users
+	}
 }
 
 // requestClass maps a request onto the shard that would decide it: its
@@ -354,6 +409,20 @@ func printServerMetrics(ctx context.Context, client *http.Client, base string, o
 			WastedSolveRatio float64 `json:"wasted_solve_ratio"`
 			MaxParallel      int64   `json:"max_parallel"`
 		} `json:"speculation"`
+		SolveCache *struct {
+			Capacity  int     `json:"capacity"`
+			Size      int     `json:"size"`
+			ExactHits int64   `json:"exact_hits"`
+			EpochHits int64   `json:"epoch_hits"`
+			Misses    int64   `json:"misses"`
+			Evictions int64   `json:"evictions"`
+			HitRate   float64 `json:"hit_rate"`
+		} `json:"solve_cache"`
+		FootprintPool *struct {
+			Gets      int64   `json:"gets"`
+			Allocs    int64   `json:"allocs"`
+			ReuseRate float64 `json:"reuse_rate"`
+		} `json:"footprint_pool"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
 		return err
@@ -369,6 +438,14 @@ func printServerMetrics(ctx context.Context, client *http.Client, base string, o
 		fmt.Fprintf(out, "speculation:    workers %d, solves %d, commits %d, conflicts %d (resolved %d, fallback %d), wasted %.1f%%, max parallel %d\n",
 			sp.Workers, sp.Solves, sp.Commits, sp.Conflicts, sp.Resolves, sp.Fallbacks,
 			sp.WastedSolveRatio*100, sp.MaxParallel)
+	}
+	if sc := m.SolveCache; sc != nil {
+		fmt.Fprintf(out, "solve cache:    %d/%d entries, %d exact + %d epoch hits, %d misses, %d evictions (hit rate %.1f%%)\n",
+			sc.Size, sc.Capacity, sc.ExactHits, sc.EpochHits, sc.Misses, sc.Evictions, sc.HitRate*100)
+	}
+	if fp := m.FootprintPool; fp != nil && fp.Gets > 0 {
+		fmt.Fprintf(out, "footprint pool: %d gets, %d allocs (%.1f%% reused)\n",
+			fp.Gets, fp.Allocs, fp.ReuseRate*100)
 	}
 	fmt.Fprintf(out, "server summary:\n%s", indent(m.Admission.String(), "  "))
 	return nil

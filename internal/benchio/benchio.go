@@ -152,11 +152,17 @@ func (f *File) Upsert(rep Report) {
 }
 
 // Delta is one benchmark present in both of two compared runs, with its
-// ns/op before and after.
+// ns/op and allocation columns before and after. The allocation columns
+// carry -1 when that side was recorded without -benchmem; comparisons that
+// involve a -1 side never gate.
 type Delta struct {
-	Name  string
-	OldNs float64
-	NewNs float64
+	Name      string
+	OldNs     float64
+	NewNs     float64
+	OldBytes  int64
+	NewBytes  int64
+	OldAllocs int64
+	NewAllocs int64
 }
 
 // Ratio is NewNs/OldNs: >1 means the benchmark got slower. A zero or
@@ -175,6 +181,42 @@ func (d Delta) Regressed(threshold float64) bool {
 	return d.Ratio() > 1+threshold
 }
 
+// allocRatio compares one allocation column pair: NaN when either side
+// lacks -benchmem data, +Inf when a previously allocation-free benchmark
+// now allocates (old 0 with new > 0 is always a report-worthy regression).
+func allocRatio(old, new int64) float64 {
+	if old < 0 || new < 0 {
+		return math.NaN()
+	}
+	if old == 0 {
+		if new == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return float64(new) / float64(old)
+}
+
+// BytesRatio is NewBytes/OldBytes (see allocRatio for the -1/0 edges).
+func (d Delta) BytesRatio() float64 { return allocRatio(d.OldBytes, d.NewBytes) }
+
+// AllocsRatio is NewAllocs/OldAllocs (see allocRatio for the -1/0 edges).
+func (d Delta) AllocsRatio() float64 { return allocRatio(d.OldAllocs, d.NewAllocs) }
+
+// AllocRegressed reports whether bytes/op or allocs/op grew by more than
+// the given fraction. Benchmarks without -benchmem data on either side
+// (column -1) never regress — the gate only arms once a baseline with
+// allocation counts is committed.
+func (d Delta) AllocRegressed(threshold float64) bool {
+	if r := d.BytesRatio(); !math.IsNaN(r) && r > 1+threshold {
+		return true
+	}
+	if r := d.AllocsRatio(); !math.IsNaN(r) && r > 1+threshold {
+		return true
+	}
+	return false
+}
+
 // Compare pairs benchmarks by name across two runs and returns a Delta for
 // every name present in both, in the old run's order. Names are matched
 // with the `-N` GOMAXPROCS suffix stripped, so a baseline recorded on one
@@ -182,22 +224,30 @@ func (d Delta) Regressed(threshold float64) bool {
 // one side has are ignored: a renamed or newly added bench is not a
 // regression. Duplicate names keep the first occurrence on each side.
 func Compare(old, new Report) []Delta {
-	newNs := make(map[string]float64, len(new.Results))
+	newRes := make(map[string]Result, len(new.Results))
 	for _, r := range new.Results {
-		if _, dup := newNs[baseName(r.Name)]; !dup {
-			newNs[baseName(r.Name)] = r.NsPerOp
+		if _, dup := newRes[baseName(r.Name)]; !dup {
+			newRes[baseName(r.Name)] = r
 		}
 	}
 	var deltas []Delta
 	seen := make(map[string]bool, len(old.Results))
 	for _, r := range old.Results {
 		key := baseName(r.Name)
-		ns, shared := newNs[key]
+		nr, shared := newRes[key]
 		if !shared || seen[key] {
 			continue
 		}
 		seen[key] = true
-		deltas = append(deltas, Delta{Name: r.Name, OldNs: r.NsPerOp, NewNs: ns})
+		deltas = append(deltas, Delta{
+			Name:      r.Name,
+			OldNs:     r.NsPerOp,
+			NewNs:     nr.NsPerOp,
+			OldBytes:  r.BytesPerOp,
+			NewBytes:  nr.BytesPerOp,
+			OldAllocs: r.AllocsPerOp,
+			NewAllocs: nr.AllocsPerOp,
+		})
 	}
 	return deltas
 }

@@ -159,3 +159,56 @@ func TestComparePairsAcrossProcSuffixes(t *testing.T) {
 		t.Errorf("baseName with non-numeric suffix = %q", got)
 	}
 }
+
+func TestCompareCarriesAllocColumns(t *testing.T) {
+	old := Report{Results: []Result{
+		{Name: "BenchmarkA-8", NsPerOp: 100, BytesPerOp: 64, AllocsPerOp: 4},
+	}}
+	cur := Report{Results: []Result{
+		{Name: "BenchmarkA-8", NsPerOp: 100, BytesPerOp: 128, AllocsPerOp: 3},
+	}}
+	deltas := Compare(old, cur)
+	if len(deltas) != 1 {
+		t.Fatalf("want 1 delta, got %+v", deltas)
+	}
+	d := deltas[0]
+	if d.OldBytes != 64 || d.NewBytes != 128 || d.OldAllocs != 4 || d.NewAllocs != 3 {
+		t.Fatalf("alloc columns not carried: %+v", d)
+	}
+	if d.BytesRatio() != 2 || d.AllocsRatio() != 0.75 {
+		t.Fatalf("ratios = %v / %v, want 2 / 0.75", d.BytesRatio(), d.AllocsRatio())
+	}
+}
+
+func TestAllocRegressed(t *testing.T) {
+	cases := []struct {
+		name string
+		d    Delta
+		want bool
+	}{
+		{"bytes blowup", Delta{OldBytes: 100, NewBytes: 200, OldAllocs: 4, NewAllocs: 4}, true},
+		{"allocs blowup", Delta{OldBytes: 100, NewBytes: 100, OldAllocs: 4, NewAllocs: 6}, true},
+		{"within threshold", Delta{OldBytes: 100, NewBytes: 110, OldAllocs: 4, NewAllocs: 4}, false},
+		{"improvement", Delta{OldBytes: 100, NewBytes: 50, OldAllocs: 4, NewAllocs: 1}, false},
+		// A previously allocation-free benchmark that now allocates is a
+		// regression no threshold forgives.
+		{"zero to some", Delta{OldBytes: 0, NewBytes: 8, OldAllocs: 0, NewAllocs: 1}, true},
+		{"zero to zero", Delta{OldBytes: 0, NewBytes: 0, OldAllocs: 0, NewAllocs: 0}, false},
+		// -1 marks a side recorded without -benchmem: the gate stays unarmed.
+		{"no old benchmem", Delta{OldBytes: -1, NewBytes: 999, OldAllocs: -1, NewAllocs: 999}, false},
+		{"no new benchmem", Delta{OldBytes: 100, NewBytes: -1, OldAllocs: 4, NewAllocs: -1}, false},
+	}
+	for _, tc := range cases {
+		if got := tc.d.AllocRegressed(0.15); got != tc.want {
+			t.Errorf("%s: AllocRegressed = %v, want %v (%+v)", tc.name, got, tc.want, tc.d)
+		}
+	}
+	// The alloc gate must not touch the ns/op verdict.
+	d := Delta{OldNs: 100, NewNs: 100, OldBytes: 100, NewBytes: 500, OldAllocs: 1, NewAllocs: 9}
+	if d.Regressed(0.15) {
+		t.Error("ns/op gate fired on an alloc-only regression")
+	}
+	if !d.AllocRegressed(0.15) {
+		t.Error("alloc gate missed a 5x bytes regression")
+	}
+}

@@ -1,0 +1,328 @@
+package quantum
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/muerp/quantumnet/internal/graph"
+)
+
+// Footprint is the flat, allocation-free form of a per-switch qubit load
+// (Tree.QubitLoad's map shape). It is a sparse set in the graph.Searcher
+// mold: a dense key list carries the touched switches in insertion order, a
+// per-graph position array gives O(1) membership and lookup, and Reset
+// clears only what the last use touched. One footprint is sized to one
+// graph (NumNodes slots) and is reused across admissions via FootprintPool;
+// the admission hot path fills it from a tree, probes it against closure
+// logs and budgets, and resets it — zero allocations at steady state, where
+// the map form hashed and allocated per request.
+//
+// A Footprint is not safe for concurrent use; pool-Get a fresh one per
+// goroutine.
+type Footprint struct {
+	keys []graph.NodeID // touched switches, insertion order
+	load []int          // demands, parallel to keys
+	pos  []int32        // sparse index: pos[id] = position+1 in keys, 0 = absent
+}
+
+// NewFootprint returns an empty footprint for a graph with numNodes nodes.
+// Prefer FootprintPool on hot paths.
+func NewFootprint(numNodes int) *Footprint {
+	return &Footprint{pos: make([]int32, numNodes)}
+}
+
+// Cap returns the number of node slots (the graph size the footprint was
+// built for).
+func (f *Footprint) Cap() int { return len(f.pos) }
+
+// Len returns the number of switches carrying load.
+func (f *Footprint) Len() int { return len(f.keys) }
+
+// Keys returns the touched switches in the footprint's current order. The
+// slice aliases internal storage: it is invalidated by Add/Remove/Sort/Reset
+// and must not be retained.
+func (f *Footprint) Keys() []graph.NodeID { return f.keys }
+
+// Reset empties the footprint in O(touched), leaving the sparse index clean
+// for the next use.
+func (f *Footprint) Reset() {
+	for _, id := range f.keys {
+		f.pos[id] = 0
+	}
+	f.keys = f.keys[:0]
+	f.load = f.load[:0]
+}
+
+// Add accumulates qubits of demand at switch id, inserting it if absent.
+// Accumulating to exactly zero removes the switch; negative totals panic
+// (they indicate a release without a matching charge, same contract as
+// Ledger.Release).
+func (f *Footprint) Add(id graph.NodeID, qubits int) {
+	f.check(id)
+	p := f.pos[id]
+	if p == 0 {
+		if qubits == 0 {
+			return
+		}
+		f.keys = append(f.keys, id)
+		f.load = append(f.load, qubits)
+		f.pos[id] = int32(len(f.keys))
+		if qubits < 0 {
+			panic(fmt.Sprintf("quantum: footprint: negative load %d at switch %d", qubits, id))
+		}
+		return
+	}
+	f.load[p-1] += qubits
+	switch {
+	case f.load[p-1] == 0:
+		f.Remove(id)
+	case f.load[p-1] < 0:
+		panic(fmt.Sprintf("quantum: footprint: negative load %d at switch %d", f.load[p-1], id))
+	}
+}
+
+// Remove drops switch id from the footprint (no-op when absent). The dense
+// order is not preserved: the last key is swapped into the hole, so call
+// Sort before exporting if a deterministic order matters.
+func (f *Footprint) Remove(id graph.NodeID) {
+	f.check(id)
+	p := f.pos[id]
+	if p == 0 {
+		return
+	}
+	last := len(f.keys) - 1
+	moved := f.keys[last]
+	f.keys[p-1] = moved
+	f.load[p-1] = f.load[last]
+	f.pos[moved] = p
+	f.keys = f.keys[:last]
+	f.load = f.load[:last]
+	f.pos[id] = 0
+}
+
+// Get returns the demand at switch id, 0 when absent.
+func (f *Footprint) Get(id graph.NodeID) int {
+	f.check(id)
+	p := f.pos[id]
+	if p == 0 {
+		return 0
+	}
+	return f.load[p-1]
+}
+
+// Max returns the largest per-switch demand (0 when empty) — the MaxLoad
+// twin. Demand above 2 at any switch disables the closure-epoch fast path;
+// see MaxLoad.
+func (f *Footprint) Max() int {
+	max := 0
+	for _, n := range f.load {
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// Touches reports whether any switch in ids carries load — the LoadTouches
+// twin, O(len(ids)) against the sparse index instead of a map probe per id.
+func (f *Footprint) Touches(ids []graph.NodeID) bool {
+	for _, id := range ids {
+		if int(id) < len(f.pos) && id >= 0 && f.pos[id] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Sort orders the dense keys by ascending switch ID and rebuilds the sparse
+// index, giving the deterministic order ReserveLoad-style closure logs need.
+func (f *Footprint) Sort() {
+	sort.Sort((*footprintByID)(f))
+	for i, id := range f.keys {
+		f.pos[id] = int32(i + 1)
+	}
+}
+
+// footprintByID sorts keys and load in lockstep without allocating a
+// closure the way sort.Slice does.
+type footprintByID Footprint
+
+func (s *footprintByID) Len() int           { return len(s.keys) }
+func (s *footprintByID) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *footprintByID) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.load[i], s.load[j] = s.load[j], s.load[i]
+}
+
+// AppendEntries appends the footprint as LoadEntry records in the current
+// key order (Sort first for the canonical ascending-ID form) and returns the
+// extended slice.
+func (f *Footprint) AppendEntries(dst []LoadEntry) []LoadEntry {
+	for i, id := range f.keys {
+		dst = append(dst, LoadEntry{ID: id, Qubits: f.load[i]})
+	}
+	return dst
+}
+
+// AddEntries accumulates a load slice into the footprint.
+func (f *Footprint) AddEntries(entries []LoadEntry) {
+	for _, e := range entries {
+		f.Add(e.ID, e.Qubits)
+	}
+}
+
+// AddMap accumulates a QubitLoad-shaped map into the footprint. Key order
+// is nondeterministic (map iteration); Sort before exporting.
+func (f *Footprint) AddMap(load map[graph.NodeID]int) {
+	for id, q := range load {
+		f.Add(id, q)
+	}
+}
+
+// AddTree accumulates a tree's per-switch qubit load (2 per transiting
+// channel) — the flat form of Tree.QubitLoad, walking channel interiors
+// without the per-channel slice copy Channel.Interior makes.
+func (f *Footprint) AddTree(t Tree) {
+	for _, c := range t.Channels {
+		nodes := c.Nodes
+		for i := 1; i+1 < len(nodes); i++ {
+			f.Add(nodes[i], 2)
+		}
+	}
+}
+
+// ToMap exports the footprint as a fresh QubitLoad-shaped map (test and
+// shim use; the hot path never calls it).
+func (f *Footprint) ToMap() map[graph.NodeID]int {
+	load := make(map[graph.NodeID]int, len(f.keys))
+	for i, id := range f.keys {
+		load[id] = f.load[i]
+	}
+	return load
+}
+
+func (f *Footprint) check(id graph.NodeID) {
+	if id < 0 || int(id) >= len(f.pos) {
+		panic(fmt.Sprintf("quantum: footprint: unknown node %d", id))
+	}
+}
+
+// FootprintPool recycles footprints for one graph size, counting gets and
+// fresh allocations so /metrics can report pool effectiveness (gets - news
+// is the number of reuses). Put resets the footprint; a pooled footprint is
+// always empty on Get.
+type FootprintPool struct {
+	n    int
+	pool sync.Pool
+	gets atomic.Int64
+	news atomic.Int64
+}
+
+// NewFootprintPool returns a pool of footprints sized for numNodes nodes.
+func NewFootprintPool(numNodes int) *FootprintPool {
+	p := &FootprintPool{n: numNodes}
+	p.pool.New = func() any {
+		p.news.Add(1)
+		return NewFootprint(numNodes)
+	}
+	return p
+}
+
+// Get returns an empty footprint, reusing a pooled one when available.
+func (p *FootprintPool) Get() *Footprint {
+	p.gets.Add(1)
+	return p.pool.Get().(*Footprint)
+}
+
+// Put resets f and returns it to the pool.
+func (p *FootprintPool) Put(f *Footprint) {
+	if f == nil {
+		return
+	}
+	f.Reset()
+	p.pool.Put(f)
+}
+
+// Counters returns the number of Gets served and the number that had to
+// allocate a fresh footprint.
+func (p *FootprintPool) Counters() (gets, news int64) {
+	return p.gets.Load(), p.news.Load()
+}
+
+// FitsFootprint is Fits over a footprint: every touched switch must have at
+// least its demanded qubits free right now. It is the authoritative
+// validation of the flat path — no epoch reasoning, just budget reads.
+func (l *Ledger) FitsFootprint(f *Footprint) bool {
+	for i, id := range f.keys {
+		l.check(id)
+		if l.free[id] < f.load[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ValidateSinceFootprint is ValidateSince over a footprint: a tree planned
+// under epoch e still provably fits when the generation is unbroken, none of
+// the closures since touch the footprint, and per-switch demand is ≤ 2;
+// anything else falls back to the authoritative FitsFootprint. This is the
+// speculative scheduler's validate step in flat form — one closure-log scan
+// against the sparse index instead of map probes.
+func (l *Ledger) ValidateSinceFootprint(e Epoch, f *Footprint) bool {
+	if closed, ok := l.ClosedSince(e); ok && !f.Touches(closed) && f.Max() <= 2 {
+		return true
+	}
+	return l.FitsFootprint(f)
+}
+
+// ReserveFootprint charges every touched switch's demand, all or nothing —
+// ReserveLoad over a footprint. Closures are appended in the footprint's
+// key order, so Sort first when the closure log must be deterministic.
+// Demands must be positive and even, and every key must be a switch.
+func (l *Ledger) ReserveFootprint(f *Footprint) error {
+	for i, id := range f.keys {
+		l.check(id)
+		q := f.load[i]
+		if q <= 0 || q%2 != 0 {
+			return fmt.Errorf("quantum: reserve footprint: switch %d demand %d not a positive even count", id, q)
+		}
+		if l.g.Node(id).Kind != graph.KindSwitch {
+			return fmt.Errorf("quantum: reserve footprint: node %d is not a switch", id)
+		}
+		if l.free[id] < q {
+			return fmt.Errorf("quantum: reserve footprint: switch %d has %d free, need %d: %w",
+				id, l.free[id], q, ErrInteriorQubits)
+		}
+	}
+	for i, id := range f.keys {
+		wasOpen := l.free[id] >= 2
+		l.free[id] -= f.load[i]
+		if wasOpen && l.free[id] < 2 {
+			l.closed = append(l.closed, id)
+		}
+	}
+	l.version++
+	return nil
+}
+
+// ReleaseFootprint refunds a prior ReserveFootprint, with Release's reopen
+// semantics: a refund lifting a switch from below 2 back to >= 2 free qubits
+// starts a new closure generation. Panics on refund beyond a switch's
+// budget.
+func (l *Ledger) ReleaseFootprint(f *Footprint) {
+	for i, id := range f.keys {
+		l.check(id)
+		wasClosed := l.free[id] < 2
+		l.free[id] += f.load[i]
+		if l.free[id] > l.g.Node(id).Qubits {
+			panic(fmt.Sprintf("quantum: release of unreserved footprint at switch %d", id))
+		}
+		if wasClosed && l.free[id] >= 2 {
+			l.gen++
+			l.closed = l.closed[:0]
+		}
+	}
+	l.version++
+}

@@ -1,0 +1,402 @@
+package quantum
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/muerp/quantumnet/internal/graph"
+)
+
+// footprintNetwork is a line of switches between two users, wide enough for
+// multi-entry footprints.
+func footprintNetwork(tb testing.TB, switches, qubits int) *graph.Graph {
+	tb.Helper()
+	g := graph.New(switches+2, switches+1)
+	g.AddUser(0, 0)
+	for i := 1; i <= switches; i++ {
+		g.AddSwitch(float64(i), 0, qubits)
+	}
+	g.AddUser(float64(switches+1), 0)
+	for i := 0; i <= switches; i++ {
+		g.MustAddEdge(graph.NodeID(i), graph.NodeID(i+1), 10)
+	}
+	return g
+}
+
+func TestFootprintBasics(t *testing.T) {
+	f := NewFootprint(8)
+	if f.Len() != 0 || f.Max() != 0 {
+		t.Fatalf("fresh footprint not empty: len %d max %d", f.Len(), f.Max())
+	}
+	f.Add(3, 2)
+	f.Add(5, 4)
+	f.Add(3, 2)
+	if got := f.Get(3); got != 4 {
+		t.Errorf("Get(3) = %d, want 4 (accumulated)", got)
+	}
+	if got := f.Get(5); got != 4 {
+		t.Errorf("Get(5) = %d, want 4", got)
+	}
+	if got := f.Get(1); got != 0 {
+		t.Errorf("Get(absent) = %d, want 0", got)
+	}
+	if got := f.Len(); got != 2 {
+		t.Errorf("Len = %d, want 2", got)
+	}
+	if got := f.Max(); got != 4 {
+		t.Errorf("Max = %d, want 4", got)
+	}
+	if !f.Touches([]graph.NodeID{1, 5}) {
+		t.Error("Touches missed a loaded switch")
+	}
+	if f.Touches([]graph.NodeID{0, 1, 2}) {
+		t.Error("Touches reported an unloaded switch")
+	}
+	f.Add(5, -4) // accumulate to zero removes
+	if f.Get(5) != 0 || f.Len() != 1 {
+		t.Errorf("Add to zero left Get(5)=%d Len=%d", f.Get(5), f.Len())
+	}
+	f.Remove(3)
+	if f.Len() != 0 {
+		t.Errorf("Remove left Len=%d", f.Len())
+	}
+	f.Add(2, 2)
+	f.Reset()
+	if f.Len() != 0 || f.Get(2) != 0 || f.Touches([]graph.NodeID{2}) {
+		t.Error("Reset left residue")
+	}
+}
+
+func TestFootprintNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative accumulated load did not panic")
+		}
+	}()
+	f := NewFootprint(4)
+	f.Add(1, 2)
+	f.Add(1, -4)
+}
+
+func TestFootprintSortAndEntries(t *testing.T) {
+	f := NewFootprint(16)
+	for _, id := range []graph.NodeID{9, 2, 14, 5} {
+		f.Add(id, 2)
+	}
+	f.Remove(2) // swap-delete scrambles order; Sort must restore determinism
+	f.Add(1, 4)
+	f.Sort()
+	got := f.AppendEntries(nil)
+	want := []LoadEntry{{ID: 1, Qubits: 4}, {ID: 5, Qubits: 2}, {ID: 9, Qubits: 2}, {ID: 14, Qubits: 2}}
+	if len(got) != len(want) {
+		t.Fatalf("entries %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entries %v, want %v", got, want)
+		}
+	}
+	// Sparse index must be consistent after Sort.
+	for _, e := range want {
+		if f.Get(e.ID) != e.Qubits {
+			t.Errorf("after Sort Get(%d) = %d, want %d", e.ID, f.Get(e.ID), e.Qubits)
+		}
+	}
+}
+
+// TestFootprintDifferentialVsMap drives a footprint and a map oracle through
+// the same random add/remove/reset sequence and requires identical contents,
+// Max, Touches, and ledger Fits answers at every step — the flat == map pin
+// for the footprint itself.
+func TestFootprintDifferentialVsMap(t *testing.T) {
+	g := footprintNetwork(t, 30, 8)
+	led := NewLedger(g)
+	// Drain some budgets so Fits has both answers to give.
+	for i := 1; i <= 30; i += 3 {
+		led.free[i] = 2
+	}
+	rng := rand.New(rand.NewSource(20260808))
+	f := NewFootprint(g.NumNodes())
+	oracle := map[graph.NodeID]int{}
+	for step := 0; step < 5000; step++ {
+		id := graph.NodeID(1 + rng.Intn(30))
+		switch rng.Intn(10) {
+		case 0:
+			f.Reset()
+			oracle = map[graph.NodeID]int{}
+		case 1:
+			f.Remove(id)
+			delete(oracle, id)
+		default:
+			f.Add(id, 2)
+			oracle[id] += 2
+		}
+		if f.Len() != len(oracle) {
+			t.Fatalf("step %d: len %d, oracle %d", step, f.Len(), len(oracle))
+		}
+		for oid, q := range oracle {
+			if f.Get(oid) != q {
+				t.Fatalf("step %d: Get(%d) = %d, oracle %d", step, oid, f.Get(oid), q)
+			}
+		}
+		if f.Max() != MaxLoad(oracle) {
+			t.Fatalf("step %d: Max %d, oracle %d", step, f.Max(), MaxLoad(oracle))
+		}
+		probe := []graph.NodeID{id, graph.NodeID(1 + rng.Intn(30))}
+		if f.Touches(probe) != LoadTouches(oracle, probe) {
+			t.Fatalf("step %d: Touches(%v) diverges from LoadTouches", step, probe)
+		}
+		if led.FitsFootprint(f) != led.Fits(oracle) {
+			t.Fatalf("step %d: FitsFootprint diverges from Fits", step)
+		}
+	}
+	// Sorted export equals the sorted oracle.
+	f.Sort()
+	got := f.AppendEntries(nil)
+	want := SortedLoad(oracle)
+	if len(got) != len(want) {
+		t.Fatalf("entries %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entries[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestReserveFootprintMatchesReserveLoad pins the footprint reserve/release
+// pair byte-identical (budgets, closure log, generation) to the
+// ReserveLoad/ReleaseLoad pair it mirrors.
+func TestReserveFootprintMatchesReserveLoad(t *testing.T) {
+	g := footprintNetwork(t, 12, 4)
+	a, b := NewLedger(g), NewLedger(g)
+	rng := rand.New(rand.NewSource(7))
+	f := NewFootprint(g.NumNodes())
+	for round := 0; round < 200; round++ {
+		f.Reset()
+		for n := rng.Intn(4) + 1; n > 0; n-- {
+			f.Add(graph.NodeID(1+rng.Intn(12)), 2)
+		}
+		f.Sort()
+		entries := f.AppendEntries(nil)
+		errA := a.ReserveFootprint(f)
+		errB := b.ReserveLoad(entries)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("round %d: ReserveFootprint err %v, ReserveLoad err %v", round, errA, errB)
+		}
+		if errA == nil && rng.Intn(3) == 0 {
+			a.ReleaseFootprint(f)
+			b.ReleaseLoad(entries)
+		}
+		sa, sb := a.ExportState(), b.ExportState()
+		if sa.Gen != sb.Gen || len(sa.Closed) != len(sb.Closed) {
+			t.Fatalf("round %d: closure history diverged: %+v vs %+v", round, sa, sb)
+		}
+		for i := range sa.Closed {
+			if sa.Closed[i] != sb.Closed[i] {
+				t.Fatalf("round %d: closure log diverged at %d", round, i)
+			}
+		}
+		for i := range sa.Free {
+			if sa.Free[i] != sb.Free[i] {
+				t.Fatalf("round %d: budgets diverged at node %d", round, i)
+			}
+		}
+		if a.Version() != b.Version() {
+			t.Fatalf("round %d: versions diverged: %d vs %d", round, a.Version(), b.Version())
+		}
+	}
+}
+
+// TestValidateSinceFootprintMatchesMap pins the flat validate against the
+// map-shaped one the speculative scheduler used, across epoch breaks,
+// closure touches, and budget-drain scenarios.
+func TestValidateSinceFootprintMatchesMap(t *testing.T) {
+	g := footprintNetwork(t, 12, 4)
+	led := NewLedger(g)
+	rng := rand.New(rand.NewSource(99))
+	f := NewFootprint(g.NumNodes())
+	for round := 0; round < 500; round++ {
+		epoch := led.Epoch()
+		// Mutate: a few random reserve/release pairs move closures and gens.
+		var held [][]graph.NodeID
+		for n := rng.Intn(3); n > 0; n-- {
+			s := 1 + rng.Intn(11)
+			path := []graph.NodeID{0, graph.NodeID(s), graph.NodeID(s + 1), graph.NodeID(13)}
+			if led.Reserve(path) == nil {
+				held = append(held, path)
+			}
+		}
+		for _, path := range held {
+			if rng.Intn(2) == 0 {
+				led.Release(path)
+			}
+		}
+		f.Reset()
+		load := map[graph.NodeID]int{}
+		for n := rng.Intn(4) + 1; n > 0; n-- {
+			id := graph.NodeID(1 + rng.Intn(12))
+			q := 2 * (1 + rng.Intn(2))
+			f.Add(id, q)
+			load[id] += q
+		}
+		flat := led.ValidateSinceFootprint(epoch, f)
+		closed, ok := led.ClosedSince(epoch)
+		mapped := ok && !LoadTouches(load, closed) && MaxLoad(load) <= 2
+		if !mapped {
+			mapped = led.Fits(load)
+		}
+		if flat != mapped {
+			t.Fatalf("round %d: flat validate %v, map validate %v", round, flat, mapped)
+		}
+	}
+}
+
+func TestValidateSliceSinceMatchesValidateSince(t *testing.T) {
+	g := footprintNetwork(t, 12, 4)
+	led := NewLedger(g)
+	rng := rand.New(rand.NewSource(31))
+	f := NewFootprint(g.NumNodes())
+	for round := 0; round < 500; round++ {
+		epoch := led.Epoch()
+		s := 1 + rng.Intn(11)
+		path := []graph.NodeID{0, graph.NodeID(s), graph.NodeID(s + 1), graph.NodeID(13)}
+		reserved := led.Reserve(path) == nil
+		f.Reset()
+		for n := rng.Intn(4) + 1; n > 0; n-- {
+			f.Add(graph.NodeID(1+rng.Intn(12)), 2)
+		}
+		f.Sort()
+		entries := f.AppendEntries(nil)
+		if got, want := led.ValidateSliceSince(epoch, f, entries), led.ValidateSince(epoch, entries); got != want {
+			t.Fatalf("round %d: ValidateSliceSince %v, ValidateSince %v", round, got, want)
+		}
+		if reserved && rng.Intn(2) == 0 {
+			led.Release(path)
+		}
+	}
+}
+
+func TestFootprintPoolRecycles(t *testing.T) {
+	p := NewFootprintPool(8)
+	f := p.Get()
+	f.Add(3, 2)
+	p.Put(f)
+	f2 := p.Get()
+	if f2.Len() != 0 {
+		t.Fatal("pooled footprint returned dirty")
+	}
+	p.Put(f2)
+	gets, news := p.Counters()
+	if gets != 2 {
+		t.Errorf("gets = %d, want 2", gets)
+	}
+	if news < 1 || news > 2 {
+		t.Errorf("news = %d, want 1 or 2", news)
+	}
+	if f2.Cap() != 8 {
+		t.Errorf("Cap = %d, want 8", f2.Cap())
+	}
+}
+
+// FuzzFootprint round-trips a random op-stream through the footprint and a
+// map oracle. Ops are bytes: each consumes an opcode and a node; adds use a
+// fixed +2 charge and removes/resets interleave, mirroring the admission
+// churn pattern.
+func FuzzFootprint(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 1, 1, 2, 0})
+	f.Add([]byte{0, 3, 0, 3, 0, 3, 1, 3})
+	f.Add([]byte{2, 0, 0, 7, 3, 7, 0, 7})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const n = 16
+		fp := NewFootprint(n)
+		oracle := map[graph.NodeID]int{}
+		for i := 0; i+1 < len(ops); i += 2 {
+			id := graph.NodeID(ops[i+1] % n)
+			switch ops[i] % 4 {
+			case 0, 3:
+				fp.Add(id, 2)
+				oracle[id] += 2
+			case 1:
+				fp.Remove(id)
+				delete(oracle, id)
+			case 2:
+				fp.Reset()
+				oracle = map[graph.NodeID]int{}
+			}
+		}
+		if fp.Len() != len(oracle) {
+			t.Fatalf("len %d, oracle %d", fp.Len(), len(oracle))
+		}
+		for id, q := range oracle {
+			if fp.Get(id) != q {
+				t.Fatalf("Get(%d) = %d, oracle %d", id, fp.Get(id), q)
+			}
+		}
+		if fp.Max() != MaxLoad(oracle) {
+			t.Fatalf("Max %d, oracle %d", fp.Max(), MaxLoad(oracle))
+		}
+		fp.Sort()
+		if !sort.SliceIsSorted(fp.Keys(), func(i, j int) bool { return fp.Keys()[i] < fp.Keys()[j] }) {
+			t.Fatal("Sort left keys unsorted")
+		}
+		got := fp.ToMap()
+		for id, q := range oracle {
+			if got[id] != q {
+				t.Fatalf("ToMap[%d] = %d, oracle %d", id, got[id], q)
+			}
+		}
+		fp.Reset()
+		if fp.Len() != 0 {
+			t.Fatal("Reset left residue")
+		}
+		for id := graph.NodeID(0); int(id) < n; id++ {
+			if fp.Get(id) != 0 || fp.Touches([]graph.NodeID{id}) {
+				t.Fatalf("Reset left node %d dirty", id)
+			}
+		}
+	})
+}
+
+// BenchmarkFootprintValidate measures the flat fill+validate step the
+// speculative scheduler runs per admission, against its map-based
+// predecessor. The flat path must report 0 allocs/op.
+func BenchmarkFootprintValidate(b *testing.B) {
+	g := footprintNetwork(b, 30, 8)
+	led := NewLedger(g)
+	path := make([]graph.NodeID, 0, 8)
+	path = append(path, 0)
+	for i := 5; i < 11; i++ {
+		path = append(path, graph.NodeID(i))
+	}
+	path = append(path, 31)
+	tree := Tree{Channels: []Channel{{Nodes: path, Rate: 0.5}}}
+	epoch := led.Epoch()
+
+	b.Run("flat", func(b *testing.B) {
+		pool := NewFootprintPool(g.NumNodes())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fp := pool.Get()
+			fp.AddTree(tree)
+			if !led.ValidateSinceFootprint(epoch, fp) {
+				b.Fatal("validate failed")
+			}
+			pool.Put(fp)
+		}
+	})
+	b.Run("map", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			load := tree.QubitLoad()
+			closed, ok := led.ClosedSince(epoch)
+			valid := ok && !LoadTouches(load, closed) && MaxLoad(load) <= 2
+			if !valid && !led.Fits(load) {
+				b.Fatal("validate failed")
+			}
+		}
+	})
+}

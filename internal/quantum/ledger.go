@@ -38,8 +38,9 @@ type Ledger struct {
 	free []int
 	g    *graph.Graph
 
-	gen    uint64         // closure generation; bumped when a Release reopens a switch
-	closed []graph.NodeID // switches closed this generation, in closure order
+	gen     uint64         // closure generation; bumped when a Release reopens a switch
+	closed  []graph.NodeID // switches closed this generation, in closure order
+	version uint64         // mutation counter; bumped by every state change
 }
 
 // Epoch identifies a point in a ledger's closure history: a generation plus
@@ -55,6 +56,16 @@ type Epoch struct {
 // tagged with it stays conservatively valid for as long as
 // ClosedSince(epoch) reports ok with no closures touching the result.
 func (l *Ledger) Epoch() Epoch { return Epoch{Gen: l.gen, N: len(l.closed)} }
+
+// Version returns the ledger's mutation counter: it changes whenever any
+// Reserve/Release (path, load, or footprint form), ImportState, or SyncEpoch
+// changes ledger state. Two reads returning the same version under the
+// mutation lock bracket a window with no state change at all — a stronger
+// guarantee than an unbroken Epoch, which only rules out reopened capacity.
+// The solve cache uses version equality to replay rejections: identical
+// budgets mean an identical (deterministic) solve outcome. Versions are
+// in-process only and not persisted; they restart from zero on recovery.
+func (l *Ledger) Version() uint64 { return l.version }
 
 // ClosedSince returns the switches that closed (dropped below 2 free
 // qubits) after epoch e was taken, in closure order. ok is false when e
@@ -119,6 +130,9 @@ func (l *Ledger) Reserve(path []graph.NodeID) error {
 			l.closed = append(l.closed, id)
 		}
 	}
+	if len(path) > 2 {
+		l.version++
+	}
 	return nil
 }
 
@@ -140,6 +154,9 @@ func (l *Ledger) Release(path []graph.NodeID) {
 			l.gen++
 			l.closed = l.closed[:0]
 		}
+	}
+	if len(path) > 2 {
+		l.version++
 	}
 }
 
@@ -194,6 +211,7 @@ func (l *Ledger) ImportState(st LedgerState) error {
 	copy(l.free, st.Free)
 	l.gen = st.Gen
 	l.closed = append(l.closed[:0], st.Closed...)
+	l.version++
 	return nil
 }
 
@@ -211,6 +229,7 @@ func (l *Ledger) SyncEpoch(gen uint64) error {
 	if gen > l.gen {
 		l.gen = gen
 		l.closed = l.closed[:0]
+		l.version++
 	}
 	return nil
 }
@@ -222,7 +241,7 @@ func (l *Ledger) SyncEpoch(gen uint64) error {
 // Clone call only, then solve against the copy freely. Prefer CopyFrom when
 // the same scratch ledger is refreshed repeatedly.
 func (l *Ledger) Clone() *Ledger {
-	c := &Ledger{free: make([]int, len(l.free)), g: l.g, gen: l.gen}
+	c := &Ledger{free: make([]int, len(l.free)), g: l.g, gen: l.gen, version: l.version}
 	copy(c.free, l.free)
 	if len(l.closed) > 0 {
 		c.closed = append(c.closed, l.closed...)
@@ -244,6 +263,7 @@ func (l *Ledger) CopyFrom(src *Ledger) {
 	copy(l.free, src.free)
 	l.gen = src.gen
 	l.closed = append(l.closed[:0], src.closed...)
+	l.version = src.version
 }
 
 // Fits reports whether the ledger can absorb the given per-switch qubit

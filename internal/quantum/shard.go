@@ -111,6 +111,9 @@ func (l *Ledger) ReserveLoad(entries []LoadEntry) error {
 			l.closed = append(l.closed, e.ID)
 		}
 	}
+	if len(entries) > 0 {
+		l.version++
+	}
 	return nil
 }
 
@@ -131,6 +134,9 @@ func (l *Ledger) ReleaseLoad(entries []LoadEntry) {
 			l.closed = l.closed[:0]
 		}
 	}
+	if len(entries) > 0 {
+		l.version++
+	}
 }
 
 // ValidateSince is the prepare step of the cross-region protocol: it reports
@@ -143,6 +149,20 @@ func (l *Ledger) ReleaseLoad(entries []LoadEntry) {
 func (l *Ledger) ValidateSince(e Epoch, entries []LoadEntry) bool {
 	if closed, ok := l.ClosedSince(e); ok &&
 		!LoadEntriesTouch(entries, closed) && MaxLoadEntries(entries) <= 2 {
+		return true
+	}
+	return l.FitsLoad(entries)
+}
+
+// ValidateSliceSince is ValidateSince with the touch test served by a
+// footprint instead of the O(closures × entries) slice scan. The footprint
+// may cover the whole tree while entries is one shard's slice: closures are
+// region-local, so a footprint hit within this ledger's closures implies a
+// hit in this shard's slice. The footprint's global Max is a conservative
+// stand-in for the slice's (it can only send more cases to the authoritative
+// FitsLoad fallback, never fewer), so the decision matches ValidateSince.
+func (l *Ledger) ValidateSliceSince(e Epoch, f *Footprint, entries []LoadEntry) bool {
+	if closed, ok := l.ClosedSince(e); ok && !f.Touches(closed) && f.Max() <= 2 {
 		return true
 	}
 	return l.FitsLoad(entries)

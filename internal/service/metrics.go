@@ -166,4 +166,10 @@ type Metrics struct {
 	// Speculation reports the speculative scheduler's commit/conflict
 	// counters (speculative.go); nil when the serial scheduler is active.
 	Speculation *SpeculationMetrics `json:"speculation,omitempty"`
+	// SolveCache reports the epoch-keyed solve cache (solvecache.go); nil
+	// when disabled via Config.SolveCacheSize < 0.
+	SolveCache *SolveCacheMetrics `json:"solve_cache,omitempty"`
+	// FootprintPool reports the pooled flat-footprint recycling on the
+	// admission hot path.
+	FootprintPool *FootprintPoolMetrics `json:"footprint_pool,omitempty"`
 }

@@ -107,6 +107,14 @@ func (s *Server) admitOneLocked(now time.Time, p *pending) (SessionInfo, error) 
 		s.ctrs.canceled.Add(1)
 		return SessionInfo{}, err
 	}
+	// Repeat request? The solve cache replays the last outcome for this user
+	// set when the ledger provably leads a fresh solve to the same answer
+	// (solvecache.go) — the whole BuildGreedyTree call is skipped.
+	if s.cache != nil {
+		if info, err, ok := s.cacheDecideLocked(now, p); ok {
+			return info, err
+		}
+	}
 	var st core.SolveStats
 	genBefore := s.led.Epoch().Gen
 	t0 := time.Now()
@@ -117,6 +125,11 @@ func (s *Server) admitOneLocked(now time.Time, p *pending) (SessionInfo, error) 
 		switch sched.Classify(p.ctx.Err(), err) {
 		case sched.VerdictRejected:
 			s.ctrs.rejected.Add(1)
+			if s.cache != nil {
+				// The rolled-back solve left the budgets exactly as a repeat
+				// would find them; version equality scopes the replay.
+				s.cacheStoreRejectLocked(p.users, err)
+			}
 		case sched.VerdictAborted:
 			if p.ctx.Err() != nil {
 				// The request's deadline fired mid-solve; BuildGreedyTree
@@ -134,7 +147,11 @@ func (s *Server) admitOneLocked(now time.Time, p *pending) (SessionInfo, error) 
 		}
 		return SessionInfo{}, err
 	}
-	return s.commitAdmitLocked(now, p, tree), nil
+	info := s.commitAdmitLocked(now, p, tree)
+	if s.cache != nil {
+		s.cacheStoreAcceptLocked(p.users, tree)
+	}
+	return info, nil
 }
 
 // commitAdmitLocked installs an admitted session whose tree reservations

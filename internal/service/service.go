@@ -90,6 +90,12 @@ type Config struct {
 	// a validation conflict before the request is decided serially under the
 	// mutex. Default 3.
 	SpecRetries int
+	// SolveCacheSize bounds the epoch-keyed solve cache (solvecache.go):
+	// per sorted user set, the last solved outcome is replayed when the
+	// ledger provably leads a fresh solve to the same answer. 0 means the
+	// default of 256 entries; negative disables the cache. Each shard of a
+	// ShardedServer carries its own cache of this size.
+	SolveCacheSize int
 	// DefaultTTL is the session lifetime when a request does not name one.
 	// Default 30s.
 	DefaultTTL time.Duration
@@ -160,6 +166,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SpecRetries <= 0 {
 		c.SpecRetries = 3
+	}
+	if c.SolveCacheSize == 0 {
+		c.SolveCacheSize = 256
 	}
 	if c.Clock == nil {
 		c.Clock = SystemClock()
@@ -274,6 +283,14 @@ type Server struct {
 	ctrs     counters
 	lat      *histogram
 
+	// cache replays repeat solves when the ledger provably allows it
+	// (solvecache.go); nil when disabled. Guarded by mu like the ledger.
+	cache *solveCache
+	// fpPool recycles the flat load footprints the hot path fills per
+	// admission (quantum.Footprint); shared by the speculative validate and
+	// the sharded split/validate steps.
+	fpPool *quantum.FootprintPool
+
 	// sched decides micro-batches (scheduler.go); chosen once at New.
 	sched scheduler
 
@@ -305,6 +322,10 @@ func New(cfg Config) (*Server, error) {
 		kick:     make(chan struct{}, 1),
 		lat:      newHistogram(),
 		idPrefix: "s-",
+		fpPool:   quantum.NewFootprintPool(cfg.Graph.NumNodes()),
+	}
+	if cfg.SolveCacheSize > 0 {
+		s.cache = newSolveCache(cfg.SolveCacheSize, cfg.Graph.NumNodes())
 	}
 	if cfg.shard != nil {
 		s.idPrefix = fmt.Sprintf("s%d-", cfg.shard.index)
@@ -641,6 +662,7 @@ func (s *Server) Metrics() Metrics {
 	gen := s.led.Epoch().Gen
 	sumRate := s.sumRate
 	peak := s.peak
+	cacheM := s.solveCacheMetricsLocked()
 	s.mu.Unlock()
 
 	acc := s.ctrs.accepted.Load()
@@ -692,8 +714,10 @@ func (s *Server) Metrics() Metrics {
 			TotalQubits: s.total,
 			EpochGen:    gen,
 		},
-		Admission:   adm,
-		Durability:  s.durabilityMetrics(),
-		Speculation: s.sched.speculation(),
+		Admission:     adm,
+		Durability:    s.durabilityMetrics(),
+		Speculation:   s.sched.speculation(),
+		SolveCache:    cacheM,
+		FootprintPool: s.footprintPoolMetrics(),
 	}
 }

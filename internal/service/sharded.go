@@ -84,12 +84,20 @@ type ShardedServer struct {
 	closeErr  error
 
 	// crossMu serializes the cross-region coordinator; view, viewFree,
-	// epochs and crossWork are its scratch state.
+	// epochs, crossWork and the splitLoad scratch below are its state.
 	crossMu   sync.Mutex
 	view      *quantum.Ledger
 	viewFree  []int
 	epochs    []quantum.Epoch
 	crossWork core.SolveStats
+
+	// splitLoad scratch: the flat footprint holding the last split tree's
+	// demand (also consulted by tryCommit's validation), the sorted-entry
+	// export buffer, and reusable per-region headers. All crossMu-guarded.
+	crossFP      *quantum.Footprint
+	crossEntries []quantum.LoadEntry
+	crossCounts  []int
+	crossPlans   [][]quantum.LoadEntry
 
 	lat *histogram // cross-region solve latency
 
@@ -193,6 +201,10 @@ func NewSharded(cfg ShardedConfig) (*ShardedServer, error) {
 		viewFree: make([]int, cfg.Graph.NumNodes()),
 		epochs:   make([]quantum.Epoch, cfg.Shards),
 		lat:      newHistogram(),
+
+		crossFP:     quantum.NewFootprint(cfg.Graph.NumNodes()),
+		crossCounts: make([]int, cfg.Shards),
+		crossPlans:  make([][]quantum.LoadEntry, cfg.Shards),
 	}
 	for r := 0; r < cfg.Shards; r++ {
 		rg := RegionGraph(cfg.Graph, part, r)
@@ -379,19 +391,42 @@ func (s *ShardedServer) rejectionStands() bool {
 	return true
 }
 
-// splitLoad slices a tree's per-switch demand by owning region.
+// splitLoad slices a tree's per-switch demand by owning region. The demand
+// accumulates in the coordinator's flat footprint (crossMu-serialized
+// scratch) instead of per-region maps, and the per-region plans are windows
+// of one freshly allocated backing slice, each ascending by switch ID. The
+// backing must be fresh per call — installed plans outlive the attempt
+// (sessions keep them for release, WAL records serialize them off-thread) —
+// but that one allocation replaces the old path's K maps + K sorted slices
+// + the QubitLoad map. On return crossFP still holds the whole tree's
+// demand; tryCommit's validation reads it.
 func (s *ShardedServer) splitLoad(tree quantum.Tree) [][]quantum.LoadEntry {
-	per := make([]map[graph.NodeID]int, len(s.shards))
-	for id, q := range tree.QubitLoad() {
-		r := s.part.RegionOf(id)
-		if per[r] == nil {
-			per[r] = make(map[graph.NodeID]int)
-		}
-		per[r][id] = q
+	fp := s.crossFP
+	fp.Reset()
+	fp.AddTree(tree)
+	fp.Sort()
+	s.crossEntries = fp.AppendEntries(s.crossEntries[:0])
+	entries := s.crossEntries
+
+	counts := s.crossCounts
+	for r := range counts {
+		counts[r] = 0
 	}
-	plans := make([][]quantum.LoadEntry, len(s.shards))
-	for r, m := range per {
-		plans[r] = quantum.SortedLoad(m)
+	for _, e := range entries {
+		counts[s.part.RegionOf(e.ID)]++
+	}
+	backing := make([]quantum.LoadEntry, 0, len(entries))
+	plans := s.crossPlans
+	off := 0
+	for r := range plans {
+		// Zero-length window with capacity counts[r]: the fill loop's appends
+		// land in-place, so region slices share the backing without copies.
+		plans[r] = backing[off : off : off+counts[r]]
+		off += counts[r]
+	}
+	for _, e := range entries {
+		r := s.part.RegionOf(e.ID)
+		plans[r] = append(plans[r], e)
 	}
 	return plans
 }
@@ -427,7 +462,11 @@ func (s *ShardedServer) tryCommit(primary int, users []graph.NodeID, ttl time.Du
 	s.prepares.Add(1)
 	ok := true
 	for _, r := range involved {
-		if !s.shards[r].led.ValidateSince(s.epochs[r], plans[r]) {
+		// crossFP still holds the whole tree's demand from splitLoad; the
+		// closure-epoch touch test probes its sparse index instead of
+		// rebuilding a per-slice map (ValidateSliceSince is decision-equal to
+		// ValidateSince — a shard's closures only ever name its own switches).
+		if !s.shards[r].led.ValidateSliceSince(s.epochs[r], s.crossFP, plans[r]) {
 			ok = false
 			break
 		}
@@ -806,6 +845,7 @@ func aggregateSpeculation(shards []Metrics) *SpeculationMetrics {
 		out.Solves += sp.Solves
 		out.Commits += sp.Commits
 		out.Rejects += sp.Rejects
+		out.CacheHits += sp.CacheHits
 		out.Conflicts += sp.Conflicts
 		out.Resolves += sp.Resolves
 		out.Fallbacks += sp.Fallbacks
@@ -819,6 +859,44 @@ func aggregateSpeculation(shards []Metrics) *SpeculationMetrics {
 			out.WastedSolveRatio = float64(out.Conflicts) / float64(out.Solves)
 			out.MeanBatchParallelism = weighted / float64(out.Solves)
 		}
+	}
+	return out
+}
+
+// aggregateSolveCache folds per-shard solve-cache sections (capacities and
+// counters sum; the hit rate is recomputed over the totals); nil when every
+// shard runs with the cache disabled.
+func aggregateSolveCache(shards []Metrics) *SolveCacheMetrics {
+	var out *SolveCacheMetrics
+	for _, m := range shards {
+		if m.SolveCache == nil {
+			continue
+		}
+		if out == nil {
+			out = &SolveCacheMetrics{}
+		}
+		out.add(m.SolveCache)
+	}
+	if out != nil {
+		out.finish()
+	}
+	return out
+}
+
+// aggregateFootprintPool folds per-shard footprint-pool sections.
+func aggregateFootprintPool(shards []Metrics) *FootprintPoolMetrics {
+	var out *FootprintPoolMetrics
+	for _, m := range shards {
+		if m.FootprintPool == nil {
+			continue
+		}
+		if out == nil {
+			out = &FootprintPoolMetrics{}
+		}
+		out.add(m.FootprintPool)
+	}
+	if out != nil {
+		out.finish()
 	}
 	return out
 }
@@ -888,6 +966,8 @@ func (s *ShardedServer) Metrics() ShardedMetrics {
 	agg.Admission.Work = work
 	agg.Durability = aggregateDurability(shardM)
 	agg.Speculation = aggregateSpeculation(shardM)
+	agg.SolveCache = aggregateSolveCache(shardM)
+	agg.FootprintPool = aggregateFootprintPool(shardM)
 
 	single, cross := s.singleRegion.Load(), s.crossRegion.Load()
 	rm := RouterMetrics{

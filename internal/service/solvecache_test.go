@@ -1,0 +1,275 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/muerp/quantumnet/internal/core"
+	"github.com/muerp/quantumnet/internal/graph"
+	"github.com/muerp/quantumnet/internal/topology"
+)
+
+// TestSolveCacheRejectReplay pins the reject tier: once the bottleneck is
+// saturated, repeat rejections replay on ledger-version equality with no
+// solver run, and any ledger mutation (a release) invalidates the entry so
+// the next request re-solves — and succeeds.
+func TestSolveCacheRejectReplay(t *testing.T) {
+	base := time.Unix(0, 0)
+	fc := newFakeClock(base)
+	s := newTestServer(t, Config{MaxBatch: 1, MaxTTL: time.Hour, Clock: fc})
+
+	if _, err := s.Submit(context.Background(), []graph.NodeID{0, 1}, 10*time.Second); err != nil {
+		t.Fatalf("first session: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Submit(context.Background(), []graph.NodeID{2, 3}, 10*time.Second); !errors.Is(err, core.ErrInfeasible) {
+			t.Fatalf("contender %d error = %v, want infeasible", i, err)
+		}
+	}
+	m := s.Metrics()
+	if m.SolveCache == nil {
+		t.Fatal("solve cache disabled by default")
+	}
+	// First contender solves and stores; the two repeats replay the
+	// rejection on version equality.
+	if m.SolveCache.ExactHits != 2 {
+		t.Fatalf("exact hits = %d, want 2 (%+v)", m.SolveCache.ExactHits, m.SolveCache)
+	}
+
+	// Expire the blocking session: the release bumps the ledger version, so
+	// the cached rejection no longer replays and a fresh solve admits.
+	fc.Set(base.Add(11 * time.Second))
+	deadline := time.Now().Add(5 * time.Second)
+	for s.ActiveSessions() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("expiry wheel never released the session")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := s.Submit(context.Background(), []graph.NodeID{2, 3}, 10*time.Second); err != nil {
+		t.Fatalf("post-expiry session: %v", err)
+	}
+	after := s.Metrics().SolveCache
+	if after.ExactHits != 2 {
+		t.Fatalf("stale rejection replayed after a release: exact hits = %d", after.ExactHits)
+	}
+}
+
+// solveCacheGraph builds a topology with the given per-switch qubit budget:
+// roomy (12) lets the same user set stack repeat admissions so the accept
+// tier replays; tight (4) mixes accepts and rejects for the differential.
+func solveCacheGraph(t testing.TB, switchQubits int) *graph.Graph {
+	t.Helper()
+	cfg := topology.Default()
+	cfg.Users = 8
+	cfg.Switches = 16
+	cfg.SwitchQubits = switchQubits
+	g, err := topology.Generate(cfg, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatalf("topology: %v", err)
+	}
+	return g
+}
+
+// userSet maps indices into g.Users() to node IDs (generated topologies
+// interleave user and switch IDs).
+func userSet(g *graph.Graph, idx ...int) []graph.NodeID {
+	all := g.Users()
+	out := make([]graph.NodeID, len(idx))
+	for i, j := range idx {
+		out[i] = all[j]
+	}
+	return out
+}
+
+// TestSolveCacheAcceptReplay pins the accept tier: a repeat request whose
+// footprint budgets are provably equivalent replays the cached tree — same
+// rate, a distinct session — without running the solver, and the replayed
+// reservations are real (sessions stack until capacity runs out exactly as
+// fresh solves would).
+func TestSolveCacheAcceptReplay(t *testing.T) {
+	g := solveCacheGraph(t, 12)
+	s := newTestServer(t, Config{Graph: g, MaxBatch: 1, MaxTTL: time.Hour})
+
+	users := userSet(g, 0, 1, 2)
+	first, err := s.Submit(context.Background(), users, time.Hour)
+	if err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+	second, err := s.Submit(context.Background(), users, time.Hour)
+	if err != nil {
+		t.Fatalf("repeat admit: %v", err)
+	}
+	if second.ID == first.ID {
+		t.Fatal("repeat admission reused the session ID")
+	}
+	if second.Rate != first.Rate {
+		t.Fatalf("replayed rate %g != solved rate %g", second.Rate, first.Rate)
+	}
+	m := s.Metrics()
+	if m.SolveCache.EpochHits < 1 {
+		t.Fatalf("epoch hits = %d, want >= 1 (%+v)", m.SolveCache.EpochHits, m.SolveCache)
+	}
+	if m.Sessions.Active != 2 {
+		t.Fatalf("active sessions = %d, want 2", m.Sessions.Active)
+	}
+	// The replay charged real capacity.
+	if m.Ledger.UsedQubits == 0 || m.Ledger.UsedQubits%2 != 0 {
+		t.Fatalf("used qubits = %d after two admissions", m.Ledger.UsedQubits)
+	}
+}
+
+// TestSolveCacheDifferentialOnOff replays one repeat-heavy trace through a
+// cache-enabled and a cache-disabled server in lockstep and requires
+// decision-identical outcomes — same accept/reject sequence, same rates.
+// Two capacity regimes pin both tiers: the tight topology saturates, so
+// repeat rejections replay on version equality (and accept replays are
+// starved by constant budget drift); the roomy one keeps budgets stable
+// across repeats, so trees replay on the epoch proof. Expiries (fake clock)
+// force releases mid-trace, exercising invalidation.
+func TestSolveCacheDifferentialOnOff(t *testing.T) {
+	for _, tc := range []struct {
+		name         string
+		switchQubits int
+		wantRejects  bool // tight trace must mix in rejections
+		wantExact    bool // reject tier must fire
+		wantEpoch    bool // accept tier must fire
+	}{
+		{name: "tight", switchQubits: 4, wantRejects: true, wantExact: true},
+		{name: "roomy", switchQubits: 12, wantEpoch: true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			solveCacheDifferential(t, tc.switchQubits, tc.wantRejects, tc.wantExact, tc.wantEpoch)
+		})
+	}
+}
+
+func solveCacheDifferential(t *testing.T, switchQubits int, wantRejects, wantExact, wantEpoch bool) {
+	g := solveCacheGraph(t, switchQubits)
+	rng := rand.New(rand.NewSource(11))
+	// A small pool of user sets sampled with replacement: repeats are the
+	// workload the cache exists for.
+	pool := [][]graph.NodeID{
+		userSet(g, 0, 1, 2), userSet(g, 3, 4), userSet(g, 5, 6, 7),
+		userSet(g, 0, 4, 7), userSet(g, 1, 5), userSet(g, 2, 3, 6),
+	}
+
+	base := time.Unix(0, 0)
+	mk := func(size int) (*Server, *fakeClock) {
+		fc := newFakeClock(base)
+		s := newTestServer(t, Config{
+			Graph: g, MaxBatch: 1, MaxTTL: 1000 * time.Hour,
+			Clock: fc, SolveCacheSize: size,
+		})
+		return s, fc
+	}
+	on, onClock := mk(0)    // 0 = default capacity, cache enabled
+	off, offClock := mk(-1) // negative disables
+
+	accepted, rejected := 0, 0
+	at := base
+	for i := 0; i < 300; i++ {
+		at = at.Add(time.Duration(rng.Intn(900)+100) * time.Millisecond)
+		onClock.Set(at)
+		offClock.Set(at)
+		users := pool[rng.Intn(len(pool))]
+		ttl := time.Duration(rng.Intn(20)+2) * time.Second
+		onInfo, onErr := on.Submit(context.Background(), users, ttl)
+		offInfo, offErr := off.Submit(context.Background(), users, ttl)
+		switch {
+		case onErr == nil && offErr == nil:
+			accepted++
+			if math.Abs(onInfo.Rate-offInfo.Rate) > 1e-15*math.Max(1, math.Abs(offInfo.Rate)) {
+				t.Fatalf("request %d: cached rate %g vs uncached %g", i, onInfo.Rate, offInfo.Rate)
+			}
+		case errors.Is(onErr, core.ErrInfeasible) && errors.Is(offErr, core.ErrInfeasible):
+			rejected++
+		default:
+			t.Fatalf("request %d (%v): cache-on err %v vs cache-off err %v", i, users, onErr, offErr)
+		}
+	}
+	if accepted == 0 {
+		t.Fatal("degenerate trace: nothing accepted — retune the workload")
+	}
+	if wantRejects && rejected == 0 {
+		t.Fatal("degenerate trace: nothing rejected — retune the workload")
+	}
+
+	onM, offM := on.Metrics(), off.Metrics()
+	if offM.SolveCache != nil {
+		t.Fatal("cache-off server reports solve-cache metrics")
+	}
+	sc := onM.SolveCache
+	if sc == nil {
+		t.Fatal("cache-on server reports no solve-cache metrics")
+	}
+	if wantExact && sc.ExactHits == 0 {
+		t.Fatalf("trace never exercised the reject tier: %+v", sc)
+	}
+	if wantEpoch && sc.EpochHits == 0 {
+		t.Fatalf("trace never exercised the accept tier: %+v", sc)
+	}
+	if onM.Requests.Accepted != offM.Requests.Accepted || onM.Requests.Rejected != offM.Requests.Rejected {
+		t.Fatalf("counters diverge: cache-on %d/%d vs cache-off %d/%d",
+			onM.Requests.Accepted, onM.Requests.Rejected, offM.Requests.Accepted, offM.Requests.Rejected)
+	}
+	if onM.Admission.PeakQubitsInUse != offM.Admission.PeakQubitsInUse {
+		t.Fatalf("peak qubits diverge: %d vs %d", onM.Admission.PeakQubitsInUse, offM.Admission.PeakQubitsInUse)
+	}
+}
+
+// TestSolveCacheLRUEviction pins the bound: a capacity-2 cache holding
+// three distinct user sets evicts the least recently used and stays at
+// size 2; the evicted set misses on its next lookup.
+func TestSolveCacheLRUEviction(t *testing.T) {
+	g := solveCacheGraph(t, 12)
+	s := newTestServer(t, Config{Graph: g, MaxBatch: 1, MaxTTL: time.Hour, SolveCacheSize: 2})
+
+	sets := [][]graph.NodeID{userSet(g, 0, 1), userSet(g, 2, 3), userSet(g, 4, 5)}
+	for _, u := range sets {
+		if _, err := s.Submit(context.Background(), u, time.Hour); err != nil {
+			t.Fatalf("admit %v: %v", u, err)
+		}
+	}
+	m := s.Metrics().SolveCache
+	if m.Size != 2 || m.Capacity != 2 {
+		t.Fatalf("size/capacity = %d/%d, want 2/2", m.Size, m.Capacity)
+	}
+	if m.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", m.Evictions)
+	}
+	// The first set was evicted by the third; its repeat must miss. The
+	// third is resident and replays.
+	if _, err := s.Submit(context.Background(), sets[0], time.Hour); err != nil {
+		t.Fatalf("re-admit evicted set: %v", err)
+	}
+	if _, err := s.Submit(context.Background(), sets[2], time.Hour); err != nil {
+		t.Fatalf("re-admit resident set: %v", err)
+	}
+	after := s.Metrics().SolveCache
+	if after.EpochHits != 1 {
+		t.Fatalf("epoch hits = %d, want exactly 1 (evicted set must re-solve)", after.EpochHits)
+	}
+}
+
+// TestSolveCacheKeyOrderInsensitive pins key canonicalization: the same
+// user set in a different order is the same cache line.
+func TestSolveCacheKeyOrderInsensitive(t *testing.T) {
+	g := solveCacheGraph(t, 12)
+	s := newTestServer(t, Config{Graph: g, MaxBatch: 1, MaxTTL: time.Hour})
+
+	if _, err := s.Submit(context.Background(), userSet(g, 2, 0, 1), time.Hour); err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	if _, err := s.Submit(context.Background(), userSet(g, 1, 2, 0), time.Hour); err != nil {
+		t.Fatalf("permuted repeat: %v", err)
+	}
+	m := s.Metrics().SolveCache
+	if m.EpochHits != 1 || m.Size != 1 {
+		t.Fatalf("permuted set missed: hits=%d size=%d (%+v)", m.EpochHits, m.Size, m)
+	}
+}

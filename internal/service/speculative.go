@@ -68,6 +68,7 @@ type specCounters struct {
 	solves    atomic.Int64 // speculative solve attempts, retries included
 	commits   atomic.Int64 // admits that validated against the live ledger
 	rejects   atomic.Int64 // infeasible decisions committed via the epoch check
+	cacheHits atomic.Int64 // decisions replayed by the solve cache, no speculation run
 	conflicts atomic.Int64 // validations lost to concurrent commits/releases
 	retries   atomic.Int64 // re-solves after a conflict
 	fallbacks atomic.Int64 // decisions made serially after the retry budget
@@ -158,9 +159,22 @@ func (sp *speculativeScheduler) decideOne(p *pending, now time.Time, view *quant
 
 		// Consistent view: budgets + closure history under the mutex, then
 		// solve lock-free against the copy. The view's reservations are
-		// scratch — CopyFrom resets them on the next attempt.
+		// scratch — CopyFrom resets them on the next attempt. The solve cache
+		// is consulted under the same acquisition: a provable repeat commits
+		// (or rejects) right here and skips the snapshot + solve entirely.
 		s.mu.Lock()
+		if s.cache != nil {
+			if info, err, ok := s.cacheDecideLocked(now, p); ok {
+				sp.ctrs.cacheHits.Add(1)
+				ticket := s.enqueueRecordsLocked()
+				s.mu.Unlock()
+				_ = s.waitDurable(ticket)
+				p.result <- admitResult{info: info, err: err}
+				return
+			}
+		}
 		view.CopyFrom(s.led)
+		snapVersion := s.led.Version()
 		s.mu.Unlock()
 		epoch := view.Epoch()
 
@@ -171,7 +185,7 @@ func (sp *speculativeScheduler) decideOne(p *pending, now time.Time, view *quant
 		s.lat.observe(time.Since(t0))
 		sp.ctrs.inflight.Add(-1)
 
-		info, err := sp.validateAndCommitLocked(p, now, epoch, tree, solveErr, &st)
+		info, err := sp.validateAndCommitLocked(p, now, epoch, snapVersion, tree, solveErr, &st)
 		if err == errSpecConflict {
 			sp.ctrs.conflicts.Add(1)
 			continue
@@ -186,7 +200,8 @@ func (sp *speculativeScheduler) decideOne(p *pending, now time.Time, view *quant
 // reject), making it durable before returning, or reports errSpecConflict
 // when the live ledger moved past the view.
 func (sp *speculativeScheduler) validateAndCommitLocked(p *pending, now time.Time,
-	epoch quantum.Epoch, tree quantum.Tree, solveErr error, st *core.SolveStats) (SessionInfo, error) {
+	epoch quantum.Epoch, snapVersion uint64, tree quantum.Tree, solveErr error,
+	st *core.SolveStats) (SessionInfo, error) {
 	s := sp.s
 	s.mu.Lock()
 	s.work.Merge(st)
@@ -214,24 +229,34 @@ func (sp *speculativeScheduler) validateAndCommitLocked(p *pending, now time.Tim
 		}
 		s.ctrs.rejected.Add(1)
 		sp.ctrs.rejects.Add(1)
+		if s.cache != nil && s.led.Version() == snapVersion {
+			// Nothing moved since the snapshot, so the rejection was decided
+			// against exactly the live budgets and is safe to replay on
+			// version equality.
+			s.cacheStoreRejectLocked(p.users, solveErr)
+		}
 		s.mu.Unlock()
 		return SessionInfo{}, solveErr
 	}
 
 	// Admit candidate: prove the tree still fits. The epoch pre-filter
 	// (unbroken generation, no closure touching the footprint, per-switch
-	// demand ≤ 2) proves it without reading budgets; otherwise Fits is the
-	// authoritative residual-capacity check.
-	load := tree.QubitLoad()
-	closed, fresh := s.led.ClosedSince(epoch)
-	valid := fresh && !quantum.LoadTouches(load, closed) && quantum.MaxLoad(load) <= 2
-	if !valid {
-		valid = s.led.Fits(load)
-	}
+	// demand ≤ 2) proves it without reading budgets; otherwise FitsFootprint
+	// is the authoritative residual-capacity check. The footprint is a
+	// pooled flat sparse set — no map allocation per validation.
+	fp := s.fpPool.Get()
+	fp.AddTree(tree)
+	valid := s.led.ValidateSinceFootprint(epoch, fp)
+	s.fpPool.Put(fp)
 	if !valid {
 		s.mu.Unlock()
 		return SessionInfo{}, errSpecConflict
 	}
+	// Cache the tree only when nothing moved since the snapshot: then it was
+	// solved against what are still the live budgets, and the cache entry's
+	// pre-solve free counts reconstruct exactly. Decided before the reserve
+	// replay below mutates the version.
+	liveUnmoved := s.cache != nil && s.led.Version() == snapVersion
 	// Commit: replay the reservations on the live ledger in tree order —
 	// the same discipline WAL replay uses, so budgets and closure log land
 	// exactly where a serial solve would have left them. Reserve cannot
@@ -247,6 +272,9 @@ func (sp *speculativeScheduler) validateAndCommitLocked(p *pending, now time.Tim
 	}
 	info := s.commitAdmitLocked(now, p, tree)
 	sp.ctrs.commits.Add(1)
+	if liveUnmoved {
+		s.cacheStoreAcceptLocked(p.users, tree)
+	}
 	ticket := s.enqueueRecordsLocked()
 	s.mu.Unlock()
 	// Write-ahead contract: the admit record reaches disk before the caller
@@ -273,6 +301,7 @@ func (sp *speculativeScheduler) speculation() *SpeculationMetrics {
 		Solves:      sp.ctrs.solves.Load(),
 		Commits:     sp.ctrs.commits.Load(),
 		Rejects:     sp.ctrs.rejects.Load(),
+		CacheHits:   sp.ctrs.cacheHits.Load(),
 		Conflicts:   sp.ctrs.conflicts.Load(),
 		Resolves:    sp.ctrs.retries.Load(),
 		Fallbacks:   sp.ctrs.fallbacks.Load(),
@@ -302,6 +331,10 @@ type SpeculationMetrics struct {
 	Commits   int64 `json:"commits"`
 	Rejects   int64 `json:"rejects"`
 	Conflicts int64 `json:"conflicts"`
+	// CacheHits counts decisions replayed from the solve cache before any
+	// snapshot or solve ran. (Cache hits inside the serial fallback count as
+	// Fallbacks, not here.)
+	CacheHits int64 `json:"cache_hits"`
 	// Resolves counts conflict-triggered re-solves; Fallbacks the requests
 	// decided serially under the mutex after the retry budget.
 	Resolves  int64 `json:"resolves"`

@@ -111,12 +111,12 @@ func TestSpeculativeConcurrentRevalidation(t *testing.T) {
 	if sp.Workers != 4 {
 		t.Fatalf("speculation workers = %d, want 4", sp.Workers)
 	}
-	// Every decision is a commit, an epoch-validated reject, or a serial
-	// fallback; every conflict either triggered a re-solve or spent the
-	// retry budget.
-	if sp.Commits+sp.Rejects+sp.Fallbacks != accepted+rejected {
-		t.Fatalf("decisions %d+%d+%d don't cover %d requests",
-			sp.Commits, sp.Rejects, sp.Fallbacks, accepted+rejected)
+	// Every decision is a commit, an epoch-validated reject, a solve-cache
+	// replay, or a serial fallback; every conflict either triggered a
+	// re-solve or spent the retry budget.
+	if sp.Commits+sp.Rejects+sp.CacheHits+sp.Fallbacks != accepted+rejected {
+		t.Fatalf("decisions %d+%d+%d+%d don't cover %d requests",
+			sp.Commits, sp.Rejects, sp.CacheHits, sp.Fallbacks, accepted+rejected)
 	}
 	if sp.Conflicts != sp.Resolves+sp.Fallbacks {
 		t.Fatalf("conflicts %d != resolves %d + fallbacks %d", sp.Conflicts, sp.Resolves, sp.Fallbacks)

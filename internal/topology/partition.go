@@ -90,9 +90,11 @@ func (p *Partition) Rebuild(g *graph.Graph) error {
 // NodeID order, so k seeds spread across disconnected components), a
 // deterministic multi-source BFS growing the regions, then bounded local
 // refinement passes moving switches to the neighboring region that reduces
-// the cut (never emptying a region). Identical (g, k, seed) inputs always
-// produce identical partitions — the routing and durability layers depend
-// on this for replay.
+// the cut (never emptying a region). Users attach last, balancing: a user
+// with switch neighbors in several regions lands in the candidate region
+// with the fewest users so far, keeping per-shard user load even. Identical
+// (g, k, seed) inputs always produce identical partitions — the routing and
+// durability layers depend on this for replay.
 func PartitionRegions(g *graph.Graph, k int, seed int64) (*Partition, error) {
 	switches := g.Switches()
 	if k < 1 || k > len(switches) {
@@ -155,24 +157,38 @@ func PartitionRegions(g *graph.Graph, k int, seed int64) (*Partition, error) {
 
 	refine(g, switches, region, counts, k)
 
-	// Users adopt the region of their lowest-ID switch neighbor (NeighborIDs
-	// is in insertion order, so scan for the minimum); isolated users — or
-	// users wired only to users — fall back to region 0.
+	// Users adopt the region of a neighboring switch. A user whose switch
+	// neighbors span several regions could go to any of them; the tie breaks
+	// toward the region currently holding the fewest users (then the lower
+	// index), so user load spreads across shards instead of piling onto
+	// whichever region owns the lowest-ID switch. Users() is in ascending ID
+	// order and candidates are scanned by region index, so the pass is
+	// deterministic. Isolated users — or users wired only to users — fall
+	// back to region 0.
+	userLoad := make([]int, k)
+	candidate := make([]bool, k)
 	for _, u := range g.Users() {
-		best := -1
+		for r := range candidate {
+			candidate[r] = false
+		}
+		attached := false
 		for _, nb := range g.NeighborIDs(u) {
-			if g.Node(nb).Kind != graph.KindSwitch {
-				continue
-			}
-			if best < 0 || nb < graph.NodeID(best) {
-				best = int(nb)
+			if g.Node(nb).Kind == graph.KindSwitch {
+				candidate[region[nb]] = true
+				attached = true
 			}
 		}
-		if best >= 0 {
-			region[u] = region[best]
-		} else {
-			region[u] = 0
+		best := 0
+		if attached {
+			best = -1
+			for r := 0; r < k; r++ {
+				if candidate[r] && (best < 0 || userLoad[r] < userLoad[best]) {
+					best = r
+				}
+			}
 		}
+		region[u] = best
+		userLoad[best]++
 	}
 
 	boundary, cut := boundaryOf(g, region)

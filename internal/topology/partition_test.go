@@ -181,6 +181,41 @@ func TestPartitionDisconnectedClusters(t *testing.T) {
 	}
 }
 
+// Users whose switch neighbors span several regions must spread across
+// those regions by user-load instead of all following the lowest-ID switch.
+func TestPartitionBalancesTiedUsers(t *testing.T) {
+	// Two disconnected 3-switch chains force k=2 to cut along the
+	// components; every user gets one switch in each chain, so every user's
+	// attachment is a tie the balancer must break.
+	g := graph.New(0, 0)
+	var a, b []graph.NodeID
+	for i := 0; i < 3; i++ {
+		a = append(a, g.AddSwitch(float64(i), 0, 4))
+		b = append(b, g.AddSwitch(float64(i), 100, 4))
+	}
+	for i := 1; i < 3; i++ {
+		g.MustAddEdge(a[i-1], a[i], 100)
+		g.MustAddEdge(b[i-1], b[i], 100)
+	}
+	const users = 6
+	for i := 0; i < users; i++ {
+		u := g.AddUser(float64(i), 50)
+		g.MustAddEdge(u, a[i%3], 100)
+		g.MustAddEdge(u, b[i%3], 100)
+	}
+	p, err := PartitionRegions(g, 2, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 2)
+	for _, u := range g.Users() {
+		counts[p.RegionOf(u)]++
+	}
+	if counts[0] != users/2 || counts[1] != users/2 {
+		t.Fatalf("tied users split %v, want an even %d/%d", counts, users/2, users/2)
+	}
+}
+
 // Rebuild must accept a partition round-tripped through its exported fields
 // and reject tampered annotations.
 func TestPartitionRebuild(t *testing.T) {
