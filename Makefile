@@ -6,7 +6,7 @@ BENCH_OUT ?= BENCH_kernel.json
 BENCH_LABEL ?= current
 BENCH_TMP := $(shell mktemp -d 2>/dev/null || echo /tmp/quantumnet-bench)
 
-.PHONY: build test vet race tier1 bench bench-service bench-check list-solvers serve loadtest smoke-service smoke-service-sharded smoke-recovery smoke-recovery-sharded clean
+.PHONY: build test vet race tier1 bench bench-service bench-check list-solvers serve loadtest smoke-service smoke-service-sharded smoke-recovery smoke-recovery-sharded smoke-qos clean
 
 build:
 	$(GO) build ./...
@@ -21,11 +21,14 @@ vet:
 # concurrency: core's parallel all-pairs fan-out, sim's batch pool,
 # quantum's shared ledger (the mutex-serialized mutation contract and
 # lock-free read-only use), service's admission loop + expiry wheel +
-# durability wiring + sharded two-phase router, the WAL's group-commit loop
-# and snapshotter, and topology's partitioner (read concurrently by shards).
+# durability wiring + sharded two-phase router, qos's tenant scheduler and
+# token buckets (hit from every submitting goroutine), the WAL's
+# group-commit loop and snapshotter, and topology's partitioner (read
+# concurrently by shards).
 race:
 	$(GO) test -race ./internal/core ./internal/sim ./internal/quantum \
-		./internal/service ./internal/wal ./internal/snapshot ./internal/topology
+		./internal/service ./internal/qos ./internal/wal ./internal/snapshot \
+		./internal/topology
 
 # tier1 is the repo's merge gate: build, full tests, vet, race.
 tier1: build test vet race
@@ -110,6 +113,13 @@ smoke-service:
 # router counters must surface through /metrics.
 smoke-service-sharded:
 	SHARDS=4 bash scripts/smoke_service.sh
+
+# smoke-qos is the CI multi-tenant check: boot muerpd with a two-tenant
+# policy (one tenant on a tight quota), replay a weighted mix through qload
+# with a retry budget, and require the quota to throttle only that tenant
+# while the other's traffic is admitted. See DESIGN.md §11.
+smoke-qos:
+	bash scripts/smoke_qos.sh
 
 # smoke-recovery is the CI crash-durability check: boot muerpd with a data
 # directory, admit 20 long-TTL sessions over HTTP, SIGKILL, restart on the

@@ -30,6 +30,11 @@
 //	-snapshot-every / -snapshot-interval  snapshot cadence
 //	-solve-cache solve-cache entries per admission plane (0 = default 256,
 //	             negative disables caching)
+//	-qos-config  tenant QoS policy JSON ({"tenants":[...]}); enables the
+//	             multi-tenant queue layer (DESIGN.md §11). With -data-dir the
+//	             effective policy is pinned in the data directory and a
+//	             restart with a different policy refuses to start. Empty =
+//	             single default tenant, plain FIFO.
 //	-pprof       expose net/http/pprof on this side address (e.g.
 //	             127.0.0.1:6060; empty = off). The profiler listens on its
 //	             own socket, never on the service API. With -addr-file the
@@ -37,14 +42,16 @@
 //	             See EXPERIMENTS.md for the profiling workflow.
 //	-version     print build info and exit
 //
-// API: POST /sessions {"users":[...],"ttl_ms":n} → 201 (admitted), 409
-// (infeasible now), 429 + Retry-After (queue full); GET|DELETE
+// API: POST /sessions {"users":[...],"ttl_ms":n,"tenant":"name"} → 201
+// (admitted), 409 (infeasible now), 429 + Retry-After (queue full or tenant
+// over quota); GET|DELETE
 // /sessions/{id}; GET /metrics; GET /topology; GET /healthz. SIGTERM or
 // SIGINT drains queued requests, releases the listener and exits cleanly.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -61,6 +68,7 @@ import (
 
 	"github.com/muerp/quantumnet/internal/buildinfo"
 	"github.com/muerp/quantumnet/internal/graph"
+	"github.com/muerp/quantumnet/internal/qos"
 	"github.com/muerp/quantumnet/internal/quantum"
 	"github.com/muerp/quantumnet/internal/service"
 	"github.com/muerp/quantumnet/internal/topology"
@@ -102,6 +110,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		snapEvery = fs.Int("snapshot-every", 1024, "snapshot after this many WAL records")
 		snapInt   = fs.Duration("snapshot-interval", 30*time.Second, "snapshot at least this often")
 		cacheSize = fs.Int("solve-cache", 0, "solve-cache entries per admission plane (0 = default, negative disables)")
+		qosFile   = fs.String("qos-config", "", "tenant QoS policy JSON (empty = single default tenant)")
 		pprofAddr = fs.String("pprof", "", "expose net/http/pprof on this side address (empty = off)")
 		version   = fs.Bool("version", false, "print build info and exit")
 	)
@@ -119,6 +128,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	fmt.Fprintln(out, g)
 
+	var qcfg *qos.Config
+	if *qosFile != "" {
+		qcfg, err = qos.Load(*qosFile)
+		if err != nil {
+			return err
+		}
+	}
+
 	base := service.Config{
 		Graph:            g,
 		Params:           quantum.Params{Alpha: *alpha, SwapProb: *swapProb},
@@ -132,6 +149,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		SnapshotEvery:    *snapEvery,
 		SnapshotInterval: *snapInt,
 		SolveCacheSize:   *cacheSize,
+		QoS:              qcfg,
 	}
 	// One daemon, two shapes: the single admission plane, or -shards region
 	// planes behind the cross-region router. Both serve the same API.
@@ -200,8 +218,48 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		go func() { _ = http.Serve(pln, nil) }()
 		fmt.Fprintf(out, "pprof listening on http://%s/debug/pprof/\n", pln.Addr())
 	}
-	fmt.Fprintf(out, "muerpd listening on http://%s (batch<=%d wait=%v queue=%d ttl=%v workers=%d shards=%d)\n",
-		bound, *batch, *batchWait, *queueSize, *ttl, *workers, *shards)
+	// One structured line with the effective configuration — everything the
+	// daemon actually runs with, after defaulting. Scripts and log scrapers
+	// match the "muerpd config " prefix and parse the JSON tail.
+	scheduler := service.SchedulerSerial
+	if *workers > 1 {
+		scheduler = service.SchedulerSpeculative
+	}
+	tenants := 0
+	if qcfg != nil {
+		tenants = len(qcfg.Normalized().Tenants)
+	}
+	eff, err := json.Marshal(struct {
+		Addr       string        `json:"addr"`
+		Scheduler  string        `json:"scheduler"`
+		Workers    int           `json:"workers"`
+		Shards     int           `json:"shards"`
+		Queue      int           `json:"queue"`
+		Batch      int           `json:"batch"`
+		BatchWait  time.Duration `json:"batch_wait_ns"`
+		TTL        time.Duration `json:"ttl_ns"`
+		MaxTTL     time.Duration `json:"max_ttl_ns"`
+		DataDir    string        `json:"data_dir,omitempty"`
+		SnapEvery  int           `json:"snapshot_every,omitempty"`
+		SolveCache int           `json:"solve_cache"`
+		QoSConfig  string        `json:"qos_config,omitempty"`
+		Tenants    int           `json:"tenants,omitempty"`
+		Pprof      bool          `json:"pprof,omitempty"`
+	}{
+		Addr: bound, Scheduler: scheduler, Workers: *workers, Shards: *shards,
+		Queue: *queueSize, Batch: *batch, BatchWait: *batchWait,
+		TTL: *ttl, MaxTTL: *maxTTL, DataDir: *dataDir, SnapEvery: *snapEvery,
+		SolveCache: *cacheSize, QoSConfig: *qosFile, Tenants: tenants,
+		Pprof: *pprofAddr != "",
+	})
+	if err != nil {
+		_ = ln.Close()
+		_ = closeSvc()
+		return err
+	}
+	fmt.Fprintf(out, "muerpd config %s\n", eff)
+	fmt.Fprintf(out, "muerpd listening on http://%s (batch<=%d wait=%v queue=%d ttl=%v workers=%d shards=%d tenants=%d)\n",
+		bound, *batch, *batchWait, *queueSize, *ttl, *workers, *shards, tenants)
 
 	srv := &http.Server{Handler: handler}
 	serveErr := make(chan error, 1)

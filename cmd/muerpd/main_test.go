@@ -149,6 +149,139 @@ func TestServeAndGracefulShutdown(t *testing.T) {
 	}
 }
 
+// TestQoSConfigStartup boots the daemon with a tenant policy file, checks
+// the structured "muerpd config" line reports the effective configuration,
+// and drives a tenant-tagged session whose identity shows up in /metrics.
+func TestQoSConfigStartup(t *testing.T) {
+	dir := t.TempDir()
+	qosFile := filepath.Join(dir, "tenants.json")
+	policy := `{"tenants":[{"id":"gold","weight":3,"priority":1},{"id":"bronze"}]}`
+	if err := os.WriteFile(qosFile, []byte(policy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	addrFile := filepath.Join(dir, "addr")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var buf bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0", "-addr-file", addrFile,
+			"-qos-config", qosFile,
+			"-users", "6", "-switches", "12",
+		}, &buf)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			addr = string(b)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never wrote its address; output:\n%s", buf.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	base := "http://" + addr
+
+	// The structured config line: a JSON object after a fixed prefix,
+	// reflecting the normalized tenant count (gold, bronze + default).
+	var cfgLine string
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, "muerpd config "); ok {
+			cfgLine = rest
+			break
+		}
+	}
+	if cfgLine == "" {
+		t.Fatalf("no structured config line in output:\n%s", buf.String())
+	}
+	var eff struct {
+		Addr      string `json:"addr"`
+		Scheduler string `json:"scheduler"`
+		Tenants   int    `json:"tenants"`
+		QoSConfig string `json:"qos_config"`
+	}
+	if err := json.Unmarshal([]byte(cfgLine), &eff); err != nil {
+		t.Fatalf("config line is not JSON: %v\n%s", err, cfgLine)
+	}
+	if eff.Addr != addr || eff.Tenants != 3 || eff.QoSConfig != qosFile || eff.Scheduler == "" {
+		t.Fatalf("config line fields: %+v", eff)
+	}
+
+	topoResp, err := http.Get(base + "/topology")
+	if err != nil {
+		t.Fatalf("GET /topology: %v", err)
+	}
+	g, err := graph.ReadJSON(topoResp.Body)
+	_ = topoResp.Body.Close()
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	users := g.Users()
+	body, _ := json.Marshal(map[string]interface{}{
+		"users": users[:2], "ttl_ms": 60000, "tenant": "gold",
+	})
+	resp, err := http.Post(base+"/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /sessions: %v", err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusConflict {
+		t.Fatalf("POST status = %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	var m struct {
+		Tenants []struct {
+			ID       string `json:"id"`
+			Accepted int64  `json:"accepted"`
+			Rejected int64  `json:"rejected"`
+		} `json:"tenants"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("decode metrics: %v", err)
+	}
+	_ = resp.Body.Close()
+	var sawGold bool
+	for _, tm := range m.Tenants {
+		if tm.ID == "gold" && tm.Accepted+tm.Rejected == 1 {
+			sawGold = true
+		}
+	}
+	if !sawGold {
+		t.Fatalf("gold tenant missing from /metrics tenants: %+v", m.Tenants)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v; output:\n%s", err, buf.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon did not shut down within 10s; output:\n%s", buf.String())
+	}
+
+	// A bad policy file must refuse to start.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"tenants":[{"id":""}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var errBuf strings.Builder
+	if err := run(context.Background(), []string{
+		"-addr", "127.0.0.1:0", "-qos-config", bad, "-users", "6", "-switches", "12",
+	}, &errBuf); err == nil {
+		t.Fatal("daemon started with an invalid qos config")
+	}
+}
+
 // -pprof must serve the profiler on its own listener and keep it off the
 // service API surface.
 func TestPprofSideListener(t *testing.T) {

@@ -18,10 +18,19 @@
 //	-seed           RNG seed                     (default 1)
 //	-unit           real duration of one unit    (default 10ms)
 //	-timeout        per-request HTTP timeout     (default 5s)
+//	-tenants        weighted tenant mix, e.g. "gold=3,bronze=1"; each request
+//	                is tagged with a tenant drawn by weight (empty = untagged)
+//	-retry          on 429 + Retry-After, wait as told and retry up to this
+//	                many times per request (default 0 = report the 429)
 //	-min-accepted   fail unless >= this many accepted (default 1)
 //	-min-rps        fail unless achieved throughput >= this (default 0 = off)
 //	-v              print every outcome
 //	-version        print build info and exit
+//
+// With -tenants the summary adds a per-tenant breakdown — accepted,
+// infeasible, throttled (429 over quota) vs queue-full 429, errors — and
+// with -retry the requests that were throttled first but accepted on a
+// retry are reported separately (they are still one accepted session each).
 //
 // Against a sharded daemon (muerpd -shards N) qload fetches GET /partition,
 // classifies every request by its users' regions, and prints a per-shard
@@ -65,8 +74,65 @@ func main() {
 // outcome classifies one replayed request.
 type outcome struct {
 	status  int
+	code    string // error body code for non-2xx: "throttled", "queue_full", ...
 	latency time.Duration
 	err     error
+	retries int  // 429 retries actually taken
+	retried bool // accepted, but only after at least one Retry-After wait
+}
+
+// tenantWeight is one entry of the -tenants mix spec.
+type tenantWeight struct {
+	name   string
+	weight int
+}
+
+// parseTenantMix parses "gold=3,bronze=1" (weight defaults to 1 when the
+// "=n" part is omitted).
+func parseTenantMix(spec string) ([]tenantWeight, error) {
+	var mix []tenantWeight
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, w := part, 1
+		if eq := strings.IndexByte(part, '='); eq >= 0 {
+			name = part[:eq]
+			if _, err := fmt.Sscanf(part[eq+1:], "%d", &w); err != nil || w < 1 {
+				return nil, fmt.Errorf("-tenants: bad weight in %q", part)
+			}
+		}
+		if name == "" {
+			return nil, fmt.Errorf("-tenants: empty tenant name in %q", spec)
+		}
+		mix = append(mix, tenantWeight{name: name, weight: w})
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("-tenants: no tenants in %q", spec)
+	}
+	return mix, nil
+}
+
+// assignTenants draws one tenant per request by mix weight, deterministically
+// for a given seed.
+func assignTenants(n int, mix []tenantWeight, rng *rand.Rand) []string {
+	total := 0
+	for _, m := range mix {
+		total += m.weight
+	}
+	names := make([]string, n)
+	for i := range names {
+		pick := rng.Intn(total)
+		for _, m := range mix {
+			if pick < m.weight {
+				names[i] = m.name
+				break
+			}
+			pick -= m.weight
+		}
+	}
+	return names
 }
 
 func run(ctx context.Context, args []string, out io.Writer) error {
@@ -82,6 +148,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		seed        = fs.Int64("seed", 1, "RNG seed")
 		unit        = fs.Duration("unit", 10*time.Millisecond, "real duration of one workload time unit")
 		timeout     = fs.Duration("timeout", 5*time.Second, "per-request HTTP timeout")
+		tenantsSpec = fs.String("tenants", "", `weighted tenant mix, e.g. "gold=3,bronze=1" (empty = untagged)`)
+		retry       = fs.Int("retry", 0, "retry a 429 this many times, waiting per its Retry-After header")
 		minAccepted = fs.Int("min-accepted", 1, "fail unless at least this many sessions are accepted")
 		minRPS      = fs.Float64("min-rps", 0, "fail unless achieved request throughput is at least this (0 = no gate)")
 		verbose     = fs.Bool("v", false, "print every outcome")
@@ -137,6 +205,23 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 		applyAffinity(requests, part, g, *affinity, rand.New(rand.NewSource(*seed+1)))
 	}
+	if *retry < 0 {
+		return fmt.Errorf("-retry must be >= 0, got %d", *retry)
+	}
+	var tenants []string // per-request tenant tag; nil = untagged
+	if *tenantsSpec != "" {
+		mix, err := parseTenantMix(*tenantsSpec)
+		if err != nil {
+			return err
+		}
+		tenants = assignTenants(len(requests), mix, rand.New(rand.NewSource(*seed+2)))
+	}
+	tenantOf := func(i int) string {
+		if tenants == nil {
+			return ""
+		}
+		return tenants[i]
+	}
 
 	fmt.Fprintf(out, "qload: %d sessions against %s (unit=%v)\n", len(requests), base, *unit)
 	outcomes := make([]outcome, len(requests))
@@ -154,13 +239,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		wg.Add(1)
 		go func(i int, req sched.Request) {
 			defer wg.Done()
-			outcomes[i] = fire(ctx, client, base, req, *unit)
+			outcomes[i] = fire(ctx, client, base, req, *unit, tenantOf(i), *retry)
 		}(i, req)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var accepted, infeasible, queueFull, failed int
+	var accepted, infeasible, throttled, queueFull, failed, retriedOK int
 	latencies := make([]time.Duration, 0, len(outcomes))
 	for i, o := range outcomes {
 		switch {
@@ -168,8 +253,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			failed++
 		case o.status == http.StatusCreated:
 			accepted++
+			if o.retried {
+				retriedOK++
+			}
 		case o.status == http.StatusConflict:
 			infeasible++
+		case o.status == http.StatusTooManyRequests && o.code == "throttled":
+			throttled++
 		case o.status == http.StatusTooManyRequests:
 			queueFull++
 		default:
@@ -179,8 +269,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			latencies = append(latencies, o.latency)
 		}
 		if *verbose {
-			fmt.Fprintf(out, "  session %3d: status %d latency %v err %v\n",
-				requests[i].ID, o.status, o.latency.Round(time.Microsecond), o.err)
+			fmt.Fprintf(out, "  session %3d: tenant %q status %d retries %d latency %v err %v\n",
+				requests[i].ID, tenantOf(i), o.status, o.retries, o.latency.Round(time.Microsecond), o.err)
 		}
 	}
 
@@ -188,8 +278,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		float64(len(requests))/elapsed.Seconds())
 	fmt.Fprintf(out, "accepted:       %d\n", accepted)
 	fmt.Fprintf(out, "infeasible:     %d\n", infeasible)
+	fmt.Fprintf(out, "throttled 429:  %d\n", throttled)
 	fmt.Fprintf(out, "queue-full 429: %d\n", queueFull)
 	fmt.Fprintf(out, "errors:         %d\n", failed)
+	if *retry > 0 {
+		fmt.Fprintf(out, "retried-then-accepted: %d\n", retriedOK)
+	}
 	if len(latencies) > 0 {
 		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 		q := func(p float64) time.Duration { return latencies[int(p*float64(len(latencies)-1))] }
@@ -199,6 +293,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	if part != nil {
 		printShardBreakdown(out, part, requests, outcomes)
+	}
+	if tenants != nil {
+		printTenantBreakdown(out, tenants, outcomes)
 	}
 	if err := printServerMetrics(ctx, client, base, out); err != nil {
 		fmt.Fprintf(out, "metrics:        unavailable (%v)\n", err)
@@ -305,27 +402,119 @@ func printShardBreakdown(out io.Writer, part *topology.Partition, requests []sch
 	}
 }
 
-func fire(ctx context.Context, client *http.Client, base string, req sched.Request, unit time.Duration) outcome {
-	body, err := json.Marshal(map[string]interface{}{
+// printTenantBreakdown splits the replay by assigned tenant: one row per
+// tenant with its acceptance and 429 mix. Requests accepted only after a
+// Retry-After wait count as accepted and are also surfaced separately.
+func printTenantBreakdown(out io.Writer, tenants []string, outcomes []outcome) {
+	type row struct {
+		total, accepted, infeasible, throttled, queueFull, failed, retriedOK int
+	}
+	rows := make(map[string]*row)
+	names := make([]string, 0, 4)
+	for i, o := range outcomes {
+		r := rows[tenants[i]]
+		if r == nil {
+			r = &row{}
+			rows[tenants[i]] = r
+			names = append(names, tenants[i])
+		}
+		r.total++
+		switch {
+		case o.err != nil:
+			r.failed++
+		case o.status == http.StatusCreated:
+			r.accepted++
+			if o.retried {
+				r.retriedOK++
+			}
+		case o.status == http.StatusConflict:
+			r.infeasible++
+		case o.status == http.StatusTooManyRequests && o.code == "throttled":
+			r.throttled++
+		case o.status == http.StatusTooManyRequests:
+			r.queueFull++
+		default:
+			r.failed++
+		}
+	}
+	sort.Strings(names)
+	fmt.Fprintf(out, "tenant breakdown:\n")
+	for _, name := range names {
+		r := rows[name]
+		line := fmt.Sprintf("  %-10s %4d requests  %4d accepted  %4d infeasible  %4d throttled  %4d queue-full  %4d errors",
+			name, r.total, r.accepted, r.infeasible, r.throttled, r.queueFull, r.failed)
+		if r.retriedOK > 0 {
+			line += fmt.Sprintf("  (%d retried-then-accepted)", r.retriedOK)
+		}
+		fmt.Fprintln(out, line)
+	}
+}
+
+// fire posts one session request, optionally tenant-tagged. On 429 it obeys
+// the Retry-After header up to the retry budget; the reported latency spans
+// the whole exchange including the waits, mirroring what the caller felt.
+func fire(ctx context.Context, client *http.Client, base string, req sched.Request, unit time.Duration, tenant string, retry int) outcome {
+	payload := map[string]interface{}{
 		"users":  req.Users,
 		"ttl_ms": int64(req.Hold * float64(unit) / float64(time.Millisecond)),
-	})
+	}
+	if tenant != "" {
+		payload["tenant"] = tenant
+	}
+	body, err := json.Marshal(payload)
 	if err != nil {
 		return outcome{err: err}
 	}
 	t0 := time.Now()
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/sessions", bytes.NewReader(body))
-	if err != nil {
-		return outcome{err: err}
+	var o outcome
+	for attempt := 0; ; attempt++ {
+		httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/sessions", bytes.NewReader(body))
+		if err != nil {
+			return outcome{err: err, retries: o.retries}
+		}
+		httpReq.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(httpReq)
+		if err != nil {
+			return outcome{err: err, latency: time.Since(t0), retries: o.retries}
+		}
+		var eb struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&eb)
+		_, _ = io.Copy(io.Discard, resp.Body)
+		wait := retryAfter(resp)
+		_ = resp.Body.Close()
+		o.status = resp.StatusCode
+		o.code = eb.Error
+		o.latency = time.Since(t0)
+		o.retried = o.retries > 0 && resp.StatusCode == http.StatusCreated
+		if resp.StatusCode != http.StatusTooManyRequests || attempt >= retry {
+			return o
+		}
+		select {
+		case <-time.After(wait):
+			o.retries++
+		case <-ctx.Done():
+			o.err = ctx.Err()
+			return o
+		}
 	}
-	httpReq.Header.Set("Content-Type", "application/json")
-	resp, err := client.Do(httpReq)
-	if err != nil {
-		return outcome{err: err, latency: time.Since(t0)}
+}
+
+// retryAfter reads a 429's Retry-After header (delay-seconds form), clamped
+// to [1s, 10s]; anything absent or unparseable waits the 1s floor.
+func retryAfter(resp *http.Response) time.Duration {
+	d := time.Second
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		var secs int
+		if _, err := fmt.Sscanf(v, "%d", &secs); err == nil && secs > 1 {
+			d = time.Duration(secs) * time.Second
+		}
 	}
-	_, _ = io.Copy(io.Discard, resp.Body)
-	_ = resp.Body.Close()
-	return outcome{status: resp.StatusCode, latency: time.Since(t0)}
+	if d > 10*time.Second {
+		d = 10 * time.Second
+	}
+	return d
 }
 
 func fetchTopology(ctx context.Context, client *http.Client, base string) (*graph.Graph, error) {
@@ -423,6 +612,19 @@ func printServerMetrics(ctx context.Context, client *http.Client, base string, o
 			Allocs    int64   `json:"allocs"`
 			ReuseRate float64 `json:"reuse_rate"`
 		} `json:"footprint_pool"`
+		Tenants []struct {
+			ID        string `json:"id"`
+			Weight    int    `json:"weight"`
+			Priority  int    `json:"priority"`
+			Accepted  int64  `json:"accepted"`
+			Rejected  int64  `json:"rejected"`
+			Throttled int64  `json:"throttled"`
+			QueueFull int64  `json:"queue_full"`
+			Latency   struct {
+				Count  int64   `json:"count"`
+				MeanMs float64 `json:"mean_ms"`
+			} `json:"admission_latency"`
+		} `json:"tenants"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
 		return err
@@ -446,6 +648,14 @@ func printServerMetrics(ctx context.Context, client *http.Client, base string, o
 	if fp := m.FootprintPool; fp != nil && fp.Gets > 0 {
 		fmt.Fprintf(out, "footprint pool: %d gets, %d allocs (%.1f%% reused)\n",
 			fp.Gets, fp.Allocs, fp.ReuseRate*100)
+	}
+	if len(m.Tenants) > 0 {
+		fmt.Fprintf(out, "server tenants:\n")
+		for _, tm := range m.Tenants {
+			fmt.Fprintf(out, "  %-10s w%d p%d  accepted %d  rejected %d  throttled %d  queue-full %d  mean latency %.2fms (%d obs)\n",
+				tm.ID, tm.Weight, tm.Priority, tm.Accepted, tm.Rejected,
+				tm.Throttled, tm.QueueFull, tm.Latency.MeanMs, tm.Latency.Count)
+		}
 	}
 	fmt.Fprintf(out, "server summary:\n%s", indent(m.Admission.String(), "  "))
 	return nil

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"time"
 
 	"github.com/muerp/quantumnet/internal/graph"
@@ -152,6 +153,32 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "  snapshot:  %s\n", snapLine)
 	fmt.Fprintf(out, "  wal:       %s\n", walLine)
 	fmt.Fprintf(out, "  sessions:  %d live (%d already expired at %s)\n", len(st.Sessions), expired, at.Format(time.RFC3339))
+	// Tenant-tagged WAL records (DESIGN.md §11) surface here as a per-tenant
+	// census; directories written before the QoS layer have only untagged
+	// sessions and keep the old report shape.
+	byTenant := map[string]int{}
+	for _, ss := range st.Sessions {
+		name := ss.Info.Tenant
+		if name == "" {
+			name = "default"
+		}
+		byTenant[name]++
+	}
+	if len(byTenant) > 1 || (len(byTenant) == 1 && byTenant["default"] == 0) {
+		names := make([]string, 0, len(byTenant))
+		for name := range byTenant {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(out, "  tenants:  ")
+		for i, name := range names {
+			if i > 0 {
+				fmt.Fprintf(out, ",")
+			}
+			fmt.Fprintf(out, " %s=%d", name, byTenant[name])
+		}
+		fmt.Fprintln(out)
+	}
 	fmt.Fprintf(out, "  ledger:    %d qubits reserved, closure gen %d (%d closed)\n", used, st.Ledger.Gen, len(st.Ledger.Closed))
 
 	if !*noVerify {

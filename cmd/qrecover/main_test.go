@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/muerp/quantumnet/internal/graph"
+	"github.com/muerp/quantumnet/internal/qos"
 	"github.com/muerp/quantumnet/internal/service"
 )
 
@@ -81,6 +82,35 @@ func TestRecoverToolVerifiesLiveDirectory(t *testing.T) {
 	}
 	if string(got) != string(want) {
 		t.Fatalf("tool state differs from live state\nlive: %s\ntool: %s", want, got)
+	}
+}
+
+// TestRecoverToolTenantCensus writes tenant-tagged sessions into a durable
+// directory and checks the report adds a per-tenant census line; the plain
+// test above keeps the old untagged shape (no tenants line).
+func TestRecoverToolTenantCensus(t *testing.T) {
+	dir := t.TempDir()
+	s, err := service.New(service.Config{
+		Graph: star(t), DataDir: dir, MaxTTL: time.Hour,
+		QoS: &qos.Config{Tenants: []qos.TenantSpec{{ID: "gold"}, {ID: "bronze"}}},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+
+	for _, tenant := range []string{"gold", "gold", "bronze"} {
+		if _, err := s.SubmitTenant(context.Background(), tenant, []graph.NodeID{0, 1}, time.Hour); err != nil {
+			t.Fatalf("submit %s: %v", tenant, err)
+		}
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-data-dir", dir}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "tenants:   gold=2, bronze=1") &&
+		!strings.Contains(out.String(), "bronze=1, gold=2") {
+		t.Fatalf("missing tenant census:\n%s", out.String())
 	}
 }
 

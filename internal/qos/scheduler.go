@@ -1,0 +1,244 @@
+package qos
+
+import (
+	"sort"
+	"sync"
+)
+
+// class is one tenant's bounded FIFO sub-queue plus its DWRR accounting.
+// The queue is a slice with a head index; the backing array is compacted
+// once the dead prefix dominates, so sustained traffic does not grow it.
+type class struct {
+	spec     TenantSpec
+	tier     *tier
+	q        []any
+	head     int
+	credit   float64
+	active   bool // on its tier's service ring
+	maxDepth int
+}
+
+func (c *class) depth() int { return len(c.q) - c.head }
+
+func (c *class) push(item any) {
+	if c.head > 64 && c.head*2 >= len(c.q) {
+		n := copy(c.q, c.q[c.head:])
+		for i := n; i < len(c.q); i++ {
+			c.q[i] = nil
+		}
+		c.q = c.q[:n]
+		c.head = 0
+	}
+	c.q = append(c.q, item)
+}
+
+func (c *class) pop() any {
+	item := c.q[c.head]
+	c.q[c.head] = nil
+	c.head++
+	if c.head == len(c.q) {
+		c.q = c.q[:0]
+		c.head = 0
+	}
+	return item
+}
+
+// tier is one strict-priority level: the set of currently backlogged
+// classes at that priority, served deficit-weighted-round-robin.
+type tier struct {
+	priority int
+	ring     []*class // active (non-empty) classes, DWRR order
+	cur      int      // ring cursor
+}
+
+// Scheduler is the multi-tenant queue in front of the admission loop:
+// per-tenant bounded FIFO sub-queues, drained strict-priority-first with
+// deficit-weighted round-robin inside each tier and a guaranteed
+// anti-starvation share for lower tiers.
+//
+// It is a pure data structure — no goroutines, no clock — guarded by its
+// own mutex so producers (HTTP handlers) and the single consumer (the
+// admission loop) can share it. Items are opaque to the package.
+type Scheduler struct {
+	mu      sync.Mutex
+	classes map[string]*class
+	tiers   []*tier // sorted by priority, highest first
+	share   float64 // guaranteed share for starved lower tiers
+	carry   float64 // accumulated low-tier credit
+	lowRR   int     // rotates which starved tier gets the guaranteed slot
+	size    int     // total queued items
+}
+
+// NewScheduler builds the queue structure for a normalized config.
+// defaultDepth bounds any tenant whose spec leaves QueueSize at 0.
+func NewScheduler(c *Config, defaultDepth int) *Scheduler {
+	if defaultDepth < 1 {
+		defaultDepth = 1
+	}
+	s := &Scheduler{
+		classes: make(map[string]*class, len(c.Tenants)),
+		share:   c.GuaranteedShare,
+	}
+	tiers := make(map[int]*tier)
+	for _, spec := range c.Tenants {
+		t, ok := tiers[spec.Priority]
+		if !ok {
+			t = &tier{priority: spec.Priority}
+			tiers[spec.Priority] = t
+			s.tiers = append(s.tiers, t)
+		}
+		depth := spec.QueueSize
+		if depth <= 0 {
+			depth = defaultDepth
+		}
+		s.classes[spec.ID] = &class{spec: spec, tier: t, maxDepth: depth}
+	}
+	sort.Slice(s.tiers, func(i, j int) bool { return s.tiers[i].priority > s.tiers[j].priority })
+	return s
+}
+
+// Enqueue appends item to tenant's sub-queue. Unknown tenants (the caller
+// normally resolves names first) land on the default class. It returns
+// ErrQueueFull when the tenant's bound is hit — the per-tenant bound is
+// what keeps one flooding tenant from consuming the shared queue budget.
+func (s *Scheduler) Enqueue(tenant string, item any) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.classes[tenant]
+	if !ok {
+		c = s.classes[DefaultTenant]
+	}
+	if c.depth() >= c.maxDepth {
+		return ErrQueueFull
+	}
+	c.push(item)
+	s.size++
+	if !c.active {
+		c.active = true
+		c.credit = 0
+		c.tier.ring = append(c.tier.ring, c)
+	}
+	return nil
+}
+
+// Dequeue removes and returns the next item to admit, with the tenant it
+// belongs to. ok is false when every queue is empty.
+//
+// Tier selection is strict priority, except that when lower tiers are
+// backlogged behind a busy higher tier they accrue `share` credit per
+// dequeue; each time that credit reaches 1 the next dequeue is granted to
+// the highest starved lower tier (rotating on ties across calls), which
+// bounds starvation: over any window of N dequeues under constant
+// high-priority flood, lower tiers receive at least ~share*N slots.
+// Inside a tier, classes are served deficit-weighted round-robin: each
+// visit tops the class's credit up by its weight, and the class emits
+// items until the credit is spent, so long-run throughput is proportional
+// to weight. A single backlogged class degenerates to pure FIFO.
+func (s *Scheduler) Dequeue() (item any, tenant string, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.size == 0 {
+		return nil, "", false
+	}
+	top := -1
+	lower := -1
+	for i, t := range s.tiers {
+		if len(t.ring) == 0 {
+			continue
+		}
+		if top < 0 {
+			top = i
+		} else {
+			lower = i
+			break
+		}
+	}
+	serve := s.tiers[top]
+	if lower >= 0 && s.share > 0 {
+		s.carry += s.share
+		if s.carry >= 1 {
+			s.carry--
+			// Rotate among the starved lower tiers so a three-tier flood
+			// does not hand every guaranteed slot to the same tier.
+			starved := make([]*tier, 0, len(s.tiers)-top-1)
+			for _, t := range s.tiers[top+1:] {
+				if len(t.ring) > 0 {
+					starved = append(starved, t)
+				}
+			}
+			serve = starved[s.lowRR%len(starved)]
+			s.lowRR++
+		}
+	}
+	return s.dequeueTier(serve)
+}
+
+func (s *Scheduler) dequeueTier(t *tier) (any, string, bool) {
+	// DWRR: advance the cursor until a class with credit emits. Each class
+	// is topped up by its weight at most once per pass, so the loop
+	// terminates: after one full ring rotation every class has credit ≥ 1.
+	for {
+		if t.cur >= len(t.ring) {
+			t.cur = 0
+		}
+		c := t.ring[t.cur]
+		if c.credit < 1 {
+			c.credit += float64(c.spec.Weight)
+		}
+		if c.credit >= 1 {
+			c.credit--
+			item := c.pop()
+			s.size--
+			if c.depth() == 0 {
+				s.deactivate(t, t.cur)
+			} else if c.credit < 1 {
+				t.cur++
+			}
+			return item, c.spec.ID, true
+		}
+		t.cur++
+	}
+}
+
+// deactivate removes the drained class at ring index i, fixing the cursor.
+func (s *Scheduler) deactivate(t *tier, i int) {
+	c := t.ring[i]
+	c.active = false
+	c.credit = 0
+	t.ring = append(t.ring[:i], t.ring[i+1:]...)
+	if t.cur > i || t.cur >= len(t.ring) {
+		if t.cur > 0 {
+			t.cur--
+		}
+		if t.cur >= len(t.ring) {
+			t.cur = 0
+		}
+	}
+}
+
+// Len reports the total number of queued items across all tenants.
+func (s *Scheduler) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// QueueStat is one tenant's instantaneous queue occupancy.
+type QueueStat struct {
+	Tenant   string
+	Depth    int
+	Capacity int
+}
+
+// Queues reports per-tenant occupancy, sorted by tenant ID for stable
+// metrics output.
+func (s *Scheduler) Queues() []QueueStat {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]QueueStat, 0, len(s.classes))
+	for id, c := range s.classes {
+		out = append(out, QueueStat{Tenant: id, Depth: c.depth(), Capacity: c.maxDepth})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}

@@ -12,6 +12,7 @@ import (
 
 	"github.com/muerp/quantumnet/internal/core"
 	"github.com/muerp/quantumnet/internal/graph"
+	"github.com/muerp/quantumnet/internal/qos"
 	"github.com/muerp/quantumnet/internal/quantum"
 	"github.com/muerp/quantumnet/internal/sched"
 	"github.com/muerp/quantumnet/internal/topology"
@@ -85,21 +86,29 @@ func seconds(x float64) time.Duration {
 // speculative scheduler forced on with one worker — a single worker leaves
 // nothing able to move between a view snapshot and its validation, so the
 // speculative pipeline must collapse to the exact serial decision sequence
-// (DESIGN.md §8).
+// (DESIGN.md §8). The qos variants re-run both with the QoS queue layer on
+// under its degenerate single-tenant config: one tenant's DWRR is pure
+// FIFO, so the decision sequence must stay identical decision for decision
+// (DESIGN.md §11).
 func TestDifferentialAgainstSimulate(t *testing.T) {
 	for _, mode := range []struct {
 		name      string
 		scheduler string
 		workers   int
+		qos       bool
 	}{
 		{name: "serial", scheduler: SchedulerSerial},
 		{name: "speculative-workers-1", scheduler: SchedulerSpeculative, workers: 1},
+		{name: "serial-qos", scheduler: SchedulerSerial, qos: true},
+		{name: "speculative-workers-1-qos", scheduler: SchedulerSpeculative, workers: 1, qos: true},
 	} {
-		t.Run(mode.name, func(t *testing.T) { differentialAgainstSimulate(t, mode.scheduler, mode.workers) })
+		t.Run(mode.name, func(t *testing.T) {
+			differentialAgainstSimulate(t, mode.scheduler, mode.workers, mode.qos)
+		})
 	}
 }
 
-func differentialAgainstSimulate(t *testing.T, scheduler string, workers int) {
+func differentialAgainstSimulate(t *testing.T, scheduler string, workers int, qosMode bool) {
 	for _, seed := range []int64{1, 7, 42} {
 		cfg := topology.Default()
 		cfg.Users = 8
@@ -122,7 +131,7 @@ func differentialAgainstSimulate(t *testing.T, scheduler string, workers int) {
 
 		base := time.Unix(0, 0)
 		fc := newFakeClock(base)
-		s, err := New(Config{
+		cfgS := Config{
 			Graph:     g,
 			QueueSize: 4,
 			MaxBatch:  1, // serialized replay: one decision per arrival instant
@@ -130,7 +139,11 @@ func differentialAgainstSimulate(t *testing.T, scheduler string, workers int) {
 			Clock:     fc,
 			Scheduler: scheduler,
 			Workers:   workers,
-		})
+		}
+		if qosMode {
+			cfgS.QoS = &qos.Config{} // normalizes to the lone default tenant
+		}
+		s, err := New(cfgS)
 		if err != nil {
 			t.Fatalf("seed %d: New: %v", seed, err)
 		}

@@ -10,6 +10,7 @@ import (
 
 	"github.com/muerp/quantumnet/internal/core"
 	"github.com/muerp/quantumnet/internal/graph"
+	"github.com/muerp/quantumnet/internal/qos"
 )
 
 // SessionRequest is the POST /sessions body.
@@ -19,6 +20,9 @@ type SessionRequest struct {
 	// TTLMs is the session lifetime in milliseconds; 0 means the server
 	// default, and values above the server cap are clamped.
 	TTLMs int64 `json:"ttl_ms,omitempty"`
+	// Tenant names the requesting tenant for QoS queuing, quotas and SLO
+	// accounting; empty (or unknown) names map to the default tenant.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // errorBody is the JSON error envelope every non-2xx response carries.
@@ -57,7 +61,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", "ttl_ms must be >= 0")
 		return
 	}
-	info, err := s.Submit(r.Context(), req.Users, time.Duration(req.TTLMs)*time.Millisecond)
+	info, err := s.SubmitTenant(r.Context(), req.Tenant, req.Users, time.Duration(req.TTLMs)*time.Millisecond)
 	if err != nil {
 		writeSubmitError(w, s.cfg.RetryAfter, err)
 		return
@@ -68,7 +72,17 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 // writeSubmitError maps a Submit outcome onto the HTTP status space; shared
 // by the standalone and sharded handlers.
 func writeSubmitError(w http.ResponseWriter, retryAfter time.Duration, err error) {
+	var throttle *qos.ThrottleError
 	switch {
+	case errors.As(err, &throttle):
+		// Tenant over its quota: Retry-After is the token-bucket refill time
+		// rather than the static backpressure hint.
+		secs := int((throttle.RetryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprint(secs))
+		writeError(w, http.StatusTooManyRequests, "throttled", err.Error())
 	case errors.Is(err, ErrQueueFull):
 		// Backpressure: tell the client when to come back.
 		secs := int((retryAfter + time.Second - 1) / time.Second)

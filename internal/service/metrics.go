@@ -86,6 +86,7 @@ type HistogramSnapshot struct {
 type counters struct {
 	requests        atomic.Int64 // admission requests received (HTTP or Submit)
 	queueFull       atomic.Int64 // requests bounced with 429
+	throttled       atomic.Int64 // requests bounced by a tenant quota (QoS)
 	invalid         atomic.Int64 // requests rejected before queueing (bad users/TTL)
 	accepted        atomic.Int64 // sessions admitted
 	rejected        atomic.Int64 // requests infeasible under residual capacity
@@ -121,6 +122,7 @@ type RequestMetrics struct {
 	Accepted  int64 `json:"accepted"`
 	Rejected  int64 `json:"rejected"`
 	QueueFull int64 `json:"queue_full"`
+	Throttled int64 `json:"throttled"`
 	Invalid   int64 `json:"invalid"`
 	Canceled  int64 `json:"canceled"`
 	Failed    int64 `json:"failed"`
@@ -172,4 +174,7 @@ type Metrics struct {
 	// FootprintPool reports the pooled flat-footprint recycling on the
 	// admission hot path.
 	FootprintPool *FootprintPoolMetrics `json:"footprint_pool,omitempty"`
+	// Tenants is the per-tenant SLO section (qosplane.go); nil without a
+	// QoS config. In the sharded plane it is aggregated across shards.
+	Tenants []TenantMetrics `json:"tenants,omitempty"`
 }

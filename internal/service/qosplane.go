@@ -1,0 +1,309 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"github.com/muerp/quantumnet/internal/core"
+	"github.com/muerp/quantumnet/internal/qos"
+)
+
+// This file wires the internal/qos subsystem in front of the admission loop
+// (DESIGN.md §11). With Config.QoS set, the bounded FIFO channel is replaced
+// by the qos.Scheduler — per-tenant bounded sub-queues drained strict-
+// priority-first with deficit-weighted round-robin — as the queue/ordering
+// layer behind the PR-6 scheduler seam: the admission loop dequeues in QoS
+// order and hands micro-batches to the very same serial or speculative
+// scheduler, so solving, the ledger, durability and sharding are untouched.
+// A shared token-bucket limiter throttles over-rate tenants at Submit time
+// (HTTP 429 + Retry-After), before anything is queued.
+//
+// Tenant identity on the wire: the empty string is the default tenant
+// everywhere inside the service (pending.tenant, SessionInfo.Tenant, WAL
+// records), so default-tenant records marshal byte-identically to the
+// pre-tenant schema and old WAL frames decode as default-tenant traffic.
+// The qos package's name space ("default") appears only at the qos API
+// boundary (wireTenant / qosName).
+
+// wireTenant folds a request's tenant name onto the service's wire form:
+// "" is the default tenant. With a QoS config, unknown names fall back to
+// the default class (they are served, rate-limited and accounted there);
+// without one there is no registry to resolve against, so any name is kept
+// verbatim and merely tags the session.
+func (s *Server) wireTenant(name string) string {
+	if name == qos.DefaultTenant {
+		return ""
+	}
+	if s.qcfg == nil || name == "" {
+		return name
+	}
+	if _, ok := s.qcfg.Tenant(name); ok {
+		return name
+	}
+	return ""
+}
+
+// qosName maps a wire tenant name onto the qos package's namespace.
+func qosName(wire string) string {
+	if wire == "" {
+		return qos.DefaultTenant
+	}
+	return wire
+}
+
+// tenantStat is one tenant's SLO accounting: outcome counters plus the
+// admission-latency histogram (enqueue to decision, wall clock). All fields
+// are atomic — stats are written from Submit, the admission loop and the
+// speculative workers concurrently.
+type tenantStat struct {
+	spec qos.TenantSpec
+
+	accepted  atomic.Int64
+	rejected  atomic.Int64
+	throttled atomic.Int64
+	queueFull atomic.Int64
+	canceled  atomic.Int64
+	failed    atomic.Int64
+	lat       *histogram
+}
+
+// note records one decided request's outcome and admission latency.
+// Shutdown bounces, invalid requests and pre-queue rejections (throttle,
+// queue-full) are counted elsewhere or not at all.
+func (st *tenantStat) note(err error, lat time.Duration) {
+	switch {
+	case err == nil:
+		st.accepted.Add(1)
+	case errors.Is(err, core.ErrInfeasible):
+		st.rejected.Add(1)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		st.canceled.Add(1)
+	case errors.Is(err, ErrClosed), errors.Is(err, ErrInvalidRequest),
+		errors.Is(err, qos.ErrThrottled), errors.Is(err, ErrQueueFull):
+		return
+	default:
+		st.failed.Add(1)
+	}
+	st.lat.observe(lat)
+}
+
+// tenantTable maps wire tenant names to their stats. Built once at New from
+// the normalized config, read-only afterwards — lookups need no lock.
+type tenantTable struct {
+	stats map[string]*tenantStat
+}
+
+func newTenantTable(c *qos.Config) *tenantTable {
+	t := &tenantTable{stats: make(map[string]*tenantStat, len(c.Tenants))}
+	for _, spec := range c.Tenants {
+		wire := spec.ID
+		if wire == qos.DefaultTenant {
+			wire = ""
+		}
+		t.stats[wire] = &tenantStat{spec: spec, lat: newHistogram()}
+	}
+	return t
+}
+
+func (t *tenantTable) get(wire string) *tenantStat {
+	if t == nil {
+		return nil
+	}
+	return t.stats[wire]
+}
+
+// finish records the request's per-tenant outcome and delivers the result.
+// Every decision path (serial, speculative, drain, close-bounce) funnels
+// through here so tenant SLO counters cannot drift from delivered results.
+func (p *pending) finish(r admitResult) {
+	if p.stat != nil {
+		p.stat.note(r.err, time.Since(p.enq))
+	}
+	p.result <- r
+}
+
+// wakeAdmission signals the QoS admission loop that an item was enqueued.
+// The channel is sticky (capacity 1): a signal is never lost, and the loop
+// drains the scheduler until empty per wakeup, so coalesced signals are
+// fine.
+func (s *Server) wakeAdmission() {
+	select {
+	case s.arrive <- struct{}{}:
+	default:
+	}
+}
+
+// qosAdmissionLoop is admissionLoop's QoS-mode body: the single consumer of
+// the qos.Scheduler. Each wakeup drains the scheduler in QoS order (strict
+// priority, DWRR, anti-starvation share), batching exactly like the FIFO
+// loop so with one tenant the decision sequence is identical (pinned by the
+// differential test).
+func (s *Server) qosAdmissionLoop() {
+	for {
+		select {
+		case <-s.quit:
+			s.drainQoS()
+			return
+		case <-s.arrive:
+			for {
+				item, _, ok := s.qsched.Dequeue()
+				if !ok {
+					break
+				}
+				s.sched.decide(s.fillBatchQoS(item.(*pending)))
+			}
+		}
+	}
+}
+
+// fillBatchQoS mirrors fillBatch over the QoS scheduler: it keeps dequeuing
+// until the batch is full, MaxWait elapses after the first request, or
+// shutdown starts.
+func (s *Server) fillBatchQoS(first *pending) []*pending {
+	batch := append(make([]*pending, 0, s.cfg.MaxBatch), first)
+	var timeout <-chan time.Time
+	for len(batch) < s.cfg.MaxBatch {
+		if item, _, ok := s.qsched.Dequeue(); ok {
+			batch = append(batch, item.(*pending))
+			continue
+		}
+		if s.cfg.MaxWait <= 0 {
+			return batch
+		}
+		if timeout == nil {
+			timeout = s.clock.After(s.cfg.MaxWait)
+		}
+		select {
+		case <-s.arrive:
+		case <-timeout:
+			return batch
+		case <-s.quit:
+			return batch
+		}
+	}
+	return batch
+}
+
+// drainQoS decides everything still queued at shutdown, one final batch at
+// a time, in QoS order.
+func (s *Server) drainQoS() {
+	for {
+		item, _, ok := s.qsched.Dequeue()
+		if !ok {
+			return
+		}
+		batch := append(make([]*pending, 0, s.cfg.MaxBatch), item.(*pending))
+		for len(batch) < s.cfg.MaxBatch {
+			if it, _, ok := s.qsched.Dequeue(); ok {
+				batch = append(batch, it.(*pending))
+			} else {
+				break
+			}
+		}
+		s.sched.decide(batch)
+	}
+}
+
+// TenantMetrics is one tenant's SLO section in /metrics: its configured
+// class, live queue occupancy, outcome counters and admission-latency
+// histogram (accepted/rejected/canceled decisions, enqueue to delivery).
+type TenantMetrics struct {
+	ID         string  `json:"id"`
+	Weight     int     `json:"weight"`
+	Priority   int     `json:"priority,omitempty"`
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	Burst      int     `json:"burst,omitempty"`
+
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+
+	Accepted  int64 `json:"accepted"`
+	Rejected  int64 `json:"rejected"`
+	Throttled int64 `json:"throttled"`
+	QueueFull int64 `json:"queue_full"`
+	Canceled  int64 `json:"canceled"`
+	Failed    int64 `json:"failed"`
+
+	AdmissionLatency HistogramSnapshot `json:"admission_latency"`
+}
+
+// tenantMetrics snapshots the per-tenant SLO section; nil without a QoS
+// config.
+func (s *Server) tenantMetrics() []TenantMetrics {
+	if s.tstats == nil {
+		return nil
+	}
+	depth := make(map[string]qos.QueueStat)
+	for _, q := range s.qsched.Queues() {
+		depth[q.Tenant] = q
+	}
+	out := make([]TenantMetrics, 0, len(s.tstats.stats))
+	for wire, st := range s.tstats.stats {
+		q := depth[qosName(wire)]
+		out = append(out, TenantMetrics{
+			ID:         st.spec.ID,
+			Weight:     st.spec.Weight,
+			Priority:   st.spec.Priority,
+			RatePerSec: st.spec.RatePerSec,
+			Burst:      st.spec.Burst,
+
+			QueueDepth:    q.Depth,
+			QueueCapacity: q.Capacity,
+
+			Accepted:  st.accepted.Load(),
+			Rejected:  st.rejected.Load(),
+			Throttled: st.throttled.Load(),
+			QueueFull: st.queueFull.Load(),
+			Canceled:  st.canceled.Load(),
+			Failed:    st.failed.Load(),
+
+			AdmissionLatency: st.lat.snapshot(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// aggregateTenants merges per-shard tenant sections by tenant ID: counters
+// and queue depths sum, latency histograms merge, class fields are shared
+// (every shard was built from the same normalized config).
+func aggregateTenants(shards []Metrics) []TenantMetrics {
+	byID := make(map[string]*TenantMetrics)
+	var order []string
+	for _, m := range shards {
+		for _, tm := range m.Tenants {
+			agg, ok := byID[tm.ID]
+			if !ok {
+				cp := tm
+				cp.AdmissionLatency = HistogramSnapshot{}
+				cp.QueueDepth, cp.QueueCapacity = 0, 0
+				cp.Accepted, cp.Rejected, cp.Throttled = 0, 0, 0
+				cp.QueueFull, cp.Canceled, cp.Failed = 0, 0, 0
+				agg = &cp
+				byID[tm.ID] = agg
+				order = append(order, tm.ID)
+			}
+			agg.QueueDepth += tm.QueueDepth
+			agg.QueueCapacity += tm.QueueCapacity
+			agg.Accepted += tm.Accepted
+			agg.Rejected += tm.Rejected
+			agg.Throttled += tm.Throttled
+			agg.QueueFull += tm.QueueFull
+			agg.Canceled += tm.Canceled
+			agg.Failed += tm.Failed
+			agg.AdmissionLatency = mergeHistograms(agg.AdmissionLatency, tm.AdmissionLatency)
+		}
+	}
+	if len(order) == 0 {
+		return nil
+	}
+	sort.Strings(order)
+	out := make([]TenantMetrics, len(order))
+	for i, id := range order {
+		out[i] = *byID[id]
+	}
+	return out
+}

@@ -94,7 +94,7 @@ func (sc *serialScheduler) decide(batch []*pending) {
 	// them. One fsync covers the whole batch (group commit).
 	_ = s.waitDurable(ticket)
 	for i, p := range batch {
-		p.result <- results[i]
+		p.finish(results[i])
 	}
 	s.wakeExpiry()
 }
@@ -164,6 +164,7 @@ func (s *Server) commitAdmitLocked(now time.Time, p *pending, tree quantum.Tree)
 		info: SessionInfo{
 			ID:         id,
 			Users:      p.users,
+			Tenant:     p.tenant,
 			Rate:       tree.Rate(),
 			Channels:   len(tree.Channels),
 			AdmittedAt: now,

@@ -43,6 +43,7 @@ import (
 
 	"github.com/muerp/quantumnet/internal/core"
 	"github.com/muerp/quantumnet/internal/graph"
+	"github.com/muerp/quantumnet/internal/qos"
 	"github.com/muerp/quantumnet/internal/quantum"
 	"github.com/muerp/quantumnet/internal/sched"
 )
@@ -104,6 +105,14 @@ type Config struct {
 	// RetryAfter is the backoff hint attached to queue-full rejections.
 	// Default 1s.
 	RetryAfter time.Duration
+	// QoS enables the multi-tenant admission layer (qosplane.go, DESIGN.md
+	// §11): the FIFO queue is replaced by per-tenant bounded sub-queues
+	// drained deficit-weighted round-robin with strict-priority tiers, and
+	// over-rate tenants are throttled by token bucket. Nil preserves the
+	// anonymous FIFO behaviour. The config is validated and normalized by
+	// New; a single default tenant with uniform weight is decision-for-
+	// decision identical to FIFO (pinned by the differential test).
+	QoS *qos.Config
 	// Clock defaults to SystemClock; tests inject a fake.
 	Clock Clock
 
@@ -130,6 +139,11 @@ type Config struct {
 	// shared DataDir instead of pinning the environment itself (the sharded
 	// layer pins the full topology, params and partition once).
 	shard *shardEnv
+	// qosLimiter, when set, is the token-bucket limiter this Server shares
+	// with its siblings: a ShardedServer creates one limiter and hands it to
+	// every shard so tenant quotas are global rather than multiplied by the
+	// shard count. Nil (standalone) means New builds the Server's own.
+	qosLimiter *qos.Limiter
 }
 
 // shardEnv carries a shard Server's identity within a ShardedServer.
@@ -190,6 +204,10 @@ type SessionInfo struct {
 	ID string `json:"id"`
 	// Users is the entangled user set.
 	Users []graph.NodeID `json:"users"`
+	// Tenant is the tenant the session was admitted under; empty is the
+	// default tenant, and omitted in JSON so default-tenant sessions (and
+	// their WAL records) serialize exactly as the pre-tenant schema did.
+	Tenant string `json:"tenant,omitempty"`
 	// Rate is the session tree's Eq. 2 entanglement rate.
 	Rate float64 `json:"rate"`
 	// Channels is the number of quantum channels in the routed tree.
@@ -243,6 +261,14 @@ type pending struct {
 	users  []graph.NodeID
 	ttl    time.Duration
 	result chan admitResult // buffered(1): the loop never blocks responding
+
+	// tenant is the wire tenant name ("" = default); enq and stat feed the
+	// per-tenant admission-latency and outcome accounting (qosplane.go);
+	// stat is nil without a QoS config. Deliver results via finish, never
+	// the raw channel.
+	tenant string
+	enq    time.Time
+	stat   *tenantStat
 }
 
 type admitResult struct {
@@ -264,6 +290,16 @@ type Server struct {
 	quit  chan struct{}
 	kick  chan struct{} // wakes the expiry wheel when the agenda changes
 	wg    sync.WaitGroup
+
+	// QoS plane (qosplane.go); all nil/unused without Config.QoS. In QoS
+	// mode queue stays nil (a nil channel is never ready, so the existing
+	// select sites fall through safely) and arrive signals the admission
+	// loop instead.
+	qcfg   *qos.Config    // normalized tenant registry
+	qsched *qos.Scheduler // per-tenant queues + DWRR dequeue
+	qlim   *qos.Limiter   // token-bucket quotas (shared across shards)
+	arrive chan struct{}  // sticky enqueue signal, capacity 1
+	tstats *tenantTable   // per-tenant SLO accounting
 
 	closing   atomic.Bool
 	closeOnce sync.Once
@@ -317,12 +353,29 @@ func New(cfg Config) (*Server, error) {
 		start:    cfg.Clock.Now(),
 		led:      quantum.NewLedger(cfg.Graph),
 		sessions: make(map[string]*session),
-		queue:    make(chan *pending, cfg.QueueSize),
 		quit:     make(chan struct{}),
 		kick:     make(chan struct{}, 1),
 		lat:      newHistogram(),
 		idPrefix: "s-",
 		fpPool:   quantum.NewFootprintPool(cfg.Graph.NumNodes()),
+	}
+	if cfg.QoS != nil {
+		// QoS mode: per-tenant sub-queues replace the FIFO channel (which
+		// stays nil — a nil channel is never ready in a select, so the FIFO
+		// paths fall through without branching).
+		if err := cfg.QoS.Validate(); err != nil {
+			return nil, err
+		}
+		s.qcfg = cfg.QoS.Normalized()
+		s.qsched = qos.NewScheduler(s.qcfg, cfg.QueueSize)
+		s.qlim = cfg.qosLimiter
+		if s.qlim == nil {
+			s.qlim = qos.NewLimiter(s.qcfg)
+		}
+		s.arrive = make(chan struct{}, 1)
+		s.tstats = newTenantTable(s.qcfg)
+	} else {
+		s.queue = make(chan *pending, cfg.QueueSize)
 	}
 	if cfg.SolveCacheSize > 0 {
 		s.cache = newSolveCache(cfg.SolveCacheSize, cfg.Graph.NumNodes())
@@ -367,6 +420,17 @@ func (s *Server) Graph() *graph.Graph { return s.cfg.Graph }
 // cancelled mid-queue may still be decided — an accept then simply expires
 // at its TTL).
 func (s *Server) Submit(ctx context.Context, users []graph.NodeID, ttl time.Duration) (SessionInfo, error) {
+	return s.SubmitTenant(ctx, "", users, ttl)
+}
+
+// SubmitTenant is Submit with an explicit tenant name (the POST /sessions
+// "tenant" field). The empty name is the default tenant; with a QoS config
+// (Config.QoS) the request joins its tenant's sub-queue after passing the
+// tenant's token-bucket quota — an over-rate tenant gets a *qos.
+// ThrottleError (errors.Is qos.ErrThrottled, HTTP 429 + Retry-After), and a
+// full tenant sub-queue gets ErrQueueFull without touching other tenants'
+// capacity. Unknown tenant names are served under the default class.
+func (s *Server) SubmitTenant(ctx context.Context, tenant string, users []graph.NodeID, ttl time.Duration) (SessionInfo, error) {
 	s.ctrs.requests.Add(1)
 	if s.closing.Load() {
 		return SessionInfo{}, ErrClosed
@@ -388,12 +452,37 @@ func (s *Server) Submit(ctx context.Context, users []graph.NodeID, ttl time.Dura
 	if ttl > s.cfg.MaxTTL {
 		ttl = s.cfg.MaxTTL
 	}
-	p := &pending{ctx: ctx, prob: prob, users: prob.Users, ttl: ttl, result: make(chan admitResult, 1)}
-	select {
-	case s.queue <- p:
-	default:
-		s.ctrs.queueFull.Add(1)
-		return SessionInfo{}, ErrQueueFull
+	tenant = s.wireTenant(tenant)
+	stat := s.tstats.get(tenant)
+	p := &pending{
+		ctx: ctx, prob: prob, users: prob.Users, ttl: ttl,
+		result: make(chan admitResult, 1),
+		tenant: tenant, enq: time.Now(), stat: stat,
+	}
+	if s.qsched != nil {
+		// Quota first: a throttled request must not consume queue space.
+		if err := s.qlim.Allow(qosName(tenant), s.clock.Now()); err != nil {
+			s.ctrs.throttled.Add(1)
+			if stat != nil {
+				stat.throttled.Add(1)
+			}
+			return SessionInfo{}, err
+		}
+		if err := s.qsched.Enqueue(qosName(tenant), p); err != nil {
+			s.ctrs.queueFull.Add(1)
+			if stat != nil {
+				stat.queueFull.Add(1)
+			}
+			return SessionInfo{}, ErrQueueFull
+		}
+		s.wakeAdmission()
+	} else {
+		select {
+		case s.queue <- p:
+		default:
+			s.ctrs.queueFull.Add(1)
+			return SessionInfo{}, ErrQueueFull
+		}
 	}
 	select {
 	case r := <-p.result:
@@ -492,12 +581,23 @@ func (s *Server) Close() error {
 		close(s.quit)
 		s.wg.Wait()
 		// A racing Submit may have slipped into the queue after the drain
-		// finished; bounce those rather than leaving callers waiting.
+		// finished; bounce those rather than leaving callers waiting. (In QoS
+		// mode queue is nil — never ready — so the select falls straight to
+		// the default branch, where the QoS scheduler's leftovers bounce.)
 		for {
 			select {
 			case p := <-s.queue:
-				p.result <- admitResult{err: ErrClosed}
+				p.finish(admitResult{err: ErrClosed})
 			default:
+				if s.qsched != nil {
+					for {
+						item, _, ok := s.qsched.Dequeue()
+						if !ok {
+							break
+						}
+						item.(*pending).finish(admitResult{err: ErrClosed})
+					}
+				}
 				// Final snapshot + WAL close: a clean restart replays nothing.
 				closeErr = s.closeDurability()
 				return
@@ -508,9 +608,15 @@ func (s *Server) Close() error {
 }
 
 // admissionLoop is the single consumer of the queue: it drains requests in
-// micro-batches and decides them against the shared ledger.
+// micro-batches and decides them against the shared ledger. With a QoS
+// config the body is the QoS dequeue loop (qosplane.go) over the same
+// scheduler seam.
 func (s *Server) admissionLoop() {
 	defer s.wg.Done()
+	if s.qsched != nil {
+		s.qosAdmissionLoop()
+		return
+	}
 	for {
 		select {
 		case <-s.quit:
@@ -615,6 +721,7 @@ func (s *Server) releaseLocked(sess *session, reason string, now time.Time) {
 	delete(s.sessions, sess.info.ID)
 	s.appendRecordLocked(walRecord{T: recRelease, Release: &releaseRecord{
 		ID:     sess.info.ID,
+		Tenant: sess.info.Tenant,
 		Reason: reason,
 		At:     now,
 	}})
@@ -689,14 +796,22 @@ func (s *Server) Metrics() Metrics {
 	if batches > 0 {
 		bm.MeanSize = float64(bm.Requests) / float64(batches)
 	}
+	qm := QueueMetrics{Depth: len(s.queue), Capacity: cap(s.queue)}
+	if s.qsched != nil {
+		qm = QueueMetrics{Depth: s.qsched.Len()}
+		for _, q := range s.qsched.Queues() {
+			qm.Capacity += q.Capacity
+		}
+	}
 	return Metrics{
 		UptimeMs: float64(s.clock.Now().Sub(s.start)) / 1e6,
-		Queue:    QueueMetrics{Depth: len(s.queue), Capacity: cap(s.queue)},
+		Queue:    qm,
 		Requests: RequestMetrics{
 			Total:     s.ctrs.requests.Load(),
 			Accepted:  acc,
 			Rejected:  rej,
 			QueueFull: s.ctrs.queueFull.Load(),
+			Throttled: s.ctrs.throttled.Load(),
 			Invalid:   s.ctrs.invalid.Load(),
 			Canceled:  s.ctrs.canceled.Load(),
 			Failed:    s.ctrs.failed.Load(),
@@ -719,5 +834,6 @@ func (s *Server) Metrics() Metrics {
 		Speculation:   s.sched.speculation(),
 		SolveCache:    cacheM,
 		FootprintPool: s.footprintPoolMetrics(),
+		Tenants:       s.tenantMetrics(),
 	}
 }

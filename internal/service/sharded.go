@@ -15,6 +15,7 @@ import (
 
 	"github.com/muerp/quantumnet/internal/core"
 	"github.com/muerp/quantumnet/internal/graph"
+	"github.com/muerp/quantumnet/internal/qos"
 	"github.com/muerp/quantumnet/internal/quantum"
 	"github.com/muerp/quantumnet/internal/sched"
 	"github.com/muerp/quantumnet/internal/topology"
@@ -177,6 +178,15 @@ func NewSharded(cfg ShardedConfig) (*ShardedServer, error) {
 	if err := base.Params.Validate(); err != nil {
 		return nil, err
 	}
+	if base.QoS != nil {
+		// One limiter is shared by every shard so tenant quotas stay global
+		// rather than multiplying by the shard count; each shard keeps its
+		// own DWRR queues (requests are already partitioned by region).
+		if err := base.QoS.Validate(); err != nil {
+			return nil, err
+		}
+		base.qosLimiter = qos.NewLimiter(base.QoS.Normalized())
+	}
 	part, err := topology.PartitionRegions(cfg.Graph, cfg.Shards, cfg.PartitionSeed)
 	if err != nil {
 		return nil, err
@@ -187,6 +197,15 @@ func NewSharded(cfg ShardedConfig) (*ShardedServer, error) {
 		}
 		if err := pinPartition(base.DataDir, part); err != nil {
 			return nil, err
+		}
+		if base.QoS != nil {
+			b, merr := json.Marshal(base.QoS.Normalized())
+			if merr != nil {
+				return nil, merr
+			}
+			if err := pinFile(QoSPath(base.DataDir), b, "qos config"); err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -240,17 +259,24 @@ func (s *ShardedServer) RegionGraphOf(r int) *graph.Graph { return s.regions[r] 
 // their shard's scheduler, cross-region sets through the two-phase
 // coordinator. Outcomes match Server.Submit.
 func (s *ShardedServer) Submit(ctx context.Context, users []graph.NodeID, ttl time.Duration) (SessionInfo, error) {
+	return s.SubmitTenant(ctx, "", users, ttl)
+}
+
+// SubmitTenant is Submit with an explicit tenant name: single-region
+// requests join their shard's QoS queues, cross-region requests pass the
+// shared quota limiter before the two-phase coordinator.
+func (s *ShardedServer) SubmitTenant(ctx context.Context, tenant string, users []graph.NodeID, ttl time.Duration) (SessionInfo, error) {
 	if s.closing.Load() {
 		return SessionInfo{}, ErrClosed
 	}
 	// Malformed sets (too few users, unknown IDs) are delegated to shard 0,
 	// whose Submit rejects them with the proper accounting.
 	if len(users) < 2 {
-		return s.shards[0].Submit(ctx, users, ttl)
+		return s.shards[0].SubmitTenant(ctx, tenant, users, ttl)
 	}
 	for _, u := range users {
 		if u < 0 || int(u) >= s.g.NumNodes() {
-			return s.shards[0].Submit(ctx, users, ttl)
+			return s.shards[0].SubmitTenant(ctx, tenant, users, ttl)
 		}
 	}
 	region := s.part.RegionOf(users[0])
@@ -267,18 +293,37 @@ func (s *ShardedServer) Submit(ctx context.Context, users []graph.NodeID, ttl ti
 	}
 	if single {
 		s.singleRegion.Add(1)
-		return s.shards[region].Submit(ctx, users, ttl)
+		return s.shards[region].SubmitTenant(ctx, tenant, users, ttl)
 	}
-	return s.submitCross(ctx, users, ttl, primary)
+	return s.submitCross(ctx, tenant, users, ttl, primary)
 }
 
 // submitCross decides a cross-region request under the two-phase protocol.
 // The session is homed on the primary shard (the lowest involved region),
 // whose counters own the request's outcome.
-func (s *ShardedServer) submitCross(ctx context.Context, users []graph.NodeID, ttl time.Duration, primary int) (SessionInfo, error) {
+func (s *ShardedServer) submitCross(ctx context.Context, tenant string, users []graph.NodeID, ttl time.Duration, primary int) (info SessionInfo, err error) {
 	s.crossRegion.Add(1)
 	pr := s.shards[primary]
 	pr.ctrs.requests.Add(1)
+	wire := pr.wireTenant(tenant)
+	stat := pr.tstats.get(wire)
+	if pr.qsched != nil {
+		// Tenant quotas apply to cross-region traffic too (the limiter is
+		// shared, so tokens spent here and on any shard draw on one bucket).
+		// The DWRR queues do not: cross-region requests are serialized by
+		// crossMu rather than queued behind the admission loop.
+		if qerr := pr.qlim.Allow(qosName(wire), s.clock.Now()); qerr != nil {
+			pr.ctrs.throttled.Add(1)
+			if stat != nil {
+				stat.throttled.Add(1)
+			}
+			return SessionInfo{}, qerr
+		}
+	}
+	if stat != nil {
+		t0 := time.Now()
+		defer func() { stat.note(err, time.Since(t0)) }()
+	}
 	prob, err := core.NewProblem(s.g, users, s.base.Params)
 	if err != nil {
 		pr.ctrs.invalid.Add(1)
@@ -323,13 +368,13 @@ func (s *ShardedServer) submitCross(ctx context.Context, users []graph.NodeID, t
 				s.conflicts.Add(1)
 			}
 		} else {
-			if info, ok := s.tryCommit(primary, prob.Users, ttl, tree); ok {
+			if info, ok := s.tryCommit(primary, wire, prob.Users, ttl, tree); ok {
 				return info, nil
 			}
 			s.conflicts.Add(1)
 		}
 		if attempt >= s.retries {
-			return s.decideGlobal(ctx, prob, ttl, primary)
+			return s.decideGlobal(ctx, wire, prob, ttl, primary)
 		}
 		s.retried.Add(1)
 	}
@@ -453,7 +498,7 @@ type shardTicket struct {
 // tryCommit is one two-phase attempt: lock the involved shards in ascending
 // order, validate every slice against the epoch its view was taken at,
 // reserve and install. A validation failure aborts with no side effects.
-func (s *ShardedServer) tryCommit(primary int, users []graph.NodeID, ttl time.Duration, tree quantum.Tree) (SessionInfo, bool) {
+func (s *ShardedServer) tryCommit(primary int, tenant string, users []graph.NodeID, ttl time.Duration, tree quantum.Tree) (SessionInfo, bool) {
 	plans := s.splitLoad(tree)
 	involved := s.involvedShards(plans, primary)
 	for _, r := range involved {
@@ -474,7 +519,7 @@ func (s *ShardedServer) tryCommit(primary int, users []graph.NodeID, ttl time.Du
 	var info SessionInfo
 	var tickets []shardTicket
 	if ok {
-		info, tickets, ok = s.installCrossLocked(primary, users, ttl, tree, plans, involved)
+		info, tickets, ok = s.installCrossLocked(primary, tenant, users, ttl, tree, plans, involved)
 	}
 	for i := len(involved) - 1; i >= 0; i-- {
 		s.shards[involved[i]].mu.Unlock()
@@ -491,7 +536,7 @@ func (s *ShardedServer) tryCommit(primary int, users []graph.NodeID, ttl time.Du
 // on each involved shard — the home copy carries the tree, secondaries only
 // their slice. Callers hold every involved shard's mutex; on a reservation
 // failure everything already reserved is rolled back and ok is false.
-func (s *ShardedServer) installCrossLocked(primary int, users []graph.NodeID, ttl time.Duration,
+func (s *ShardedServer) installCrossLocked(primary int, tenant string, users []graph.NodeID, ttl time.Duration,
 	tree quantum.Tree, plans [][]quantum.LoadEntry, involved []int) (SessionInfo, []shardTicket, bool) {
 	var reserved []int
 	for _, r := range involved {
@@ -512,6 +557,7 @@ func (s *ShardedServer) installCrossLocked(primary int, users []graph.NodeID, tt
 	info := SessionInfo{
 		ID:         fmt.Sprintf("%s%d", pr.idPrefix, pr.nextID.Add(1)),
 		Users:      users,
+		Tenant:     tenant,
 		Rate:       tree.Rate(),
 		Channels:   len(tree.Channels),
 		AdmittedAt: now,
@@ -562,7 +608,7 @@ func (s *ShardedServer) finishCross(involved []int, tickets []shardTicket) {
 // lock is taken (ascending), the view rebuilt under them — now a true
 // atomic cut — and the request decided authoritatively, so neither a
 // conflict nor an unsound rejection is possible.
-func (s *ShardedServer) decideGlobal(ctx context.Context, prob *core.Problem, ttl time.Duration, primary int) (SessionInfo, error) {
+func (s *ShardedServer) decideGlobal(ctx context.Context, tenant string, prob *core.Problem, ttl time.Duration, primary int) (SessionInfo, error) {
 	s.fallbacks.Add(1)
 	pr := s.shards[primary]
 	for _, sh := range s.shards {
@@ -586,7 +632,7 @@ func (s *ShardedServer) decideGlobal(ctx context.Context, prob *core.Problem, tt
 		plans := s.splitLoad(tree)
 		involved = s.involvedShards(plans, primary)
 		s.prepares.Add(1)
-		info, tickets, ok = s.installCrossLocked(primary, prob.Users, ttl, tree, plans, involved)
+		info, tickets, ok = s.installCrossLocked(primary, tenant, prob.Users, ttl, tree, plans, involved)
 	}
 	for i := len(s.shards) - 1; i >= 0; i-- {
 		s.shards[i].mu.Unlock()
@@ -926,6 +972,7 @@ func (s *ShardedServer) Metrics() ShardedMetrics {
 		agg.Requests.Accepted += m.Requests.Accepted
 		agg.Requests.Rejected += m.Requests.Rejected
 		agg.Requests.QueueFull += m.Requests.QueueFull
+		agg.Requests.Throttled += m.Requests.Throttled
 		agg.Requests.Invalid += m.Requests.Invalid
 		agg.Requests.Canceled += m.Requests.Canceled
 		agg.Requests.Failed += m.Requests.Failed
@@ -968,6 +1015,7 @@ func (s *ShardedServer) Metrics() ShardedMetrics {
 	agg.Speculation = aggregateSpeculation(shardM)
 	agg.SolveCache = aggregateSolveCache(shardM)
 	agg.FootprintPool = aggregateFootprintPool(shardM)
+	agg.Tenants = aggregateTenants(shardM)
 
 	single, cross := s.singleRegion.Load(), s.crossRegion.Load()
 	rm := RouterMetrics{
@@ -1014,7 +1062,7 @@ func (s *ShardedServer) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", "ttl_ms must be >= 0")
 		return
 	}
-	info, err := s.Submit(r.Context(), req.Users, time.Duration(req.TTLMs)*time.Millisecond)
+	info, err := s.SubmitTenant(r.Context(), req.Tenant, req.Users, time.Duration(req.TTLMs)*time.Millisecond)
 	if err != nil {
 		writeSubmitError(w, s.base.RetryAfter, err)
 		return

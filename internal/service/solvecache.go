@@ -31,10 +31,13 @@
 package service
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"slices"
 	"time"
 
+	"github.com/muerp/quantumnet/internal/core"
 	"github.com/muerp/quantumnet/internal/graph"
 	"github.com/muerp/quantumnet/internal/quantum"
 )
@@ -99,6 +102,7 @@ type solveCache struct {
 	misses    int64 // lookups that had to solve (absent or unprovable)
 	stores    int64 // outcomes written into the cache
 	evictions int64 // entries dropped by LRU pressure
+	warms     int64 // entries re-primed from the persisted warm set at boot
 }
 
 func newSolveCache(capacity, numNodes int) *solveCache {
@@ -295,6 +299,74 @@ func (s *Server) cacheStoreRejectLocked(users []graph.NodeID, err error) {
 	e.err = err
 }
 
+// acceptSetsLocked returns the accept-tier entries' user sets in LRU order
+// (most recently used first), decoded from the canonical keys. The caller
+// holds s.mu. Used by the snapshotter to persist the warm set.
+func (s *Server) acceptSetsLocked() [][]graph.NodeID {
+	if s.cache == nil {
+		return nil
+	}
+	sets := make([][]graph.NodeID, 0, len(s.cache.entries))
+	for e := s.cache.head; e != nil; e = e.next {
+		if e.verdict != cacheAccept {
+			continue
+		}
+		users := make([]graph.NodeID, 0, len(e.key)/4)
+		for i := 0; i+4 <= len(e.key); i += 4 {
+			users = append(users, graph.NodeID(binary.LittleEndian.Uint32([]byte(e.key[i:i+4]))))
+		}
+		sets = append(sets, users)
+	}
+	return sets
+}
+
+// warmSolveCache re-primes the solve cache at boot from a previous run's
+// accept-tier user sets: each set is solved once against a scratch copy of
+// the recovered ledger and the outcome stored under the normal tiers, so
+// the first post-restart repeats hit instead of solving.
+//
+// The scratch view is essential — solving (or reserve-then-release) on the
+// live ledger would bump its closure generation and perturb replayed state.
+// Because nothing is reserved on the live ledger, an accepted set's
+// pre-solve free counts ARE the live free counts, and the stored epoch is
+// the live epoch: exactly the context cacheStoreAcceptLocked would record
+// had the tree been solved and *not* committed. Called from openDurability
+// before the goroutines start, so no lock is needed.
+func (s *Server) warmSolveCache(sets [][]graph.NodeID) {
+	if s.cache == nil || len(sets) == 0 {
+		return
+	}
+	view := quantum.NewLedger(s.cfg.Graph)
+	// Reversed: upsert pushes to the LRU front, so priming oldest-first
+	// restores the persisted most-recently-used order.
+	for i := len(sets) - 1; i >= 0; i-- {
+		prob, err := core.NewProblem(s.cfg.Graph, sets[i], s.cfg.Params)
+		if err != nil {
+			continue
+		}
+		view.CopyFrom(s.led)
+		tree, err := core.BuildGreedyTree(context.Background(), prob, view, nil)
+		switch {
+		case err == nil:
+			e := s.cache.upsert(prob.Users)
+			e.verdict = cacheAccept
+			e.tree = tree
+			if e.fp == nil {
+				e.fp = quantum.NewFootprint(s.cache.numNodes)
+			}
+			e.fp.AddTree(tree)
+			for _, id := range e.fp.Keys() {
+				e.freePre = append(e.freePre, s.led.Free(id))
+			}
+			e.epoch = s.led.Epoch()
+			s.cache.warms++
+		case errors.Is(err, core.ErrInfeasible):
+			s.cacheStoreRejectLocked(prob.Users, err)
+			s.cache.warms++
+		}
+	}
+}
+
 // SolveCacheMetrics is the /metrics solve-cache section, present when the
 // cache is enabled (Config.SolveCacheSize >= 0).
 type SolveCacheMetrics struct {
@@ -308,9 +380,11 @@ type SolveCacheMetrics struct {
 	EpochHits int64 `json:"epoch_hits"`
 	Misses    int64 `json:"misses"`
 	// Stores counts outcomes written; Evictions entries dropped by LRU
-	// pressure.
+	// pressure; Warmed entries re-primed from the persisted warm set at
+	// boot (warm-start restarts begin with a nonzero hit rate).
 	Stores    int64 `json:"stores"`
 	Evictions int64 `json:"evictions"`
+	Warmed    int64 `json:"warmed"`
 	// HitRate is (ExactHits+EpochHits) / lookups.
 	HitRate float64 `json:"hit_rate"`
 }
@@ -325,6 +399,7 @@ func (m *SolveCacheMetrics) add(o *SolveCacheMetrics) {
 	m.Misses += o.Misses
 	m.Stores += o.Stores
 	m.Evictions += o.Evictions
+	m.Warmed += o.Warmed
 }
 
 func (m *SolveCacheMetrics) finish() {
@@ -366,6 +441,7 @@ func (s *Server) solveCacheMetricsLocked() *SolveCacheMetrics {
 		Misses:    s.cache.misses,
 		Stores:    s.cache.stores,
 		Evictions: s.cache.evictions,
+		Warmed:    s.cache.warms,
 	}
 	m.finish()
 	return m

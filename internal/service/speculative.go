@@ -136,7 +136,7 @@ func (sp *speculativeScheduler) decideOne(p *pending, now time.Time, view *quant
 	for attempt := 0; ; attempt++ {
 		if err := p.ctx.Err(); err != nil {
 			s.ctrs.canceled.Add(1)
-			p.result <- admitResult{err: err}
+			p.finish(admitResult{err: err})
 			return
 		}
 		if attempt > sp.retries {
@@ -150,7 +150,7 @@ func (sp *speculativeScheduler) decideOne(p *pending, now time.Time, view *quant
 			ticket := s.enqueueRecordsLocked()
 			s.mu.Unlock()
 			_ = s.waitDurable(ticket)
-			p.result <- admitResult{info: info, err: err}
+			p.finish(admitResult{info: info, err: err})
 			return
 		}
 		if attempt > 0 {
@@ -169,7 +169,7 @@ func (sp *speculativeScheduler) decideOne(p *pending, now time.Time, view *quant
 				ticket := s.enqueueRecordsLocked()
 				s.mu.Unlock()
 				_ = s.waitDurable(ticket)
-				p.result <- admitResult{info: info, err: err}
+				p.finish(admitResult{info: info, err: err})
 				return
 			}
 		}
@@ -190,7 +190,7 @@ func (sp *speculativeScheduler) decideOne(p *pending, now time.Time, view *quant
 			sp.ctrs.conflicts.Add(1)
 			continue
 		}
-		p.result <- admitResult{info: info, err: err}
+		p.finish(admitResult{info: info, err: err})
 		return
 	}
 }

@@ -35,6 +35,10 @@ func FuzzScan(f *testing.F) {
 	f.Add(flipped)
 	// Oversized length field.
 	f.Add(append([]byte(headerMagic), 0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0))
+	// Tenant-tagged admit record (PR-9 schema): the payload shape the
+	// service writes for non-default tenants. Also committed under
+	// testdata/fuzz/FuzzScan so the corpus survives outside this seed list.
+	f.Add(validLog([]byte(`{"t":"admit","admit":{"info":{"id":"s-1","users":[0,1],"tenant":"gold"},"tree":{"Channels":null},"next_id":1}}`)))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		records, valid, err := Scan(bytes.NewReader(data), func(p []byte) error { return nil })
