@@ -6,7 +6,7 @@ BENCH_OUT ?= BENCH_kernel.json
 BENCH_LABEL ?= current
 BENCH_TMP := $(shell mktemp -d 2>/dev/null || echo /tmp/quantumnet-bench)
 
-.PHONY: build test vet race tier1 bench bench-service bench-check list-solvers serve loadtest smoke-service smoke-service-sharded smoke-recovery smoke-recovery-sharded smoke-qos clean
+.PHONY: build test vet race tier1 bench bench-service bench-check list-solvers serve loadtest smoke-service smoke-service-sharded smoke-recovery smoke-recovery-sharded smoke-qos smoke-timesim clean
 
 build:
 	$(GO) build ./...
@@ -23,12 +23,14 @@ vet:
 # lock-free read-only use), service's admission loop + expiry wheel +
 # durability wiring + sharded two-phase router, qos's tenant scheduler and
 # token buckets (hit from every submitting goroutine), the WAL's
-# group-commit loop and snapshotter, and topology's partitioner (read
-# concurrently by shards).
+# group-commit loop and snapshotter, topology's partitioner (read
+# concurrently by shards), and timesim's parallel slot advance (sessions
+# fan out across workers each slot; workload rides along as its request
+# source).
 race:
 	$(GO) test -race ./internal/core ./internal/sim ./internal/quantum \
 		./internal/service ./internal/qos ./internal/wal ./internal/snapshot \
-		./internal/topology
+		./internal/topology ./internal/timesim ./internal/workload
 
 # tier1 is the repo's merge gate: build, full tests, vet, race.
 tier1: build test vet race
@@ -120,6 +122,13 @@ smoke-service-sharded:
 # while the other's traffic is admitted. See DESIGN.md §11.
 smoke-qos:
 	bash scripts/smoke_qos.sh
+
+# smoke-timesim is the CI slotted-simulator check: two same-seed qsim runs
+# must be byte-identical (at different -parallel values), a 10^5-session
+# Poisson workload must complete, and a small TTL sweep must emit the
+# delivered-rate CSV. See DESIGN.md §12.
+smoke-timesim:
+	bash scripts/smoke_timesim.sh
 
 # smoke-recovery is the CI crash-durability check: boot muerpd with a data
 # directory, admit 20 long-TTL sessions over HTTP, SIGKILL, restart on the

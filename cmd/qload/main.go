@@ -1,16 +1,18 @@
-// Command qload replays a sched.Workload against a running muerpd daemon,
-// measuring end-to-end admission throughput and latency. It fetches the
-// daemon's topology, draws the same random request streams the offline
-// simulator uses, and fires them at scaled wall-clock times: one workload
-// time unit lasts -unit of real time, and each accepted session's TTL is
-// its Hold scaled the same way — so the daemon sees the loss-network
-// dynamics the paper models.
+// Command qload replays a generated session workload against a running
+// muerpd daemon, measuring end-to-end admission throughput and latency. It
+// fetches the daemon's topology, draws a seeded arrival stream from the
+// shared traffic models (internal/workload — the same generators that feed
+// the slotted simulator), and fires the sessions at scaled wall-clock
+// times: one workload time unit lasts -unit of real time, and each
+// accepted session's TTL is its Hold scaled the same way — so the daemon
+// sees the loss-network dynamics the paper models.
 //
 // Usage:
 //
 //	qload -addr host:port [flags]
 //
 //	-sessions       number of requests           (default 50)
+//	-arrival        poisson | diurnal | flash    (default poisson)
 //	-interarrival   mean inter-arrival (units)   (default 1)
 //	-hold           mean session hold (units)    (default 5)
 //	-group-min/max  session size bounds          (default 2..4)
@@ -62,6 +64,7 @@ import (
 	"github.com/muerp/quantumnet/internal/graph"
 	"github.com/muerp/quantumnet/internal/sched"
 	"github.com/muerp/quantumnet/internal/topology"
+	"github.com/muerp/quantumnet/internal/workload"
 )
 
 func main() {
@@ -140,6 +143,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	var (
 		addr        = fs.String("addr", "", "daemon address (host:port), required")
 		sessions    = fs.Int("sessions", 50, "number of session requests")
+		arrival     = fs.String("arrival", "poisson", "arrival process: poisson, diurnal or flash")
 		inter       = fs.Float64("interarrival", 1, "mean inter-arrival time (workload units)")
 		hold        = fs.Float64("hold", 5, "mean session hold (workload units)")
 		groupMin    = fs.Int("group-min", 2, "minimum users per session")
@@ -179,23 +183,31 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	w := sched.Workload{
-		Requests:         *sessions,
-		MeanInterarrival: *inter,
-		MeanHold:         *hold,
-		MinUsers:         *groupMin,
-		MaxUsers:         *groupMax,
+	if *sessions < 1 {
+		return fmt.Errorf("-sessions must be >= 1, got %d", *sessions)
 	}
-	requests, err := w.Generate(g, rand.New(rand.NewSource(*seed)))
+	if *inter <= 0 {
+		return fmt.Errorf("-interarrival must be positive, got %v", *inter)
+	}
+	// The process's time horizon spans the expected replay: -sessions
+	// arrivals at a mean rate of one per -interarrival units. ArrivalsN then
+	// thins until exactly -sessions arrivals are drawn, so diurnal and flash
+	// runs keep the session budget while reshaping when the load lands.
+	proc, err := workload.ParseProcess(*arrival, 1 / *inter, float64(*sessions)*(*inter))
 	if err != nil {
 		return err
 	}
-	sort.SliceStable(requests, func(i, j int) bool {
-		if requests[i].Arrival != requests[j].Arrival {
-			return requests[i].Arrival < requests[j].Arrival
-		}
-		return requests[i].ID < requests[j].ID
-	})
+	trafficRNG := rand.New(rand.NewSource(*seed))
+	arrivals, err := workload.ArrivalsN(proc, *sessions, trafficRNG)
+	if err != nil {
+		return err
+	}
+	requests, err := workload.Draw{
+		MeanHold: *hold, MinUsers: *groupMin, MaxUsers: *groupMax,
+	}.Sessions(g, arrivals, trafficRNG)
+	if err != nil {
+		return err
+	}
 	if *affinity >= 0 {
 		if *affinity > 1 {
 			return fmt.Errorf("-affinity must be in [0, 1], got %v", *affinity)
@@ -224,6 +236,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 
 	fmt.Fprintf(out, "qload: %d sessions against %s (unit=%v)\n", len(requests), base, *unit)
+	fmt.Fprintf(out, "arrival process: %s (mean %g/unit, peak %g/unit)\n", proc.Name(), 1 / *inter, proc.MaxRate())
 	outcomes := make([]outcome, len(requests))
 	var wg sync.WaitGroup
 	start := time.Now()

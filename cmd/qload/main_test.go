@@ -212,6 +212,36 @@ func TestReplayAgainstDaemon(t *testing.T) {
 	}
 }
 
+// -arrival swaps the replay's traffic model: each named process must run to
+// completion and report itself in the summary; an unknown one is a usage
+// error.
+func TestArrivalProcessSelection(t *testing.T) {
+	for _, proc := range []string{"poisson", "diurnal", "flash"} {
+		// A fresh daemon per process: flash packs every arrival into one
+		// short burst, so sessions still held from a previous replay would
+		// leave it nothing to admit.
+		addr := testDaemon(t)
+		var buf strings.Builder
+		err := run(context.Background(), []string{
+			"-addr", addr, "-sessions", "12", "-unit", "1ms",
+			"-arrival", proc, "-min-accepted", "1",
+		}, &buf)
+		if err != nil {
+			t.Fatalf("%s: run: %v\n%s", proc, err, buf.String())
+		}
+		if !strings.Contains(buf.String(), "arrival process: "+proc) {
+			t.Errorf("%s: summary does not report the process:\n%s", proc, buf.String())
+		}
+	}
+	var buf strings.Builder
+	err := run(context.Background(), []string{
+		"-addr", testDaemon(t), "-sessions", "2", "-unit", "1ms", "-arrival", "bursty",
+	}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "bursty") {
+		t.Fatalf("want unknown-process error, got %v", err)
+	}
+}
+
 // -affinity 1 must rewrite every session onto a single region: the shard
 // breakdown prints no cross-region row, and the run still succeeds.
 func TestAffinityForcesSingleRegion(t *testing.T) {

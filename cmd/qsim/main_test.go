@@ -1,0 +1,145 @@
+package main
+
+import (
+	"context"
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSingleRunSummary(t *testing.T) {
+	var buf strings.Builder
+	err := run(context.Background(), []string{
+		"-slots", "150", "-rate", "0.3", "-seed", "5",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"slot engine:", "arrival process: poisson", "offered:", "admitted:",
+		"delivered:", "decohered:", "trace hash:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// The printed output is fully deterministic for a seed: no timings, no map
+// iteration, no wall clock.
+func TestOutputDeterministic(t *testing.T) {
+	args := []string{"-slots", "150", "-rate", "0.4", "-arrival", "diurnal", "-seed", "9", "-parallel", "3"}
+	var a, b strings.Builder
+	if err := run(context.Background(), args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("output diverged:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+func TestSweepTTLWritesCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ttl.csv")
+	var buf strings.Builder
+	err := run(context.Background(), []string{
+		"-slots", "100", "-rate", "0.3", "-seed", "3",
+		"-sweep-ttl", "1,4,8", "-out", path,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want header + 3", len(rows))
+	}
+	if rows[0][0] != "ttl" || rows[0][6] != "delivered_per_slot" {
+		t.Fatalf("unexpected header %v", rows[0])
+	}
+	if rows[1][0] != "1" || rows[2][0] != "4" || rows[3][0] != "8" {
+		t.Fatalf("unexpected ttl column: %v %v %v", rows[1][0], rows[2][0], rows[3][0])
+	}
+	if !strings.Contains(buf.String(), "ttl sweep:") {
+		t.Errorf("no sweep summary:\n%s", buf.String())
+	}
+}
+
+func TestWindowedLoadCSVAndAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "load.csv")
+	var buf strings.Builder
+	err := run(context.Background(), []string{
+		"-slots", "120", "-rate", "0.5", "-arrival", "flash", "-seed", "3",
+		"-window", "30", "-out", path,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	err = run(context.Background(), []string{
+		"-slots", "120", "-rate", "0.5", "-arrival", "diurnal", "-seed", "3",
+		"-window", "30", "-out", path, "-append",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("append run: %v\n%s", err, buf.String())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 { // header + 4 flash windows + 4 diurnal windows
+		t.Fatalf("got %d rows, want 9", len(rows))
+	}
+	if rows[0][0] != "process" {
+		t.Fatalf("unexpected header %v", rows[0])
+	}
+	procs := map[string]int{}
+	for _, r := range rows[1:] {
+		procs[r[0]]++
+	}
+	if procs["flash"] != 4 || procs["diurnal"] != 4 {
+		t.Fatalf("process rows: %v", procs)
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	for name, args := range map[string][]string{
+		"sweep without out":  {"-sweep-ttl", "1,2"},
+		"window without out": {"-window", "10"},
+		"sweep and window":   {"-sweep-ttl", "1", "-window", "10", "-out", "x.csv"},
+		"bad sweep entry":    {"-sweep-ttl", "1,zero", "-out", os.DevNull},
+		"bad arrival":        {"-arrival", "bursty"},
+		"bad alg":            {"-slots", "10", "-alg", "nope"},
+	} {
+		var buf strings.Builder
+		if err := run(context.Background(), args, &buf); err == nil {
+			t.Errorf("%s: run succeeded", name)
+		}
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	var buf strings.Builder
+	if err := run(context.Background(), []string{"-version"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "quantumnet") {
+		t.Fatalf("version output: %q", buf.String())
+	}
+}

@@ -1,0 +1,44 @@
+package fidelity
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAgeWerner(t *testing.T) {
+	m := Model{W0: 0.98, Beta: 2e-5, Gamma: 0.01}
+	w := 0.9
+	if got := m.AgeWerner(w, 0); got != w {
+		t.Fatalf("age 0 changed w: %g", got)
+	}
+	if got := m.AgeWerner(w, -3); got != w {
+		t.Fatalf("negative age changed w: %g", got)
+	}
+	want := w * math.Exp(-0.01*5)
+	if got := m.AgeWerner(w, 5); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("AgeWerner(%g, 5) = %g, want %g", w, got, want)
+	}
+	// Aging composes: 3 slots then 2 slots equals 5 slots.
+	split := m.AgeWerner(m.AgeWerner(w, 3), 2)
+	if math.Abs(split-want) > 1e-15 {
+		t.Fatalf("aging does not compose: %g vs %g", split, want)
+	}
+	// Gamma 0 is a noiseless memory.
+	noiseless := Model{W0: 0.98, Beta: 2e-5}
+	if got := noiseless.AgeWerner(w, 100); got != w {
+		t.Fatalf("Gamma=0 aged the pair: %g", got)
+	}
+}
+
+func TestValidateGamma(t *testing.T) {
+	good := Model{W0: 0.98, Beta: 2e-5, Gamma: 0.05}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid model rejected: %v", err)
+	}
+	for _, bad := range []float64{-0.1, math.NaN(), math.Inf(1)} {
+		m := Model{W0: 0.98, Beta: 2e-5, Gamma: bad}
+		if err := m.Validate(); err == nil {
+			t.Errorf("Gamma %g accepted", bad)
+		}
+	}
+}

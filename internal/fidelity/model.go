@@ -30,6 +30,11 @@ type Model struct {
 	W0 float64
 	// Beta is the Werner-parameter decay per kilometre.
 	Beta float64
+	// Gamma is the Werner-parameter decay per time slot spent in qubit
+	// memory: a pair stored for a slots has w(a) = w * exp(-Gamma*a).
+	// Zero (the default) means memories are noiseless, which keeps every
+	// pre-existing Model literal and the analytic pipeline unchanged.
+	Gamma float64
 }
 
 // DefaultModel returns a model where fresh pairs have fidelity ~0.985
@@ -49,12 +54,25 @@ func (m Model) Validate() error {
 	if m.Beta < 0 || math.IsNaN(m.Beta) || math.IsInf(m.Beta, 1) {
 		return fmt.Errorf("%w: Beta %g must be finite and non-negative", ErrBadModel, m.Beta)
 	}
+	if m.Gamma < 0 || math.IsNaN(m.Gamma) || math.IsInf(m.Gamma, 1) {
+		return fmt.Errorf("%w: Gamma %g must be finite and non-negative", ErrBadModel, m.Gamma)
+	}
 	return nil
 }
 
 // LinkWerner returns a link's Werner parameter: W0 * exp(-Beta*L).
 func (m Model) LinkWerner(length float64) float64 {
 	return m.W0 * math.Exp(-m.Beta*length)
+}
+
+// AgeWerner returns the Werner parameter of a pair that started at w and
+// then sat in qubit memory for the given number of whole slots:
+// w * exp(-Gamma*slots). Non-positive ages return w unchanged.
+func (m Model) AgeWerner(w float64, slots int) float64 {
+	if slots <= 0 || m.Gamma == 0 {
+		return w
+	}
+	return w * math.Exp(-m.Gamma*float64(slots))
 }
 
 // WernerToFidelity converts a Werner parameter to fidelity: (1+3w)/4.

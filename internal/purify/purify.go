@@ -43,6 +43,31 @@ func Step(f float64) (fOut, pSucc float64, err error) {
 	return fOut, pSucc, nil
 }
 
+// StepPair applies one BBPSSW round to two Werner pairs of *different*
+// fidelities f1 and f2, the situation the slotted simulator faces when a
+// freshly swapped pair is distilled against an older, decohered one:
+//
+//	P  = F1F2 + F1(1-F2)/3 + F2(1-F1)/3 + 5(1-F1)(1-F2)/9
+//	F' = (F1F2 + (1-F1)(1-F2)/9) / P
+//
+// It reduces to Step when f1 == f2. Both inputs must exceed 1/2 for the
+// round to be worthwhile; lower inputs are rejected.
+func StepPair(f1, f2 float64) (fOut, pSucc float64, err error) {
+	if !(f1 > 0.5 && f1 <= 1) {
+		return 0, 0, fmt.Errorf("%w: got %g", ErrBadFidelity, f1)
+	}
+	if !(f2 > 0.5 && f2 <= 1) {
+		return 0, 0, fmt.Errorf("%w: got %g", ErrBadFidelity, f2)
+	}
+	b1, b2 := (1-f1)/3, (1-f2)/3
+	pSucc = f1*f2 + f1*b2 + f2*b1 + 5*b1*b2
+	fOut = (f1*f2 + b1*b2) / pSucc
+	if pSucc <= 0 || pSucc > 1 {
+		return 0, 0, fmt.Errorf("%w: %g", errNotProbable, pSucc)
+	}
+	return fOut, pSucc, nil
+}
+
 // Result summarizes a recurrence schedule.
 type Result struct {
 	// Rounds is the number of recurrence levels applied.

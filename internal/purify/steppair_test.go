@@ -1,0 +1,71 @@
+package purify
+
+import (
+	"math"
+	"testing"
+)
+
+// StepPair with equal inputs must agree exactly with the symmetric Step.
+func TestStepPairMatchesStepOnEqualInputs(t *testing.T) {
+	for _, f := range []float64{0.55, 0.7, 0.85, 0.99, 1} {
+		fSym, pSym, err := Step(f)
+		if err != nil {
+			t.Fatalf("Step(%g): %v", f, err)
+		}
+		fPair, pPair, err := StepPair(f, f)
+		if err != nil {
+			t.Fatalf("StepPair(%g, %g): %v", f, f, err)
+		}
+		if math.Abs(fSym-fPair) > 1e-15 || math.Abs(pSym-pPair) > 1e-15 {
+			t.Errorf("f=%g: StepPair = (%g, %g), Step = (%g, %g)", f, fPair, pPair, fSym, pSym)
+		}
+	}
+}
+
+// The asymmetric round is symmetric in its arguments and, when one input is
+// strictly better, lands between the two symmetric rounds.
+func TestStepPairSymmetryAndOrdering(t *testing.T) {
+	f1, f2 := 0.92, 0.68
+	fa, pa, err := StepPair(f1, f2)
+	if err != nil {
+		t.Fatalf("StepPair: %v", err)
+	}
+	fb, pb, err := StepPair(f2, f1)
+	if err != nil {
+		t.Fatalf("StepPair swapped: %v", err)
+	}
+	if fa != fb || pa != pb {
+		t.Fatalf("StepPair not symmetric: (%g,%g) vs (%g,%g)", fa, pa, fb, pb)
+	}
+	lo, _, _ := Step(f2)
+	hi, _, _ := Step(f1)
+	if !(fa > lo && fa < hi) {
+		t.Errorf("mixed round fidelity %g not between Step(%g)=%g and Step(%g)=%g", fa, f2, lo, f1, hi)
+	}
+	if !(pa > 0 && pa <= 1) {
+		t.Errorf("success probability %g out of (0,1]", pa)
+	}
+}
+
+// Known value: F1=0.9, F2=0.7 gives
+// P = 0.63 + 0.09 + 0.7/30 + 5*0.1*0.3/9 = 0.76
+// F' = (0.63 + 0.03*0.1) / 0.76 = 0.633/0.76.
+func TestStepPairKnownValue(t *testing.T) {
+	fOut, pSucc, err := StepPair(0.9, 0.7)
+	if err != nil {
+		t.Fatalf("StepPair: %v", err)
+	}
+	wantP := 0.9*0.7 + 0.9*0.1 + 0.7*(1.0/30) + 5*(1.0/30)*0.1
+	wantF := (0.9*0.7 + (1.0/30)*0.1) / wantP
+	if math.Abs(pSucc-wantP) > 1e-12 || math.Abs(fOut-wantF) > 1e-12 {
+		t.Errorf("StepPair(0.9, 0.7) = (%g, %g), want (%g, %g)", fOut, pSucc, wantF, wantP)
+	}
+}
+
+func TestStepPairRejectsLowFidelity(t *testing.T) {
+	for _, pair := range [][2]float64{{0.5, 0.9}, {0.9, 0.5}, {0.3, 0.3}, {1.2, 0.9}, {0.9, 1.2}} {
+		if _, _, err := StepPair(pair[0], pair[1]); err == nil {
+			t.Errorf("StepPair(%g, %g) succeeded, want error", pair[0], pair[1])
+		}
+	}
+}

@@ -70,6 +70,17 @@ type TenantSpec struct {
 	// QueueSize bounds the tenant's admission sub-queue; 0 takes the
 	// scheduler's default (the service's global queue bound).
 	QueueSize int `json:"queue_size,omitempty"`
+	// MaxTTLMs caps the tenant's session lifetimes in milliseconds: a
+	// request asking for more is clamped to the cap (and counted in the
+	// tenant's ttl_clamped metric), exactly like the server-wide MaxTTL.
+	// 0 means no tenant cap — only the server-wide one applies.
+	MaxTTLMs int64 `json:"max_ttl_ms,omitempty"`
+}
+
+// MaxTTL returns the tenant's session-lifetime cap as a duration; 0 means
+// the tenant has no cap of its own.
+func (t TenantSpec) MaxTTL() time.Duration {
+	return time.Duration(t.MaxTTLMs) * time.Millisecond
 }
 
 // Config is the QoS policy document (muerpd -qos-config).
@@ -143,6 +154,9 @@ func (c *Config) Validate() error {
 		}
 		if t.QueueSize < 0 {
 			return fmt.Errorf("qos: tenant %q: negative queue size %d", t.ID, t.QueueSize)
+		}
+		if t.MaxTTLMs < 0 {
+			return fmt.Errorf("qos: tenant %q: negative max ttl %dms", t.ID, t.MaxTTLMs)
 		}
 	}
 	if c.GuaranteedShare >= 1 {

@@ -314,7 +314,7 @@ func TestLimiterUnlimitedTenants(t *testing.T) {
 func TestConfigParseAndValidate(t *testing.T) {
 	c, err := Parse([]byte(`{
 		"tenants": [
-			{"id": "gold", "weight": 3, "priority": 1, "rate_per_sec": 2.5},
+			{"id": "gold", "weight": 3, "priority": 1, "rate_per_sec": 2.5, "max_ttl_ms": 30000},
 			{"id": "default", "queue_size": 8}
 		],
 		"guaranteed_share": 0.2
@@ -329,6 +329,9 @@ func TestConfigParseAndValidate(t *testing.T) {
 	}
 	if gold.Burst != 3 {
 		t.Fatalf("gold burst = %d, want ceil(2.5) = 3", gold.Burst)
+	}
+	if gold.MaxTTL() != 30*time.Second {
+		t.Fatalf("gold MaxTTL = %v, want 30s", gold.MaxTTL())
 	}
 	if got := len(n.Tenants); got != 2 {
 		t.Fatalf("normalized tenants = %d, want 2 (default not duplicated)", got)
@@ -354,6 +357,7 @@ func TestConfigParseAndValidate(t *testing.T) {
 		`{"guaranteed_share": 1.5}`,
 		`{"tenants":[{"id":"a","burst":-1}]}`,
 		`{"tenants":[{"id":"a","queue_size":-1}]}`,
+		`{"tenants":[{"id":"a","max_ttl_ms":-5}]}`,
 		`{"tenants":[{"id":"a","typo_field":1}]}`,
 	}
 	for _, doc := range bad {

@@ -45,6 +45,28 @@ func AfterEdgeFailures(degraded *graph.Graph, users []graph.NodeID, sol *core.So
 	if degraded == nil || sol == nil {
 		return Outcome{}, ErrNilInput
 	}
+	// A fresh ledger sees the whole degraded network as free: the repaired
+	// session is alone, which is the Fig. 7b single-session setting.
+	return repairOn(context.Background(), quantum.NewLedger(degraded), degraded, users, sol, failed, params)
+}
+
+// AfterEdgeFailuresResidual is AfterEdgeFailures against a *shared* ledger:
+// the repaired session competes for whatever capacity its neighbours left
+// free. The caller must already have released the broken tree's own
+// reservations (the surviving channels are re-reserved here). On any error
+// every reservation this call made is released again, so the ledger is
+// unchanged on failure.
+func AfterEdgeFailuresResidual(ctx context.Context, led *quantum.Ledger, degraded *graph.Graph, users []graph.NodeID, sol *core.Solution, failed []graph.Edge, params quantum.Params) (Outcome, error) {
+	if led == nil || degraded == nil || sol == nil {
+		return Outcome{}, ErrNilInput
+	}
+	return repairOn(ctx, led, degraded, users, sol, failed, params)
+}
+
+// repairOn keeps sol's surviving channels, reserving them on led, and
+// reconnects the broken unions under led's residual capacity. On error all
+// reservations made here are rolled back.
+func repairOn(ctx context.Context, led *quantum.Ledger, degraded *graph.Graph, users []graph.NodeID, sol *core.Solution, failed []graph.Edge, params quantum.Params) (out Outcome, err error) {
 	prob, err := core.NewProblem(degraded, users, params)
 	if err != nil {
 		return Outcome{}, fmt.Errorf("repair: %w", err)
@@ -66,10 +88,17 @@ func AfterEdgeFailures(degraded *graph.Graph, users []graph.NodeID, sol *core.So
 		idx[u] = i
 	}
 
-	led := quantum.NewLedger(degraded)
 	uf := unionfind.New(len(users))
 	tree := quantum.Tree{}
 	kept := 0
+	// Everything appended to tree has been reserved on led; undo on error.
+	defer func() {
+		if err != nil {
+			for _, ch := range tree.Channels {
+				led.Release(ch.Nodes)
+			}
+		}
+	}()
 	for _, ch := range sol.Tree.Channels {
 		if channelBroken(ch, gone, key) {
 			continue
@@ -89,15 +118,15 @@ func AfterEdgeFailures(degraded *graph.Graph, users []graph.NodeID, sol *core.So
 		kept++
 	}
 
-	if err := prob.ReconnectUnions(context.Background(), led, uf, &tree, nil); err != nil {
+	if err := prob.ReconnectUnions(ctx, led, uf, &tree, nil); err != nil {
 		return Outcome{}, err
 	}
-	out := &core.Solution{Tree: tree, Algorithm: "repair", MeasurementFactor: 1}
-	if err := prob.Validate(out); err != nil {
+	repaired := &core.Solution{Tree: tree, Algorithm: "repair", MeasurementFactor: 1}
+	if err := prob.Validate(repaired); err != nil {
 		return Outcome{}, fmt.Errorf("repair: produced an invalid tree: %w", err)
 	}
 	return Outcome{
-		Solution: out,
+		Solution: repaired,
 		Rerouted: len(tree.Channels) - kept,
 		Kept:     kept,
 	}, nil

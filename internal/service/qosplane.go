@@ -61,13 +61,28 @@ func qosName(wire string) string {
 type tenantStat struct {
 	spec qos.TenantSpec
 
-	accepted  atomic.Int64
-	rejected  atomic.Int64
-	throttled atomic.Int64
-	queueFull atomic.Int64
-	canceled  atomic.Int64
-	failed    atomic.Int64
-	lat       *histogram
+	accepted   atomic.Int64
+	rejected   atomic.Int64
+	throttled  atomic.Int64
+	queueFull  atomic.Int64
+	canceled   atomic.Int64
+	failed     atomic.Int64
+	ttlClamped atomic.Int64
+	lat        *histogram
+}
+
+// clampTTL applies the tenant's session-lifetime cap on top of the
+// server-wide one, counting every request it shortens. A nil stat (no QoS
+// config) or an uncapped tenant returns the TTL unchanged.
+func (st *tenantStat) clampTTL(ttl time.Duration) time.Duration {
+	if st == nil || st.spec.MaxTTLMs <= 0 {
+		return ttl
+	}
+	if cap := st.spec.MaxTTL(); ttl > cap {
+		st.ttlClamped.Add(1)
+		return cap
+	}
+	return ttl
 }
 
 // note records one decided request's outcome and admission latency.
@@ -216,16 +231,18 @@ type TenantMetrics struct {
 	Priority   int     `json:"priority,omitempty"`
 	RatePerSec float64 `json:"rate_per_sec,omitempty"`
 	Burst      int     `json:"burst,omitempty"`
+	MaxTTLMs   int64   `json:"max_ttl_ms,omitempty"`
 
 	QueueDepth    int `json:"queue_depth"`
 	QueueCapacity int `json:"queue_capacity"`
 
-	Accepted  int64 `json:"accepted"`
-	Rejected  int64 `json:"rejected"`
-	Throttled int64 `json:"throttled"`
-	QueueFull int64 `json:"queue_full"`
-	Canceled  int64 `json:"canceled"`
-	Failed    int64 `json:"failed"`
+	Accepted   int64 `json:"accepted"`
+	Rejected   int64 `json:"rejected"`
+	Throttled  int64 `json:"throttled"`
+	QueueFull  int64 `json:"queue_full"`
+	Canceled   int64 `json:"canceled"`
+	Failed     int64 `json:"failed"`
+	TTLClamped int64 `json:"ttl_clamped"`
 
 	AdmissionLatency HistogramSnapshot `json:"admission_latency"`
 }
@@ -249,16 +266,18 @@ func (s *Server) tenantMetrics() []TenantMetrics {
 			Priority:   st.spec.Priority,
 			RatePerSec: st.spec.RatePerSec,
 			Burst:      st.spec.Burst,
+			MaxTTLMs:   st.spec.MaxTTLMs,
 
 			QueueDepth:    q.Depth,
 			QueueCapacity: q.Capacity,
 
-			Accepted:  st.accepted.Load(),
-			Rejected:  st.rejected.Load(),
-			Throttled: st.throttled.Load(),
-			QueueFull: st.queueFull.Load(),
-			Canceled:  st.canceled.Load(),
-			Failed:    st.failed.Load(),
+			Accepted:   st.accepted.Load(),
+			Rejected:   st.rejected.Load(),
+			Throttled:  st.throttled.Load(),
+			QueueFull:  st.queueFull.Load(),
+			Canceled:   st.canceled.Load(),
+			Failed:     st.failed.Load(),
+			TTLClamped: st.ttlClamped.Load(),
 
 			AdmissionLatency: st.lat.snapshot(),
 		})
@@ -281,7 +300,7 @@ func aggregateTenants(shards []Metrics) []TenantMetrics {
 				cp.AdmissionLatency = HistogramSnapshot{}
 				cp.QueueDepth, cp.QueueCapacity = 0, 0
 				cp.Accepted, cp.Rejected, cp.Throttled = 0, 0, 0
-				cp.QueueFull, cp.Canceled, cp.Failed = 0, 0, 0
+				cp.QueueFull, cp.Canceled, cp.Failed, cp.TTLClamped = 0, 0, 0, 0
 				agg = &cp
 				byID[tm.ID] = agg
 				order = append(order, tm.ID)
@@ -294,6 +313,7 @@ func aggregateTenants(shards []Metrics) []TenantMetrics {
 			agg.QueueFull += tm.QueueFull
 			agg.Canceled += tm.Canceled
 			agg.Failed += tm.Failed
+			agg.TTLClamped += tm.TTLClamped
 			agg.AdmissionLatency = mergeHistograms(agg.AdmissionLatency, tm.AdmissionLatency)
 		}
 	}

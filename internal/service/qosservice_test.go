@@ -607,3 +607,63 @@ func TestQoSStarvationBoundUnderLoad(t *testing.T) {
 		t.Fatalf("VerifyState: %v", err)
 	}
 }
+
+// TestTenantMaxTTLClamp pins the per-tenant session-lifetime cap: a capped
+// tenant's long request is clamped to its max_ttl_ms — the session really
+// expires at the cap, freeing capacity — and each shortened request is
+// counted in the tenant's ttl_clamped metric. Requests at or under the cap
+// and uncapped tenants are untouched.
+func TestTenantMaxTTLClamp(t *testing.T) {
+	base := time.Unix(3000, 0)
+	fc := newFakeClock(base)
+	s := newTestServer(t, Config{
+		MaxBatch: 1,
+		MaxTTL:   time.Hour,
+		Clock:    fc,
+		QoS: &qos.Config{Tenants: []qos.TenantSpec{
+			{ID: "capped", MaxTTLMs: 1000},
+			{ID: "open"},
+		}},
+	})
+
+	// An hour-long request from the capped tenant holds the bottleneck for
+	// one second only.
+	info, err := s.SubmitTenant(context.Background(), "capped", []graph.NodeID{0, 1}, time.Hour)
+	if err != nil {
+		t.Fatalf("capped submit: %v", err)
+	}
+	if got := info.ExpiresAt.Sub(info.AdmittedAt); got != time.Second {
+		t.Fatalf("capped session lifetime = %v, want 1s", got)
+	}
+	// While it lives, a contender is rejected on capacity.
+	if _, err := s.SubmitTenant(context.Background(), "open", []graph.NodeID{2, 3}, time.Minute); !errors.Is(err, core.ErrInfeasible) {
+		t.Fatalf("contender error = %v, want infeasible", err)
+	}
+	// Past the tenant cap — far before the requested hour — the capacity is
+	// free again, and the uncapped tenant keeps its full requested TTL.
+	fc.Set(base.Add(2 * time.Second))
+	info2, err := s.SubmitTenant(context.Background(), "open", []graph.NodeID{2, 3}, time.Minute)
+	if err != nil {
+		t.Fatalf("post-expiry submit: %v", err)
+	}
+	if got := info2.ExpiresAt.Sub(info2.AdmittedAt); got != time.Minute {
+		t.Fatalf("open session lifetime = %v, want 1m", got)
+	}
+	// An under-cap request from the capped tenant is not counted as clamped.
+	fc.Set(base.Add(2 * time.Minute))
+	if _, err := s.SubmitTenant(context.Background(), "capped", []graph.NodeID{0, 1}, 500*time.Millisecond); err != nil {
+		t.Fatalf("under-cap submit: %v", err)
+	}
+
+	m := s.Metrics()
+	capped := findTenant(t, m.Tenants, "capped")
+	if capped.TTLClamped != 1 {
+		t.Fatalf("capped ttl_clamped = %d, want 1", capped.TTLClamped)
+	}
+	if capped.MaxTTLMs != 1000 {
+		t.Fatalf("capped max_ttl_ms = %d, want 1000", capped.MaxTTLMs)
+	}
+	if open := findTenant(t, m.Tenants, "open"); open.TTLClamped != 0 {
+		t.Fatalf("open ttl_clamped = %d, want 0", open.TTLClamped)
+	}
+}

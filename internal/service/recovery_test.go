@@ -47,12 +47,12 @@ func durableTrace(t *testing.T, dataDir string, seed int64, snapshotMid bool) (*
 	base := time.Unix(0, 0)
 	fc := newFakeClock(base)
 	s, err := New(Config{
-		Graph:         g,
-		DataDir:       dataDir,
-		QueueSize:     4,
-		MaxBatch:      1,
-		MaxTTL:        1000 * time.Hour,
-		Clock:         fc,
+		Graph:            g,
+		DataDir:          dataDir,
+		QueueSize:        4,
+		MaxBatch:         1,
+		MaxTTL:           1000 * time.Hour,
+		Clock:            fc,
 		SnapshotEvery:    1 << 30, // snapshots only when the test asks for one
 		SnapshotInterval: 1000 * time.Hour,
 	})

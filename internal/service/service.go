@@ -412,7 +412,9 @@ func (s *Server) Graph() *graph.Graph { return s.cfg.Graph }
 
 // Submit enqueues one session request and blocks until the admission loop
 // decides or ctx ends; it is the programmatic face of POST /sessions.
-// ttl <= 0 means the server default; TTLs are capped at Config.MaxTTL.
+// ttl <= 0 means the server default; TTLs are capped at Config.MaxTTL and,
+// with a QoS config, at the tenant's own max_ttl_ms (clamped requests are
+// counted in the tenant's ttl_clamped metric).
 // Outcomes: nil error = admitted (capacity held until expiry or Delete);
 // core.ErrInfeasible = rejected under residual capacity; ErrQueueFull =
 // backpressure, retry later; ErrInvalidRequest = malformed user set;
@@ -454,6 +456,7 @@ func (s *Server) SubmitTenant(ctx context.Context, tenant string, users []graph.
 	}
 	tenant = s.wireTenant(tenant)
 	stat := s.tstats.get(tenant)
+	ttl = stat.clampTTL(ttl)
 	p := &pending{
 		ctx: ctx, prob: prob, users: prob.Users, ttl: ttl,
 		result: make(chan admitResult, 1),

@@ -335,6 +335,7 @@ func (s *ShardedServer) submitCross(ctx context.Context, tenant string, users []
 	if ttl > s.base.MaxTTL {
 		ttl = s.base.MaxTTL
 	}
+	ttl = stat.clampTTL(ttl)
 
 	s.crossMu.Lock()
 	defer s.crossMu.Unlock()

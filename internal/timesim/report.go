@@ -1,0 +1,137 @@
+package timesim
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/muerp/quantumnet/internal/core"
+)
+
+// Window is one aggregation bucket of WindowSlots consecutive slots, used
+// to trace load transients (diurnal cycles, flash crowds) over time.
+type Window struct {
+	// StartSlot is the window's first slot.
+	StartSlot int `json:"start_slot"`
+	// Offered/Admitted/Rejected count admission outcomes in the window.
+	Offered  int `json:"offered"`
+	Admitted int `json:"admitted"`
+	Rejected int `json:"rejected"`
+	// Dropped counts sessions lost to unrepairable fiber failures.
+	Dropped int `json:"dropped"`
+	// Delivered counts end-to-end entangled states delivered.
+	Delivered int `json:"delivered"`
+	// ActiveAtEnd is the number of live sessions after the window's last
+	// slot.
+	ActiveAtEnd int `json:"active_at_end"`
+}
+
+// Report aggregates one slotted run.
+type Report struct {
+	// Slots is the simulated horizon.
+	Slots int `json:"slots"`
+	// Offered/Admitted/Rejected count admission outcomes; Dropped counts
+	// admitted sessions torn down by unrepairable fiber failures, and
+	// Completed counts sessions that held to their departure slot.
+	Offered   int `json:"offered"`
+	Admitted  int `json:"admitted"`
+	Rejected  int `json:"rejected"`
+	Dropped   int `json:"dropped"`
+	Completed int `json:"completed"`
+	// PeakActive is the high-water mark of simultaneously held sessions.
+	PeakActive int `json:"peak_active"`
+
+	// LinkAttempts/LinkSuccesses count per-slot link-entanglement trials.
+	LinkAttempts  int64 `json:"link_attempts"`
+	LinkSuccesses int64 `json:"link_successes"`
+	// SwapAttempts/SwapSuccesses count whole-channel swap chains.
+	SwapAttempts  int64 `json:"swap_attempts"`
+	SwapSuccesses int64 `json:"swap_successes"`
+	// ChannelPairs counts raw end-to-end channel pairs produced by swaps.
+	ChannelPairs int64 `json:"channel_pairs"`
+	// PurifyAttempts/PurifySuccesses count BBPSSW rounds scheduled by the
+	// fidelity floor.
+	PurifyAttempts  int64 `json:"purify_attempts"`
+	PurifySuccesses int64 `json:"purify_successes"`
+	// DecoheredLinks/DecoheredPairs count entanglements that aged past the
+	// memory TTL and were discarded.
+	DecoheredLinks int64 `json:"decohered_links"`
+	DecoheredPairs int64 `json:"decohered_pairs"`
+
+	// Delivered counts full multi-user entangled states (every channel of a
+	// session's tree ready in the same slot); SumFidelity sums their
+	// end-to-end fidelities.
+	Delivered   int64   `json:"delivered"`
+	SumFidelity float64 `json:"sum_fidelity"`
+
+	// EdgeFailures/EdgeRecoveries count fiber events; Repairs counts
+	// successful local repairs and ReroutedChannels the channels they
+	// replaced.
+	EdgeFailures     int `json:"edge_failures"`
+	EdgeRecoveries   int `json:"edge_recoveries"`
+	Repairs          int `json:"repairs"`
+	ReroutedChannels int `json:"rerouted_channels"`
+
+	// Work sums the routing work over every admission and repair attempt.
+	Work core.SolveStats `json:"work"`
+	// TraceHash folds every admission, drop, failure and per-session
+	// dynamics counter into one value: two runs agree iff they took the
+	// same trajectory.
+	TraceHash uint64 `json:"trace_hash"`
+	// Windows is the per-window load trace (empty unless WindowSlots > 0).
+	Windows []Window `json:"windows,omitempty"`
+}
+
+// DeliveredPerSlot returns the delivered end-to-end state rate.
+func (r Report) DeliveredPerSlot() float64 {
+	if r.Slots == 0 {
+		return 0
+	}
+	return float64(r.Delivered) / float64(r.Slots)
+}
+
+// MeanFidelity returns the mean fidelity over delivered states.
+func (r Report) MeanFidelity() float64 {
+	if r.Delivered == 0 {
+		return 0
+	}
+	return r.SumFidelity / float64(r.Delivered)
+}
+
+// LinkSuccessRatio returns successes/attempts (0 for an idle run).
+func (r Report) LinkSuccessRatio() float64 {
+	if r.LinkAttempts == 0 {
+		return 0
+	}
+	return float64(r.LinkSuccesses) / float64(r.LinkAttempts)
+}
+
+// String renders the aligned summary block cmd/qsim prints.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "offered:         %d\n", r.Offered)
+	fmt.Fprintf(&b, "admitted:        %d (%.3f)\n", r.Admitted, ratio(r.Admitted, r.Offered))
+	fmt.Fprintf(&b, "rejected:        %d\n", r.Rejected)
+	fmt.Fprintf(&b, "dropped:         %d\n", r.Dropped)
+	fmt.Fprintf(&b, "completed:       %d\n", r.Completed)
+	fmt.Fprintf(&b, "peak active:     %d\n", r.PeakActive)
+	fmt.Fprintf(&b, "delivered:       %d states (%.6g per slot), mean fidelity %.6g\n",
+		r.Delivered, r.DeliveredPerSlot(), r.MeanFidelity())
+	fmt.Fprintf(&b, "links:           %d attempts, %d successes (%.3f)\n",
+		r.LinkAttempts, r.LinkSuccesses, r.LinkSuccessRatio())
+	fmt.Fprintf(&b, "swaps:           %d chains, %d succeeded\n", r.SwapAttempts, r.SwapSuccesses)
+	fmt.Fprintf(&b, "channel pairs:   %d raw, purify %d/%d rounds\n",
+		r.ChannelPairs, r.PurifySuccesses, r.PurifyAttempts)
+	fmt.Fprintf(&b, "decohered:       %d link pairs, %d channel pairs\n",
+		r.DecoheredLinks, r.DecoheredPairs)
+	fmt.Fprintf(&b, "fiber events:    %d failures, %d recoveries, %d repairs (%d channels rerouted)\n",
+		r.EdgeFailures, r.EdgeRecoveries, r.Repairs, r.ReroutedChannels)
+	fmt.Fprintf(&b, "trace hash:      %016x", r.TraceHash)
+	return b.String()
+}
+
+func ratio(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

@@ -1,0 +1,274 @@
+// Package workload generates seeded session-arrival processes for the
+// slotted simulator (internal/timesim) and the live load driver
+// (cmd/qload). Three traffic models are provided: a homogeneous Poisson
+// process, a diurnal (sinusoidally modulated) process, and a flash-crowd
+// process (a rectangular burst on top of a base rate). All three are
+// non-homogeneous Poisson processes sampled by Lewis–Shedler thinning, so
+// a fixed *rand.Rand seed yields a bit-identical arrival stream.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/muerp/quantumnet/internal/graph"
+	"github.com/muerp/quantumnet/internal/sched"
+)
+
+// Errors.
+var (
+	ErrBadProcess = errors.New("workload: invalid arrival process")
+	ErrBadDraw    = errors.New("workload: invalid session draw")
+	ErrNilRNG     = errors.New("workload: nil rng")
+)
+
+// Process is an arrival-rate profile λ(t) over continuous time. Time units
+// are whatever the caller uses (slots in timesim, abstract units in qload).
+type Process interface {
+	// Name identifies the process ("poisson", "diurnal", "flash").
+	Name() string
+	// Rate returns the instantaneous arrival rate λ(t) >= 0.
+	Rate(t float64) float64
+	// MaxRate returns an upper bound on Rate over all t, used as the
+	// thinning envelope. It must be positive and finite.
+	MaxRate() float64
+	// Validate rejects meaningless parameters.
+	Validate() error
+}
+
+// Poisson is a homogeneous Poisson process with rate Lambda.
+type Poisson struct {
+	// Lambda is the arrival rate (sessions per time unit).
+	Lambda float64
+}
+
+func (p Poisson) Name() string         { return "poisson" }
+func (p Poisson) Rate(float64) float64 { return p.Lambda }
+func (p Poisson) MaxRate() float64     { return p.Lambda }
+
+// Validate checks Lambda > 0 and finite.
+func (p Poisson) Validate() error {
+	if !(p.Lambda > 0) || math.IsInf(p.Lambda, 1) {
+		return fmt.Errorf("%w: poisson rate %g must be positive and finite", ErrBadProcess, p.Lambda)
+	}
+	return nil
+}
+
+// Diurnal is a sinusoidally modulated Poisson process,
+// λ(t) = Mean * (1 + Amplitude*sin(2π(t/Period + Phase))) — the classic
+// day/night load curve.
+type Diurnal struct {
+	// Mean is the time-averaged arrival rate.
+	Mean float64
+	// Amplitude in [0, 1] scales the swing: 1 means the trough hits zero.
+	Amplitude float64
+	// Period is the cycle length in time units.
+	Period float64
+	// Phase in [0, 1) shifts the cycle start.
+	Phase float64
+}
+
+func (d Diurnal) Name() string { return "diurnal" }
+
+func (d Diurnal) Rate(t float64) float64 {
+	return d.Mean * (1 + d.Amplitude*math.Sin(2*math.Pi*(t/d.Period+d.Phase)))
+}
+
+func (d Diurnal) MaxRate() float64 { return d.Mean * (1 + d.Amplitude) }
+
+// Validate checks Mean > 0, Amplitude in [0,1] and Period > 0.
+func (d Diurnal) Validate() error {
+	if !(d.Mean > 0) || math.IsInf(d.Mean, 1) {
+		return fmt.Errorf("%w: diurnal mean %g must be positive and finite", ErrBadProcess, d.Mean)
+	}
+	if d.Amplitude < 0 || d.Amplitude > 1 || math.IsNaN(d.Amplitude) {
+		return fmt.Errorf("%w: diurnal amplitude %g must be in [0, 1]", ErrBadProcess, d.Amplitude)
+	}
+	if !(d.Period > 0) || math.IsInf(d.Period, 1) {
+		return fmt.Errorf("%w: diurnal period %g must be positive and finite", ErrBadProcess, d.Period)
+	}
+	if math.IsNaN(d.Phase) || math.IsInf(d.Phase, 0) {
+		return fmt.Errorf("%w: diurnal phase %g must be finite", ErrBadProcess, d.Phase)
+	}
+	return nil
+}
+
+// Flash is a flash-crowd process: base rate Base everywhere, multiplied by
+// Mult inside the burst window [At, At+Width).
+type Flash struct {
+	// Base is the background arrival rate.
+	Base float64
+	// Mult >= 1 is the rate multiplier during the burst.
+	Mult float64
+	// At is the burst start time.
+	At float64
+	// Width is the burst duration.
+	Width float64
+}
+
+func (f Flash) Name() string { return "flash" }
+
+func (f Flash) Rate(t float64) float64 {
+	if t >= f.At && t < f.At+f.Width {
+		return f.Base * f.Mult
+	}
+	return f.Base
+}
+
+func (f Flash) MaxRate() float64 { return f.Base * f.Mult }
+
+// Validate checks Base > 0, Mult >= 1 and Width > 0.
+func (f Flash) Validate() error {
+	if !(f.Base > 0) || math.IsInf(f.Base, 1) {
+		return fmt.Errorf("%w: flash base rate %g must be positive and finite", ErrBadProcess, f.Base)
+	}
+	if !(f.Mult >= 1) || math.IsInf(f.Mult, 1) {
+		return fmt.Errorf("%w: flash multiplier %g must be >= 1 and finite", ErrBadProcess, f.Mult)
+	}
+	if !(f.At >= 0) || math.IsInf(f.At, 1) {
+		return fmt.Errorf("%w: flash burst start %g must be non-negative and finite", ErrBadProcess, f.At)
+	}
+	if !(f.Width > 0) || math.IsInf(f.Width, 1) {
+		return fmt.Errorf("%w: flash burst width %g must be positive and finite", ErrBadProcess, f.Width)
+	}
+	return nil
+}
+
+// ParseProcess builds the named process around a mean base rate and a time
+// horizon, with conventional shapes: "poisson" is homogeneous at mean;
+// "diurnal" swings ±80% over two cycles across the horizon; "flash" is an
+// 8× burst of one-twentieth of the horizon starting at 40% through it.
+func ParseProcess(name string, mean, horizon float64) (Process, error) {
+	if !(mean > 0) || math.IsInf(mean, 1) {
+		return nil, fmt.Errorf("%w: mean rate %g must be positive and finite", ErrBadProcess, mean)
+	}
+	if !(horizon > 0) || math.IsInf(horizon, 1) {
+		return nil, fmt.Errorf("%w: horizon %g must be positive and finite", ErrBadProcess, horizon)
+	}
+	var p Process
+	switch name {
+	case "poisson":
+		p = Poisson{Lambda: mean}
+	case "diurnal":
+		p = Diurnal{Mean: mean, Amplitude: 0.8, Period: horizon / 2}
+	case "flash":
+		p = Flash{Base: mean, Mult: 8, At: 0.4 * horizon, Width: horizon / 20}
+	default:
+		return nil, fmt.Errorf("%w: unknown process %q (want poisson, diurnal or flash)", ErrBadProcess, name)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Arrivals samples the process over [0, horizon) by Lewis–Shedler thinning:
+// candidate gaps are exponential at the envelope rate MaxRate, and a
+// candidate at time t survives with probability Rate(t)/MaxRate. The result
+// is sorted and deterministic for a given rng state.
+func Arrivals(p Process, horizon float64, rng *rand.Rand) ([]float64, error) {
+	if err := validateSampling(p, rng); err != nil {
+		return nil, err
+	}
+	if !(horizon > 0) || math.IsInf(horizon, 1) {
+		return nil, fmt.Errorf("%w: horizon %g must be positive and finite", ErrBadProcess, horizon)
+	}
+	env := p.MaxRate()
+	var out []float64
+	for t := rng.ExpFloat64() / env; t < horizon; t += rng.ExpFloat64() / env {
+		if rng.Float64()*env <= p.Rate(t) {
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}
+
+// ArrivalsN samples exactly n arrivals by thinning, running past any fixed
+// horizon until the count is met. Used when the caller wants a session
+// budget (qload -sessions) rather than a time budget.
+func ArrivalsN(p Process, n int, rng *rand.Rand) ([]float64, error) {
+	if err := validateSampling(p, rng); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("%w: negative arrival count %d", ErrBadProcess, n)
+	}
+	env := p.MaxRate()
+	out := make([]float64, 0, n)
+	for t := 0.0; len(out) < n; {
+		t += rng.ExpFloat64() / env
+		if rng.Float64()*env <= p.Rate(t) {
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}
+
+func validateSampling(p Process, rng *rand.Rand) error {
+	if p == nil {
+		return fmt.Errorf("%w: nil process", ErrBadProcess)
+	}
+	if rng == nil {
+		return ErrNilRNG
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Draw describes how sessions are fleshed out around an arrival stream:
+// exponential holds and uniformly sized user groups drawn without
+// replacement, mirroring sched.Workload.
+type Draw struct {
+	// MeanHold is the mean session hold time (exponential).
+	MeanHold float64
+	// MinUsers and MaxUsers bound the uniformly drawn group size.
+	MinUsers, MaxUsers int
+}
+
+// Sessions turns an arrival stream into sched.Requests on g's users: IDs
+// are sequential in arrival order, holds are exponential at MeanHold, and
+// each group is a without-replacement draw of a uniform size in
+// [MinUsers, MaxUsers].
+func (d Draw) Sessions(g *graph.Graph, arrivals []float64, rng *rand.Rand) ([]sched.Request, error) {
+	if g == nil {
+		return nil, fmt.Errorf("%w: nil graph", ErrBadDraw)
+	}
+	if rng == nil {
+		return nil, ErrNilRNG
+	}
+	users := g.Users()
+	if d.MinUsers < 2 || d.MaxUsers < d.MinUsers {
+		return nil, fmt.Errorf("%w: user range [%d, %d]", ErrBadDraw, d.MinUsers, d.MaxUsers)
+	}
+	if d.MaxUsers > len(users) {
+		return nil, fmt.Errorf("%w: sessions of up to %d users on a %d-user network",
+			ErrBadDraw, d.MaxUsers, len(users))
+	}
+	if !(d.MeanHold > 0) || math.IsInf(d.MeanHold, 1) {
+		return nil, fmt.Errorf("%w: mean hold %g must be positive and finite", ErrBadDraw, d.MeanHold)
+	}
+	if !sort.Float64sAreSorted(arrivals) {
+		return nil, fmt.Errorf("%w: arrivals must be sorted", ErrBadDraw)
+	}
+	out := make([]sched.Request, 0, len(arrivals))
+	for i, at := range arrivals {
+		size := d.MinUsers + rng.Intn(d.MaxUsers-d.MinUsers+1)
+		perm := rng.Perm(len(users))
+		members := make([]graph.NodeID, size)
+		for j := 0; j < size; j++ {
+			members[j] = users[perm[j]]
+		}
+		out = append(out, sched.Request{
+			ID:      i,
+			Users:   members,
+			Arrival: at,
+			Hold:    rng.ExpFloat64() * d.MeanHold,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,269 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/muerp/quantumnet/internal/topology"
+)
+
+// Golden traces: the exact first arrivals of each generator under seed 11
+// are pinned so any change to the thinning sampler or the rate profiles is
+// a visible, deliberate diff.
+func TestGoldenArrivalTraces(t *testing.T) {
+	cases := []struct {
+		proc  Process
+		count int
+		first string
+	}{
+		{Poisson{Lambda: 0.5}, 99, "0.142186102 2.440000866 6.450558031"},
+		{Diurnal{Mean: 0.5, Amplitude: 0.8, Period: 100}, 114, "1.355556037 3.583643350 5.209111785"},
+		{Flash{Base: 0.5, Mult: 8, At: 40, Width: 10}, 127, "0.806319754 2.040830877 5.558317237"},
+	}
+	for _, tc := range cases {
+		arr, err := Arrivals(tc.proc, 200, rand.New(rand.NewSource(11)))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.proc.Name(), err)
+		}
+		got := fmt.Sprintf("n=%d", len(arr))
+		for i := 0; i < 3 && i < len(arr); i++ {
+			got += fmt.Sprintf(" %.9f", arr[i])
+		}
+		want := fmt.Sprintf("n=%d %s", tc.count, tc.first)
+		if got != want {
+			t.Errorf("%s golden trace drifted:\n got  %s\n want %s", tc.proc.Name(), got, want)
+		}
+	}
+}
+
+func TestArrivalsDeterministic(t *testing.T) {
+	for _, p := range []Process{
+		Poisson{Lambda: 2},
+		Diurnal{Mean: 2, Amplitude: 0.5, Period: 50, Phase: 0.25},
+		Flash{Base: 1, Mult: 4, At: 20, Width: 5},
+	} {
+		a, err := Arrivals(p, 300, rand.New(rand.NewSource(42)))
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		b, err := Arrivals(p, 300, rand.New(rand.NewSource(42)))
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%s: lengths differ: %d vs %d", p.Name(), len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: arrival %d differs: %g vs %g", p.Name(), i, a[i], b[i])
+			}
+		}
+		c, err := Arrivals(p, 300, rand.New(rand.NewSource(43)))
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if len(c) == len(a) && fmt.Sprint(c) == fmt.Sprint(a) {
+			t.Errorf("%s: different seeds produced identical streams", p.Name())
+		}
+	}
+}
+
+// The homogeneous sampler's count must match λ*horizon within a few
+// standard deviations.
+func TestPoissonMeanRate(t *testing.T) {
+	arr, err := Arrivals(Poisson{Lambda: 2}, 5000, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := 2.0 * 5000
+	if dev := math.Abs(float64(len(arr)) - mean); dev > 5*math.Sqrt(mean) {
+		t.Fatalf("count %d, want ~%g", len(arr), mean)
+	}
+	for i := 1; i < len(arr); i++ {
+		if arr[i] < arr[i-1] {
+			t.Fatal("arrivals not sorted")
+		}
+	}
+}
+
+// Diurnal load concentrates in the peak half-cycle; flash load concentrates
+// in the burst window.
+func TestShapedProcessesConcentrateLoad(t *testing.T) {
+	d := Diurnal{Mean: 1, Amplitude: 0.9, Period: 1000}
+	arr, err := Arrivals(d, 1000, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := 0 // sin > 0 on the first half-period
+	for _, t := range arr {
+		if t < 500 {
+			peak++
+		}
+	}
+	if trough := len(arr) - peak; peak < 2*trough {
+		t.Errorf("diurnal peak half has %d arrivals vs trough %d; want strong skew", peak, trough)
+	}
+
+	f := Flash{Base: 1, Mult: 10, At: 400, Width: 100}
+	arr, err = Arrivals(f, 1000, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	burst := 0
+	for _, t := range arr {
+		if t >= 400 && t < 500 {
+			burst++
+		}
+	}
+	// The burst window is 10% of the horizon but carries 10x the rate:
+	// roughly half the arrivals must land inside it.
+	if burst < len(arr)/3 {
+		t.Errorf("flash burst window has %d of %d arrivals; want the majority share", burst, len(arr))
+	}
+}
+
+func TestArrivalsN(t *testing.T) {
+	arr, err := ArrivalsN(Flash{Base: 0.5, Mult: 8, At: 10, Width: 4}, 250, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arr) != 250 {
+		t.Fatalf("got %d arrivals, want 250", len(arr))
+	}
+	for i := 1; i < len(arr); i++ {
+		if arr[i] < arr[i-1] {
+			t.Fatal("arrivals not sorted")
+		}
+	}
+	if _, err := ArrivalsN(Poisson{Lambda: 1}, -1, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+func TestParseProcess(t *testing.T) {
+	for _, name := range []string{"poisson", "diurnal", "flash"} {
+		p, err := ParseProcess(name, 1.5, 400)
+		if err != nil {
+			t.Fatalf("ParseProcess(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("ParseProcess(%q).Name() = %q", name, p.Name())
+		}
+		if p.MaxRate() < 1.5 {
+			t.Errorf("%s: envelope %g below mean", name, p.MaxRate())
+		}
+	}
+	for _, bad := range []struct {
+		name          string
+		mean, horizon float64
+	}{
+		{"uniform", 1, 100}, {"poisson", 0, 100}, {"poisson", 1, 0}, {"flash", -2, 100},
+	} {
+		if _, err := ParseProcess(bad.name, bad.mean, bad.horizon); err == nil {
+			t.Errorf("ParseProcess(%q, %g, %g) succeeded", bad.name, bad.mean, bad.horizon)
+		}
+	}
+}
+
+func TestProcessValidate(t *testing.T) {
+	bad := []Process{
+		Poisson{Lambda: 0},
+		Poisson{Lambda: math.Inf(1)},
+		Diurnal{Mean: 1, Amplitude: 1.5, Period: 10},
+		Diurnal{Mean: 1, Amplitude: 0.5, Period: 0},
+		Diurnal{Mean: 1, Amplitude: 0.5, Period: 10, Phase: math.NaN()},
+		Flash{Base: 1, Mult: 0.5, At: 0, Width: 1},
+		Flash{Base: 1, Mult: 2, At: -1, Width: 1},
+		Flash{Base: 1, Mult: 2, At: 0, Width: 0},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%#v validated", p)
+		}
+		if _, err := Arrivals(p, 10, rand.New(rand.NewSource(1))); err == nil {
+			t.Errorf("Arrivals accepted %#v", p)
+		}
+	}
+	if _, err := Arrivals(Poisson{Lambda: 1}, 10, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := Arrivals(nil, 10, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("nil process accepted")
+	}
+}
+
+func TestDrawSessions(t *testing.T) {
+	g, err := topology.Generate(topology.Default(), rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := Arrivals(Poisson{Lambda: 1}, 100, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Draw{MeanHold: 12, MinUsers: 2, MaxUsers: 4}
+	reqs, err := d.Sessions(g, arr, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != len(arr) {
+		t.Fatalf("got %d requests for %d arrivals", len(reqs), len(arr))
+	}
+	users := map[int64]bool{}
+	for _, u := range g.Users() {
+		users[int64(u)] = true
+	}
+	for i, r := range reqs {
+		if r.ID != i {
+			t.Fatalf("request %d has ID %d", i, r.ID)
+		}
+		if r.Arrival != arr[i] {
+			t.Fatalf("request %d arrival %g != %g", i, r.Arrival, arr[i])
+		}
+		if len(r.Users) < 2 || len(r.Users) > 4 {
+			t.Fatalf("request %d has %d users", i, len(r.Users))
+		}
+		seen := map[int64]bool{}
+		for _, u := range r.Users {
+			if !users[int64(u)] {
+				t.Fatalf("request %d includes non-user node %d", i, u)
+			}
+			if seen[int64(u)] {
+				t.Fatalf("request %d repeats user %d", i, u)
+			}
+			seen[int64(u)] = true
+		}
+		if r.Hold <= 0 {
+			t.Fatalf("request %d has hold %g", i, r.Hold)
+		}
+	}
+	again, err := d.Sessions(g, arr, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(again) != fmt.Sprint(reqs) {
+		t.Fatal("Draw.Sessions is not deterministic")
+	}
+
+	for _, bad := range []Draw{
+		{MeanHold: 0, MinUsers: 2, MaxUsers: 3},
+		{MeanHold: 1, MinUsers: 1, MaxUsers: 3},
+		{MeanHold: 1, MinUsers: 3, MaxUsers: 2},
+		{MeanHold: 1, MinUsers: 2, MaxUsers: 10000},
+	} {
+		if _, err := bad.Sessions(g, arr, rand.New(rand.NewSource(1))); err == nil {
+			t.Errorf("draw %+v accepted", bad)
+		}
+	}
+	if _, err := d.Sessions(nil, arr, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := d.Sessions(g, arr, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := d.Sessions(g, []float64{3, 1, 2}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("unsorted arrivals accepted")
+	}
+}
